@@ -1,0 +1,93 @@
+// §4.2 analytical model validation: DedupeFactor(f) predicted vs
+// measured on synthetic batches, sweeping S and d(f); plus the §7
+// per-session downsampling effect on S and the factor.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/dedupe_model.h"
+#include "datagen/generator.h"
+#include "etl/etl.h"
+#include "tensor/ikjt.h"
+
+namespace {
+
+// Builds one clustered batch for a single feature with the given session
+// and stability parameters, then measures the realized dedupe factor.
+double MeasureFactor(double mean_session, double stay_prob,
+                     std::size_t batch_size) {
+  using namespace recd;
+  datagen::DatasetSpec spec;
+  spec.seed = 99;
+  spec.num_dense = 1;
+  spec.mean_session_size = mean_session;
+  spec.concurrent_sessions = 16;
+  datagen::SparseFeatureSpec f;
+  f.name = "f";
+  f.update = datagen::UpdateKind::kRedraw;
+  f.mean_length = 16;
+  f.stay_prob = stay_prob;
+  f.id_domain = 1'000'000;
+  spec.sparse.push_back(f);
+
+  datagen::TrafficGenerator gen(spec);
+  const auto traffic = gen.Generate(batch_size * 4);
+  auto samples = etl::JoinLogs(traffic.features, traffic.events);
+  etl::ClusterBySession(samples);
+
+  tensor::KeyedJaggedTensor kjt;
+  tensor::JaggedTensor jt;
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    jt.AppendRow(samples[i].sparse[0]);
+  }
+  kjt.AddFeature("f", std::move(jt));
+  tensor::DedupStats stats;
+  const std::vector<std::string> group = {"f"};
+  (void)tensor::DeduplicateGroup(kjt, group, &stats);
+  return stats.dedupe_factor();
+}
+
+}  // namespace
+
+int main() {
+  using namespace recd;
+  bench::PrintHeader("DedupeFactor: analytic model vs measured");
+  std::printf("%6s %6s %8s | %10s %10s\n", "S", "d(f)", "batch", "model",
+              "measured");
+  bench::PrintRule();
+  for (const double s : {4.0, 8.0, 16.5}) {
+    for (const double d : {0.5, 0.9, 0.95}) {
+      const double model = core::DedupeModel::DedupeFactor(16, 1024, s, d);
+      const double measured = MeasureFactor(s, d, 1024);
+      std::printf("%6.1f %6.2f %8d | %9.2fx %9.2fx\n", s, d, 1024, model,
+                  measured);
+    }
+  }
+
+  bench::PrintHeader("§7: downsampling policy effect on S and factor");
+  datagen::DatasetSpec spec = datagen::RmDataset(datagen::RmKind::kRm1, 0.1);
+  spec.concurrent_sessions = 64;
+  datagen::TrafficGenerator gen(spec);
+  const auto traffic = gen.Generate(30'000);
+  auto samples = etl::JoinLogs(traffic.features, traffic.events);
+  const double s_full = etl::MeanSamplesPerSession(samples);
+  const auto per_sample =
+      etl::Downsample(samples, etl::DownsampleMode::kPerSample, 0.4, 1);
+  const auto per_session =
+      etl::Downsample(samples, etl::DownsampleMode::kPerSession, 0.4, 1);
+  std::printf("%-28s %10s %14s\n", "policy", "S", "model factor*");
+  bench::PrintRule();
+  auto factor = [](double s) {
+    return core::DedupeModel::DedupeFactor(16, 1024, std::max(1.0, s),
+                                           0.95);
+  };
+  std::printf("%-28s %10.2f %13.2fx\n", "no downsampling", s_full,
+              factor(s_full));
+  std::printf("%-28s %10.2f %13.2fx\n", "per-sample keep 40%",
+              etl::MeanSamplesPerSession(per_sample),
+              factor(etl::MeanSamplesPerSession(per_sample)));
+  std::printf("%-28s %10.2f %13.2fx\n", "per-session keep 40% (RecD)",
+              etl::MeanSamplesPerSession(per_session),
+              factor(etl::MeanSamplesPerSession(per_session)));
+  std::printf("(*analytic factor at d=0.95, l=16, B=1024)\n");
+  return 0;
+}

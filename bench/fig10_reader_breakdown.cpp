@@ -1,0 +1,99 @@
+// Figure 10: reader CPU time per sample, broken into Fill / Convert /
+// Process, RecD normalized to each RM's baseline. Wall-clock measured on
+// the real reader implementation.
+//
+// Paper: fill time -50%/-33%/-46%; convert +21%/+37%/+11% (tiny in
+// absolute terms); process -13%/-11%/+3%; conversion overhead overall
+// ~1% and swamped by fill savings.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "etl/etl.h"
+#include "reader/reader.h"
+#include "storage/table.h"
+
+namespace {
+
+struct Breakdown {
+  double fill = 0, convert = 0, process = 0;
+  [[nodiscard]] double total() const { return fill + convert + process; }
+};
+
+Breakdown RunReader(recd::storage::BlobStore& store,
+                    const recd::storage::Table& table,
+                    const recd::train::ModelConfig& model, bool use_ikjt) {
+  using namespace recd;
+  auto loader = train::MakeDataLoaderConfig(model, 512, use_ikjt);
+  // Representative preprocessing: hash every dedup-able feature group +
+  // normalize dense (paper: normalization and hashing transforms).
+  for (const auto& g : model.sequence_groups) {
+    loader.transforms.push_back({reader::TransformKind::kSparseHash,
+                                 g.features.front(), 1'000'003, 0});
+  }
+  for (const auto& f : model.elementwise_features) {
+    loader.transforms.push_back(
+        {reader::TransformKind::kSparseHash, f, 1'000'003, 0});
+  }
+  loader.transforms.push_back(
+      {reader::TransformKind::kDenseNormalize, "", 0.0, 1.0});
+  reader::Reader rdr(store, table, loader,
+                     reader::ReaderOptions{.use_ikjt = use_ikjt});
+  while (rdr.NextBatch().has_value()) {
+  }
+  return {rdr.times().fill_s, rdr.times().convert_s,
+          rdr.times().process_s};
+}
+
+}  // namespace
+
+int main() {
+  using namespace recd;
+  bench::PrintHeader("Figure 10: reader CPU time breakdown per sample");
+  std::printf("%-4s %-10s %8s %9s %9s %8s\n", "RM", "config", "fill",
+              "convert", "process", "total");
+  bench::PrintRule();
+
+  const datagen::RmKind kinds[3] = {datagen::RmKind::kRm1,
+                                    datagen::RmKind::kRm2,
+                                    datagen::RmKind::kRm3};
+  for (int i = 0; i < 3; ++i) {
+    auto b = bench::RmBench::Make(kinds[i], 8);
+    datagen::TrafficGenerator gen(b.spec);
+    const auto traffic = gen.Generate(16'000);
+    auto samples = etl::JoinLogs(traffic.features, traffic.events);
+
+    storage::StorageSchema schema;
+    schema.num_dense = b.spec.num_dense;
+    for (const auto& f : b.spec.sparse) {
+      schema.sparse_names.push_back(f.name);
+    }
+    // Baseline table: inference order. RecD table: clustered.
+    storage::BlobStore store;
+    auto base_landed = storage::LandTable(store, "base", schema, {samples});
+    auto clustered = samples;
+    etl::ClusterBySession(clustered);
+    auto recd_landed =
+        storage::LandTable(store, "recd", schema, {clustered});
+
+    const auto base = RunReader(store, base_landed.table, b.model, false);
+    const auto recd = RunReader(store, recd_landed.table, b.model, true);
+
+    const double norm = base.total();
+    auto row = [&](const char* config, const Breakdown& t) {
+      std::printf("%-4s %-10s %7.1f%% %8.1f%% %8.1f%% %7.1f%%\n",
+                  bench::RmName(kinds[i]), config, 100 * t.fill / norm,
+                  100 * t.convert / norm, 100 * t.process / norm,
+                  100 * t.total() / norm);
+    };
+    row("baseline", base);
+    row("RecD", recd);
+    std::printf(
+        "%-4s fill %+.0f%% (paper -50/-33/-46), convert %+.0f%% "
+        "(paper +21/+37/+11), process %+.0f%% (paper -13/-11/+3)\n",
+        bench::RmName(kinds[i]), 100 * (recd.fill / base.fill - 1),
+        100 * (recd.convert / base.convert - 1),
+        100 * (recd.process / base.process - 1));
+    bench::PrintRule();
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 7: end-to-end trainer throughput, reader throughput, and
+// storage compression with RecD, normalized to each RM's baseline.
+//
+// Paper: trainer x2.48 / x1.25 / x1.43; reader x1.79 / x1.38 / x1.36;
+// storage compression x3.71 / x3.71 / x2.06 (RM1 / RM2 / RM3).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "reader/reader_tier.h"
+
+int main() {
+  using namespace recd;
+  bench::PrintHeader(
+      "Figure 7: end-to-end RecD gains, normalized to baseline");
+  std::printf("%-4s %-22s %10s %12s\n", "RM", "metric", "measured",
+              "paper");
+  bench::PrintRule();
+
+  struct PaperRow {
+    double trainer, reader, storage;
+  };
+  const PaperRow paper[3] = {{2.48, 1.79, 3.71},
+                             {1.25, 1.38, 3.71},
+                             {1.43, 1.36, 2.06}};
+  const datagen::RmKind kinds[3] = {datagen::RmKind::kRm1,
+                                    datagen::RmKind::kRm2,
+                                    datagen::RmKind::kRm3};
+  const std::size_t gpus[3] = {48, 48, 64};
+
+  for (int i = 0; i < 3; ++i) {
+    auto b = bench::RmBench::Make(kinds[i], gpus[i]);
+    auto runner = b.MakeRunner(24'000);
+    const auto base =
+        runner.Run(core::RecdConfig::Baseline(b.baseline_batch));
+    const auto recd = runner.Run(core::RecdConfig::Full(b.recd_batch));
+
+    const double trainer_gain = recd.trainer_qps / base.trainer_qps;
+    const double reader_gain =
+        recd.reader_rows_per_second / base.reader_rows_per_second;
+    const double storage_gain = recd.storage_compression_ratio /
+                                base.storage_compression_ratio;
+    std::printf("%-4s %-22s %9.2fx %11.2fx\n", bench::RmName(kinds[i]),
+                "trainer throughput", trainer_gain, paper[i].trainer);
+    std::printf("%-4s %-22s %9.2fx %11.2fx\n", bench::RmName(kinds[i]),
+                "reader throughput", reader_gain, paper[i].reader);
+    std::printf("%-4s %-22s %9.2fx %11.2fx\n", bench::RmName(kinds[i]),
+                "storage compression", storage_gain, paper[i].storage);
+    std::printf("%-4s   (dedupe factor %.1f, S=%.1f, batch %zu -> %zu)\n",
+                bench::RmName(kinds[i]), recd.mean_dedupe_factor,
+                recd.samples_per_session, b.baseline_batch, b.recd_batch);
+    // §2.1: the reader tier is provisioned to the trainers' ingest
+    // rate; at equal demand, faster readers mean proportionally fewer
+    // reader hosts ("reducing the number of readers needed ... by the
+    // same amount").
+    const double demand = base.trainer_qps;
+    const auto base_prov =
+        reader::ProvisionReaders(demand, base.reader_rows_per_second);
+    const auto recd_prov =
+        reader::ProvisionReaders(demand, recd.reader_rows_per_second);
+    std::printf("%-4s   readers needed at equal demand: %zu -> %zu\n",
+                bench::RmName(kinds[i]), base_prov.readers_needed,
+                recd_prov.readers_needed);
+    bench::PrintRule();
+  }
+  return 0;
+}

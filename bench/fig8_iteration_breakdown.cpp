@@ -1,0 +1,52 @@
+// Figure 8: trainer iteration latency breakdown (EMB lookup, GEMM,
+// exposed all-to-all, other), RecD normalized to each RM's baseline at
+// the SAME batch size.
+//
+// Paper: exposed A2A roughly halves on every RM; RM1 additionally drops
+// GEMM time ~12% (transformer compute deduplicated); RM2/RM3 GEMM up
+// slightly; EMB improves 1-2%; overall iteration time -44%/-23%/-xx%.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace recd;
+  bench::PrintHeader(
+      "Figure 8: iteration latency breakdown (same batch size)");
+  std::printf("%-4s %-10s %8s %8s %8s %8s %8s\n", "RM", "config", "EMB",
+              "GEMM", "A2A", "other", "total");
+  bench::PrintRule();
+
+  const datagen::RmKind kinds[3] = {datagen::RmKind::kRm1,
+                                    datagen::RmKind::kRm2,
+                                    datagen::RmKind::kRm3};
+  const std::size_t gpus[3] = {48, 48, 64};
+  for (int i = 0; i < 3; ++i) {
+    auto b = bench::RmBench::Make(kinds[i], gpus[i]);
+    auto runner = b.MakeRunner(4'000);
+    // Same batch size in both configs (the Fig 8 protocol).
+    const auto base =
+        runner.Run(core::RecdConfig::Baseline(b.baseline_batch));
+    auto recd_cfg = core::RecdConfig::Full(b.baseline_batch);
+    const auto recd = runner.Run(recd_cfg);
+
+    const double norm = base.trainer.total_s();
+    auto row = [&](const char* config,
+                   const train::IterationBreakdown& it) {
+      std::printf("%-4s %-10s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+                  bench::RmName(kinds[i]), config, 100 * it.emb_s / norm,
+                  100 * it.gemm_s / norm, 100 * it.a2a_exposed_s / norm,
+                  100 * it.other_s / norm, 100 * it.total_s() / norm);
+    };
+    row("baseline", base.trainer);
+    row("RecD", recd.trainer);
+    std::printf(
+        "%-4s exposed A2A change: %.2fx (paper: ~0.5x);"
+        " iteration time: %.0f%% of baseline\n",
+        bench::RmName(kinds[i]),
+        recd.trainer.a2a_exposed_s / base.trainer.a2a_exposed_s,
+        100 * recd.trainer.total_s() / base.trainer.total_s());
+    bench::PrintRule();
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 9: RM1 ablation — normalized trainer throughput as RecD
+// optimizations stack.
+//
+// Paper bars: CT (clustered table, KJTs) 1.0x; +DE+JIS at B4096 1.34x;
+// +DC (dedup compute) 2.42x; +B6144 2.48x. Batch sizes here are the
+// paper's divided by 8.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace recd;
+  bench::PrintHeader("Figure 9: RM1 ablation (normalized throughput)");
+
+  auto b = bench::RmBench::Make(datagen::RmKind::kRm1, 48);
+  auto runner = b.MakeRunner(8'000);
+
+  // Baseline: clustered table but plain KJTs, paper batch (2048/8).
+  core::RecdConfig ct = core::RecdConfig::Baseline(256);
+  ct.cluster_by_session = true;
+  ct.shard_by_session = true;
+
+  // +Dedup EMB + JaggedIndexSelect, batch raised to 4096/8.
+  core::RecdConfig de_jis = core::RecdConfig::Full(512);
+  de_jis.trainer.dedup_emb = true;
+  de_jis.trainer.jagged_index_select = true;
+  de_jis.trainer.dedup_compute = false;
+
+  // +Dedup compute (grouped IKJTs feed the transformers).
+  core::RecdConfig dc = core::RecdConfig::Full(512);
+
+  // +Batch 6144/8.
+  core::RecdConfig b6144 = core::RecdConfig::Full(768);
+
+  const auto r_ct = runner.Run(ct);
+  const auto r_de = runner.Run(de_jis);
+  const auto r_dc = runner.Run(dc);
+  const auto r_b = runner.Run(b6144);
+
+  const double norm = r_ct.trainer_qps;
+  std::printf("%-34s %10s %12s\n", "configuration", "measured", "paper");
+  bench::PrintRule();
+  bench::PrintRatioRow("CT (clustered, KJT, B256)", 1.0, 1.0);
+  bench::PrintRatioRow("+O5 DE +O6 JIS (B512)",
+                       r_de.trainer_qps / norm, 1.34);
+  bench::PrintRatioRow("+O7 dedup compute (B512)",
+                       r_dc.trainer_qps / norm, 2.42);
+  bench::PrintRatioRow("+B768", r_b.trainer_qps / norm, 2.48);
+  bench::PrintRule();
+  std::printf("(paper batches 2048/4096/6144 scaled by 1/8)\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Codec microbenchmarks: LZ77 on clustered vs interleaved feature rows
+// (the byte-level mechanism behind O1/O2) and integer stream encodings.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "common/bytes.h"
+#include "compress/int_codec.h"
+#include "compress/lz77.h"
+
+namespace {
+
+using namespace recd;
+
+std::vector<std::byte> FeatureRows(bool clustered, std::size_t n_rows) {
+  std::mt19937_64 rng(17);
+  // 20 distinct "sessions", each with one 200-byte feature row repeated.
+  std::vector<std::vector<std::byte>> session_rows(20);
+  for (auto& row : session_rows) {
+    row.resize(200);
+    for (auto& b : row) b = std::byte(rng() & 0xff);
+  }
+  std::vector<std::byte> out;
+  out.reserve(n_rows * 200);
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    const std::size_t session =
+        clustered ? i * session_rows.size() / n_rows
+                  : static_cast<std::size_t>(rng() % session_rows.size());
+    const auto& row = session_rows[session];
+    out.insert(out.end(), row.begin(), row.end());
+  }
+  return out;
+}
+
+void BM_Lz77CompressClustered(benchmark::State& state) {
+  const auto data = FeatureRows(true, 2048);
+  compress::Lz77Codec codec;
+  std::size_t compressed_size = 0;
+  for (auto _ : state) {
+    auto out = codec.Compress(data);
+    compressed_size = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+  state.counters["ratio"] =
+      static_cast<double>(data.size()) /
+      static_cast<double>(compressed_size);
+}
+BENCHMARK(BM_Lz77CompressClustered);
+
+void BM_Lz77CompressInterleaved(benchmark::State& state) {
+  const auto data = FeatureRows(false, 2048);
+  compress::Lz77Codec codec;
+  std::size_t compressed_size = 0;
+  for (auto _ : state) {
+    auto out = codec.Compress(data);
+    compressed_size = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+  state.counters["ratio"] =
+      static_cast<double>(data.size()) /
+      static_cast<double>(compressed_size);
+}
+BENCHMARK(BM_Lz77CompressInterleaved);
+
+void BM_Lz77Decompress(benchmark::State& state) {
+  const auto data = FeatureRows(true, 2048);
+  compress::Lz77Codec codec;
+  const auto compressed = codec.Compress(data);
+  for (auto _ : state) {
+    auto out = codec.Decompress(compressed);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_Lz77Decompress);
+
+void BM_IntEncodeAuto(benchmark::State& state) {
+  std::mt19937_64 rng(3);
+  std::vector<std::int64_t> values(1 << 16);
+  switch (state.range(0)) {
+    case 0:  // random ids
+      for (auto& v : values) {
+        v = static_cast<std::int64_t>(rng() % 1'000'000);
+      }
+      break;
+    case 1:  // sorted (delta-friendly)
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] = static_cast<std::int64_t>(i * 3);
+      }
+      break;
+    default:  // runs (RLE-friendly)
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] = static_cast<std::int64_t>(i / 512);
+      }
+      break;
+  }
+  for (auto _ : state) {
+    common::ByteWriter w;
+    compress::EncodeIntsAuto(values, w);
+    benchmark::DoNotOptimize(w);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_IntEncodeAuto)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace

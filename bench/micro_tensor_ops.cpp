@@ -1,0 +1,125 @@
+// Op-level microbenchmarks for the tensor substrate: IKJT conversion
+// (the reader's added convert cost, Fig 10), JaggedIndexSelect vs the
+// pad-to-dense baseline (O6), expansion, and partial IKJT building.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "tensor/ikjt.h"
+#include "tensor/jagged_ops.h"
+#include "tensor/partial_ikjt.h"
+
+namespace {
+
+using namespace recd;
+using tensor::Id;
+
+// Batch with a controlled duplication rate: each row repeats the prior
+// row with probability `dup_pct`/100.
+tensor::KeyedJaggedTensor MakeBatch(std::size_t rows, std::size_t len,
+                                    int dup_pct) {
+  common::Rng rng(rows * 31 + static_cast<std::uint64_t>(dup_pct));
+  tensor::JaggedTensor jt;
+  std::vector<Id> current;
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (r == 0 || !rng.Bernoulli(dup_pct / 100.0)) {
+      current.clear();
+      for (std::size_t i = 0; i < len; ++i) {
+        current.push_back(rng.Uniform(0, 1'000'000));
+      }
+    }
+    jt.AppendRow(current);
+  }
+  tensor::KeyedJaggedTensor kjt;
+  kjt.AddFeature("f", std::move(jt));
+  return kjt;
+}
+
+void BM_DeduplicateGroup(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto dup = static_cast<int>(state.range(1));
+  const auto kjt = MakeBatch(rows, 64, dup);
+  const std::vector<std::string> group = {"f"};
+  for (auto _ : state) {
+    tensor::DedupStats stats;
+    auto ikjt = tensor::DeduplicateGroup(kjt, group, &stats);
+    benchmark::DoNotOptimize(ikjt);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(rows * 64));
+}
+BENCHMARK(BM_DeduplicateGroup)
+    ->Args({1024, 0})
+    ->Args({1024, 50})
+    ->Args({1024, 95})
+    ->Args({4096, 95});
+
+void BM_ExpandToKjt(benchmark::State& state) {
+  const auto kjt = MakeBatch(2048, 64, 90);
+  const std::vector<std::string> group = {"f"};
+  const auto ikjt = tensor::DeduplicateGroup(kjt, group);
+  for (auto _ : state) {
+    auto expanded = tensor::ExpandToKjt(ikjt);
+    benchmark::DoNotOptimize(expanded);
+  }
+}
+BENCHMARK(BM_ExpandToKjt);
+
+// O6 comparison: jagged gather vs pad-to-dense + dense index_select.
+void BM_JaggedIndexSelect(benchmark::State& state) {
+  common::Rng rng(7);
+  tensor::JaggedTensor src;
+  std::vector<Id> row;
+  for (std::size_t r = 0; r < 512; ++r) {
+    row.resize(static_cast<std::size_t>(rng.Uniform(1, 128)));
+    for (auto& v : row) v = rng.Uniform(0, 1'000'000);
+    src.AppendRow(row);
+  }
+  std::vector<std::int64_t> indices(4096);
+  for (auto& idx : indices) idx = rng.Uniform(0, 511);
+  for (auto _ : state) {
+    auto out = tensor::JaggedIndexSelect(src, indices);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_JaggedIndexSelect);
+
+void BM_PadToDenseIndexSelect(benchmark::State& state) {
+  common::Rng rng(7);
+  tensor::JaggedTensor src;
+  std::vector<Id> row;
+  for (std::size_t r = 0; r < 512; ++r) {
+    row.resize(static_cast<std::size_t>(rng.Uniform(1, 128)));
+    for (auto& v : row) v = rng.Uniform(0, 1'000'000);
+    src.AppendRow(row);
+  }
+  std::vector<std::int64_t> indices(4096);
+  for (auto& idx : indices) idx = rng.Uniform(0, 511);
+  for (auto _ : state) {
+    auto dense = tensor::JaggedToPaddedDense(src);
+    auto picked = tensor::DenseIndexSelect(dense, indices);
+    auto out = tensor::PaddedDenseToJagged(picked);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_PadToDenseIndexSelect);
+
+void BM_BuildPartialIkjt(benchmark::State& state) {
+  common::Rng rng(13);
+  tensor::JaggedTensor jt;
+  std::vector<Id> window;
+  for (int i = 0; i < 64; ++i) window.push_back(rng.Uniform(0, 1000000));
+  for (int r = 0; r < 2048; ++r) {
+    if (rng.Bernoulli(0.5)) {
+      window.erase(window.begin());
+      window.push_back(rng.Uniform(0, 1000000));
+    }
+    jt.AppendRow(window);
+  }
+  for (auto _ : state) {
+    auto partial = tensor::BuildPartialIkjt("f", jt);
+    benchmark::DoNotOptimize(partial);
+  }
+}
+BENCHMARK(BM_BuildPartialIkjt);
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Table 4: summary of each optimization's impact on the end-to-end RM1
+// pipeline.
+//
+// Paper: O1 scribe compression 1.50x; O2 (with O1) storage 3.71x and
+// fill -50% (reader x1.78); O3 convert +21% (-0.01x reader); O4 process
+// -13% (+0.01x reader); O5+O6 trainer x1.34 (B4096); O7 trainer x2.48
+// (B6144).
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace recd;
+  bench::PrintHeader("Table 4: per-optimization impact summary (RM1)");
+
+  auto b = bench::RmBench::Make(datagen::RmKind::kRm1, 48);
+  auto runner = b.MakeRunner(8'000);
+
+  const auto baseline = runner.Run(core::RecdConfig::Baseline(256));
+
+  // O1 only.
+  auto o1 = core::RecdConfig::Baseline(256);
+  o1.shard_by_session = true;
+  const auto r_o1 = runner.Run(o1);
+
+  // O1+O2 (clustered table, still KJT everywhere).
+  auto o2 = o1;
+  o2.cluster_by_session = true;
+  const auto r_o2 = runner.Run(o2);
+
+  // O1+O2+O3+O4 (IKJT readers, baseline trainer).
+  auto o3 = o2;
+  o3.use_ikjt = true;
+  const auto r_o3 = runner.Run(o3);
+
+  // +O5+O6 at batch 512 (paper: B4096).
+  auto o56 = core::RecdConfig::Full(512);
+  o56.trainer.dedup_compute = false;
+  const auto r_o56 = runner.Run(o56);
+
+  // +O7 at batch 768 (paper: B6144).
+  const auto r_full = runner.Run(core::RecdConfig::Full(768));
+
+  std::printf("%-44s %10s %10s\n", "optimization / effect", "measured",
+              "paper");
+  bench::PrintRule();
+  bench::PrintRatioRow("O1 scribe compression ratio",
+                       r_o1.scribe_compression_ratio, 2.25);
+  std::printf("%-44s %10.2fx %11s\n", "   (baseline hash-shard ratio)",
+              baseline.scribe_compression_ratio, "1.50x");
+  bench::PrintRatioRow(
+      "O2 storage compression vs baseline",
+      r_o2.storage_compression_ratio / baseline.storage_compression_ratio,
+      3.71);
+  std::printf("%-44s %+9.0f%% %11s\n", "O2 reader fill time",
+              100 * (r_o2.reader_times.fill_s /
+                         baseline.reader_times.fill_s -
+                     1),
+              "-50%");
+  std::printf("%-44s %+9.0f%% %11s\n", "O3 reader convert time",
+              100 * (r_o3.reader_times.convert_s /
+                         r_o2.reader_times.convert_s -
+                     1),
+              "+21%");
+  std::printf("%-44s %+9.0f%% %11s\n", "O4 reader process time",
+              100 * (r_o3.reader_times.process_s /
+                         r_o2.reader_times.process_s -
+                     1),
+              "-13%");
+  bench::PrintRatioRow("O5+O6 trainer throughput (B512)",
+                       r_o56.trainer_qps / baseline.trainer_qps, 1.34);
+  bench::PrintRatioRow("O7 full RecD trainer throughput (B768)",
+                       r_full.trainer_qps / baseline.trainer_qps, 2.48);
+  bench::PrintRule();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Dataset characterization tool (paper §3): generates a session-centric
+// dataset, then reports samples-per-session, per-feature exact/partial
+// duplication, the analytic DedupeFactor for each feature, and which
+// features clear the "worth deduplicating" threshold.
+//
+// Usage: characterize_dataset [num_samples] [num_features]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/characterize.h"
+#include "core/dedupe_model.h"
+#include "datagen/generator.h"
+#include "datagen/presets.h"
+#include "etl/etl.h"
+
+int main(int argc, char** argv) {
+  using namespace recd;
+  const std::size_t num_samples =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 40'000;
+  const std::size_t num_features =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 32;
+
+  auto spec = datagen::CharacterizationDataset(num_features, 0.4);
+  spec.concurrent_sessions = 512;
+  datagen::TrafficGenerator gen(spec);
+  const auto traffic = gen.Generate(num_samples);
+  auto samples = etl::JoinLogs(traffic.features, traffic.events);
+
+  const auto report = core::AnalyzeDuplication(samples, spec, 4096);
+
+  std::printf("=== dataset characterization (%zu samples, %zu features) ===\n",
+              num_samples, num_features);
+  std::printf("\nsamples per session: mean %.2f, p99 %.0f, max %lld\n",
+              report.mean_samples_per_session,
+              report.samples_per_session.Percentile(0.99),
+              static_cast<long long>(report.samples_per_session.max()));
+  std::printf("within a 4096 batch (interleaved order): mean %.2f\n",
+              report.mean_batch_samples_per_session);
+
+  std::printf("\n%-12s %-5s %8s %9s %8s %14s %8s\n", "feature", "cls",
+              "exact%", "partial%", "len", "DedupeFactor*", "dedup?");
+  std::printf("%s\n", std::string(72, '-').c_str());
+  const double s = report.mean_samples_per_session;
+  for (const auto& f : report.features) {
+    // Analytic factor using the measured exact-duplicate rate as a proxy
+    // for d(f) (§4.2).
+    const double d = f.exact_duplicate_pct / 100.0 * s / (s - 1.0);
+    const double factor = core::DedupeModel::DedupeFactor(
+        std::max(1.0, f.mean_length), 4096, s, std::min(d, 0.999));
+    std::printf("%-12s %-5s %8.1f %9.1f %8.1f %13.2fx %8s\n",
+                f.name.c_str(),
+                f.klass == datagen::FeatureClass::kUser ? "user" : "item",
+                f.exact_duplicate_pct, f.partial_duplicate_pct,
+                f.mean_length, factor,
+                factor > core::DedupeModel::kWorthItThreshold ? "yes" : "no");
+  }
+  std::printf("\nmean exact %.1f%%  mean partial %.1f%%  "
+              "(byte-weighted: %.1f%% / %.1f%%)\n",
+              report.mean_exact_pct, report.mean_partial_pct,
+              report.byte_weighted_exact_pct,
+              report.byte_weighted_partial_pct);
+  std::printf("* analytic model at B=4096 with measured S and d(f)\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "common/bytes.h"
+
+#include <cstring>
+
+namespace recd::common {
+
+namespace {
+template <typename T>
+void PutFixed(std::vector<std::byte>& buf, T v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+}  // namespace
+
+void ByteWriter::PutU32(std::uint32_t v) { PutFixed(buf_, v); }
+void ByteWriter::PutU64(std::uint64_t v) { PutFixed(buf_, v); }
+void ByteWriter::PutF32(float v) { PutFixed(buf_, v); }
+void ByteWriter::PutF64(double v) { PutFixed(buf_, v); }
+
+void ByteWriter::PutVarint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::byte>(v));
+}
+
+void ByteWriter::PutSVarint(std::int64_t v) { PutVarint(ZigZagEncode(v)); }
+
+void ByteWriter::PutString(std::string_view s) {
+  PutVarint(s.size());
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  buf_.insert(buf_.end(), p, p + s.size());
+}
+
+void ByteWriter::PutBytes(std::span<const std::byte> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteReader::Require(std::size_t n) const {
+  if (pos_ + n > data_.size()) {
+    throw ByteStreamError("ByteReader: read past end of buffer");
+  }
+}
+
+std::uint8_t ByteReader::GetU8() {
+  Require(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+namespace {
+template <typename T>
+T GetFixed(std::span<const std::byte> data, std::size_t& pos) {
+  T v;
+  std::memcpy(&v, data.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return v;
+}
+}  // namespace
+
+std::uint32_t ByteReader::GetU32() {
+  Require(4);
+  return GetFixed<std::uint32_t>(data_, pos_);
+}
+
+std::uint64_t ByteReader::GetU64() {
+  Require(8);
+  return GetFixed<std::uint64_t>(data_, pos_);
+}
+
+float ByteReader::GetF32() {
+  Require(4);
+  return GetFixed<float>(data_, pos_);
+}
+
+double ByteReader::GetF64() {
+  Require(8);
+  return GetFixed<double>(data_, pos_);
+}
+
+std::uint64_t ByteReader::GetVarint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    Require(1);
+    const auto b = static_cast<std::uint8_t>(data_[pos_++]);
+    if (shift >= 64) throw ByteStreamError("ByteReader: varint overflow");
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+std::int64_t ByteReader::GetSVarint() { return ZigZagDecode(GetVarint()); }
+
+std::string ByteReader::GetString() {
+  const std::size_t n = GetVarint();
+  Require(n);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::span<const std::byte> ByteReader::GetBytes(std::size_t n) {
+  Require(n);
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+}  // namespace recd::common

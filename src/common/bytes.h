@@ -1,0 +1,90 @@
+// Byte-stream serialization with varint / zigzag coding.
+//
+// Used by every subsystem that moves bytes: Scribe log framing, columnar
+// file streams, and reader→trainer tensor serialization (the paper's
+// over-the-network byte accounting depends on these encodings).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace recd::common {
+
+/// Append-only byte buffer with primitive encoders.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void PutU32(std::uint32_t v);
+  void PutU64(std::uint64_t v);
+  void PutF32(float v);
+  void PutF64(double v);
+
+  /// LEB128 unsigned varint (1-10 bytes).
+  void PutVarint(std::uint64_t v);
+  /// ZigZag-mapped signed varint; small magnitudes stay short.
+  void PutSVarint(std::int64_t v);
+  /// Length-prefixed string.
+  void PutString(std::string_view s);
+  /// Raw bytes, no length prefix.
+  void PutBytes(std::span<const std::byte> data);
+
+  [[nodiscard]] std::span<const std::byte> bytes() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::vector<std::byte> Take() && { return std::move(buf_); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Thrown when a ByteReader runs past the end of its buffer or decodes a
+/// malformed varint. Storage/Scribe surfaces this as data corruption.
+class ByteStreamError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Non-owning sequential decoder over a byte span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t GetU8();
+  [[nodiscard]] std::uint32_t GetU32();
+  [[nodiscard]] std::uint64_t GetU64();
+  [[nodiscard]] float GetF32();
+  [[nodiscard]] double GetF64();
+  [[nodiscard]] std::uint64_t GetVarint();
+  [[nodiscard]] std::int64_t GetSVarint();
+  [[nodiscard]] std::string GetString();
+  [[nodiscard]] std::span<const std::byte> GetBytes(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool AtEnd() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  void Require(std::size_t n) const;
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+/// ZigZag mapping helpers (exposed for the integer codecs).
+[[nodiscard]] constexpr std::uint64_t ZigZagEncode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+[[nodiscard]] constexpr std::int64_t ZigZagDecode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace recd::common

@@ -1,0 +1,75 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace recd::common {
+namespace {
+
+constexpr std::uint64_t kMul0 = 0xa0761d6478bd642fULL;
+constexpr std::uint64_t kMul1 = 0xe7037ed1a0b428dbULL;
+constexpr std::uint64_t kMul2 = 0x8ebc6af09c88c6e3ULL;
+
+// 128-bit multiply folded to 64 bits (the wyhash "mum" primitive).
+std::uint64_t Mum(std::uint64_t a, std::uint64_t b) noexcept {
+  const unsigned __int128 r =
+      static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+  return static_cast<std::uint64_t>(r) ^ static_cast<std::uint64_t>(r >> 64);
+}
+
+std::uint64_t Load64(const std::byte* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint64_t LoadTail(const std::byte* p, std::size_t n) noexcept {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, n);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t Mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashBytes(std::span<const std::byte> data,
+                        std::uint64_t seed) noexcept {
+  const std::byte* p = data.data();
+  std::size_t n = data.size();
+  std::uint64_t h = seed ^ Mum(n ^ kMul0, kMul1);
+  while (n >= 16) {
+    h = Mum(Load64(p) ^ kMul1, Load64(p + 8) ^ h);
+    p += 16;
+    n -= 16;
+  }
+  if (n >= 8) {
+    h = Mum(Load64(p) ^ kMul2, h);
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    h = Mum(LoadTail(p, n) ^ kMul0, h ^ static_cast<std::uint64_t>(n));
+  }
+  return Mix64(h);
+}
+
+std::uint64_t HashIds(std::span<const std::int64_t> ids,
+                      std::uint64_t seed) noexcept {
+  return HashBytes(std::as_bytes(ids), seed);
+}
+
+std::uint64_t HashString(std::string_view s, std::uint64_t seed) noexcept {
+  return HashBytes(
+      std::as_bytes(std::span<const char>(s.data(), s.size())), seed);
+}
+
+std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) noexcept {
+  return Mum(a ^ kMul1, b ^ kMul2);
+}
+
+}  // namespace recd::common

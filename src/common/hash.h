@@ -1,0 +1,36 @@
+// 64-bit non-cryptographic hashing for spans of trivially-copyable data.
+//
+// RecD detects duplicate feature values during feature conversion "via
+// hashing" (paper §6.3). The hot path hashes int64 ID lists, so the
+// implementation is a wyhash-style multiply-fold over 8-byte lanes: fast,
+// well-mixed, and deterministic across runs (required so that tests and
+// benchmarks are reproducible).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace recd::common {
+
+/// Mixes a 64-bit value (splitmix64 finalizer). Useful as an integer hash.
+[[nodiscard]] std::uint64_t Mix64(std::uint64_t x) noexcept;
+
+/// Hashes an arbitrary byte span with the given seed.
+[[nodiscard]] std::uint64_t HashBytes(std::span<const std::byte> data,
+                                      std::uint64_t seed = 0) noexcept;
+
+/// Hashes a span of 64-bit IDs (the dominant case: sparse feature lists).
+[[nodiscard]] std::uint64_t HashIds(std::span<const std::int64_t> ids,
+                                    std::uint64_t seed = 0) noexcept;
+
+/// Hashes a string (feature keys, shard keys).
+[[nodiscard]] std::uint64_t HashString(std::string_view s,
+                                       std::uint64_t seed = 0) noexcept;
+
+/// Combines two hashes order-dependently (for multi-feature group hashing).
+[[nodiscard]] std::uint64_t HashCombine(std::uint64_t a,
+                                        std::uint64_t b) noexcept;
+
+}  // namespace recd::common

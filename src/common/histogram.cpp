@@ -1,0 +1,84 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace recd::common {
+
+namespace {
+std::size_t BucketIndex(std::int64_t value) {
+  // value >= 1; bucket b covers [2^b, 2^(b+1)-1].
+  return static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(value)) - 1);
+}
+}  // namespace
+
+void Histogram::Add(std::int64_t value, std::int64_t count) {
+  if (value < 1) throw std::invalid_argument("Histogram::Add: value < 1");
+  if (count <= 0) return;
+  const std::size_t b = BucketIndex(value);
+  if (b >= counts_.size()) counts_.resize(b + 1, 0);
+  counts_[b] += count;
+  total_count_ += count;
+  total_sum_ += static_cast<double>(value) * static_cast<double>(count);
+  max_ = std::max(max_, value);
+}
+
+double Histogram::mean() const {
+  return total_count_ == 0 ? 0.0
+                           : total_sum_ / static_cast<double>(total_count_);
+}
+
+double Histogram::Percentile(double q) const {
+  if (total_count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_count_);
+  double seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const double next = seen + static_cast<double>(counts_[b]);
+    if (next >= target) {
+      const double lo = std::ldexp(1.0, static_cast<int>(b));
+      const double hi = std::ldexp(1.0, static_cast<int>(b) + 1) - 1.0;
+      const double frac =
+          counts_[b] == 0 ? 0.0 : (target - seen) / static_cast<double>(counts_[b]);
+      return lo + frac * (hi - lo);
+    }
+    seen = next;
+  }
+  return static_cast<double>(max_);
+}
+
+std::vector<Histogram::Bucket> Histogram::buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    Bucket bucket;
+    bucket.lo = static_cast<std::int64_t>(1) << b;
+    bucket.hi = (static_cast<std::int64_t>(1) << (b + 1)) - 1;
+    bucket.count = counts_[b];
+    out.push_back(bucket);
+  }
+  return out;
+}
+
+std::string Histogram::ToAscii(int width) const {
+  const auto bs = buckets();
+  std::int64_t peak = 1;
+  for (const auto& b : bs) peak = std::max(peak, b.count);
+  std::ostringstream os;
+  for (const auto& b : bs) {
+    const int bar = static_cast<int>(
+        std::llround(static_cast<double>(b.count) * width /
+                     static_cast<double>(peak)));
+    os << "[" << b.lo << "-" << b.hi << "]\t" << b.count << "\t"
+       << std::string(static_cast<std::size_t>(std::max(bar, b.count > 0 ? 1 : 0)), '#')
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace recd::common

@@ -1,0 +1,42 @@
+// Log-bucketed histogram for characterization plots (paper Figs 3 and 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace recd::common {
+
+/// Histogram over positive integer observations with power-of-two buckets
+/// ([1], [2-3], [4-7], ...). Tracks exact count, sum, and max so means and
+/// tails can be reported alongside the bucketed shape.
+class Histogram {
+ public:
+  void Add(std::int64_t value, std::int64_t count = 1);
+
+  [[nodiscard]] std::int64_t total_count() const { return total_count_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] std::int64_t max() const { return max_; }
+
+  /// Approximate percentile (q in [0,1]) from bucket boundaries.
+  [[nodiscard]] double Percentile(double q) const;
+
+  struct Bucket {
+    std::int64_t lo = 0;  // inclusive
+    std::int64_t hi = 0;  // inclusive
+    std::int64_t count = 0;
+  };
+  /// Non-empty buckets in ascending order.
+  [[nodiscard]] std::vector<Bucket> buckets() const;
+
+  /// Renders an ASCII bar chart (for bench harness output).
+  [[nodiscard]] std::string ToAscii(int width = 48) const;
+
+ private:
+  std::vector<std::int64_t> counts_;  // counts_[b] covers [2^b, 2^(b+1)-1]
+  std::int64_t total_count_ = 0;
+  double total_sum_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace recd::common

@@ -1,0 +1,56 @@
+// Deterministic random distributions used by the synthetic workload
+// generator.
+//
+// The session process needs heavy-tailed session sizes (paper Fig 3 shows
+// mean 16.5 with a tail beyond 1000 samples/session) and zipf-distributed
+// sparse IDs (standard DLRM access skew, cf. RecShard). All draws go
+// through a single seeded engine so every dataset is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace recd::common {
+
+/// Seeded pseudo-random source wrapping the distributions the workload
+/// generator needs. Not thread-safe; use one per generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t Uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double UniformReal();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  [[nodiscard]] bool Bernoulli(double p);
+
+  /// Log-normal sample with the given mean/sigma of the underlying normal.
+  [[nodiscard]] double LogNormal(double mu, double sigma);
+
+  /// Poisson sample with the given mean.
+  [[nodiscard]] std::int64_t Poisson(double mean);
+
+  /// Gaussian sample.
+  [[nodiscard]] double Gaussian(double mean, double stddev);
+
+  /// Zipf-distributed integer in [0, n) with exponent s (s > 0). Uses
+  /// rejection-inversion (Hörmann) so large n stays O(1) per sample.
+  [[nodiscard]] std::int64_t Zipf(std::int64_t n, double s);
+
+  /// Underlying engine access for std:: algorithms (e.g. std::shuffle).
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Samples a heavy-tailed session size (number of impressions) with the
+/// requested mean; min 1. Log-normal body plus occasional power-law tail,
+/// shaped to match the paper's Fig 3 (mean ~16.5, tail > 1000).
+[[nodiscard]] std::int64_t SampleSessionSize(Rng& rng, double mean);
+
+}  // namespace recd::common

@@ -1,0 +1,34 @@
+// Small online / batch statistics helpers used across benches and tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace recd::common {
+
+/// Welford online accumulator for mean/variance.
+class RunningStats {
+ public:
+  void Add(double x);
+  [[nodiscard]] std::int64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Exact percentile of a sample (copies + sorts; fine for bench reporting).
+[[nodiscard]] double Percentile(std::vector<double> xs, double q);
+
+/// Arithmetic mean; 0 for empty input.
+[[nodiscard]] double Mean(const std::vector<double>& xs);
+
+}  // namespace recd::common

@@ -1,0 +1,40 @@
+// Wall-clock stopwatch for reader stage timing (paper Fig 10 measures CPU
+// time per Fill/Convert/Process stage).
+#pragma once
+
+#include <chrono>
+
+namespace recd::common {
+
+/// Monotonic stopwatch; Start/Stop accumulate into a running total so a
+/// stage can be timed across many batches.
+class Stopwatch {
+ public:
+  void Start() { start_ = Clock::now(); }
+  void Stop() { total_ += Clock::now() - start_; }
+
+  /// Accumulated time in seconds.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(total_).count();
+  }
+  void Reset() { total_ = {}; }
+
+  /// RAII scope: times the enclosing block into the given stopwatch.
+  class Scope {
+   public:
+    explicit Scope(Stopwatch& sw) : sw_(sw) { sw_.Start(); }
+    ~Scope() { sw_.Stop(); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Stopwatch& sw_;
+  };
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_{};
+  Clock::duration total_{};
+};
+
+}  // namespace recd::common

@@ -1,0 +1,37 @@
+#include "compress/codec.h"
+
+#include <stdexcept>
+
+#include "compress/lz77.h"
+
+namespace recd::compress {
+
+std::vector<std::byte> IdentityCodec::Compress(
+    std::span<const std::byte> input) const {
+  return {input.begin(), input.end()};
+}
+
+std::vector<std::byte> IdentityCodec::Decompress(
+    std::span<const std::byte> input) const {
+  return {input.begin(), input.end()};
+}
+
+const Codec& GetCodec(CodecKind kind) {
+  static const IdentityCodec identity;
+  static const Lz77Codec lz77;
+  switch (kind) {
+    case CodecKind::kIdentity:
+      return identity;
+    case CodecKind::kLz77:
+      return lz77;
+  }
+  throw std::invalid_argument("GetCodec: unknown codec kind");
+}
+
+double CompressionRatio(std::size_t uncompressed, std::size_t compressed) {
+  if (compressed == 0) return 0.0;
+  return static_cast<double>(uncompressed) /
+         static_cast<double>(compressed);
+}
+
+}  // namespace recd::compress

@@ -1,0 +1,63 @@
+// Block compression codec interface.
+//
+// Stands in for zstd in the paper's pipeline: Scribe shard buffers and
+// DWRF stripe streams are compressed through this interface, so the
+// compression-ratio experiments (O1 sharding, O2 clustering, Fig 7
+// storage, Table 3 read bytes) measure real compressed sizes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace recd::compress {
+
+enum class CodecKind : std::uint8_t {
+  kIdentity = 0,  // no compression (baseline / incompressible streams)
+  kLz77 = 1,      // general-purpose LZ (zstd stand-in)
+};
+
+/// Abstract block codec. Implementations must be stateless across calls so
+/// one instance can be shared by all stripes/shards.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  /// Compresses a block. The output is self-contained (carries whatever
+  /// framing Decompress needs besides the codec identity).
+  [[nodiscard]] virtual std::vector<std::byte> Compress(
+      std::span<const std::byte> input) const = 0;
+
+  /// Inverse of Compress. Throws recd::common::ByteStreamError (or
+  /// std::runtime_error) on malformed input.
+  [[nodiscard]] virtual std::vector<std::byte> Decompress(
+      std::span<const std::byte> input) const = 0;
+
+  [[nodiscard]] virtual CodecKind kind() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Pass-through codec.
+class IdentityCodec final : public Codec {
+ public:
+  [[nodiscard]] std::vector<std::byte> Compress(
+      std::span<const std::byte> input) const override;
+  [[nodiscard]] std::vector<std::byte> Decompress(
+      std::span<const std::byte> input) const override;
+  [[nodiscard]] CodecKind kind() const override {
+    return CodecKind::kIdentity;
+  }
+  [[nodiscard]] std::string name() const override { return "identity"; }
+};
+
+/// Returns the process-wide shared instance for a codec kind.
+[[nodiscard]] const Codec& GetCodec(CodecKind kind);
+
+/// Convenience: compression ratio (uncompressed/compressed); 0 if empty.
+[[nodiscard]] double CompressionRatio(std::size_t uncompressed,
+                                      std::size_t compressed);
+
+}  // namespace recd::compress

@@ -1,0 +1,101 @@
+#include "compress/int_codec.h"
+
+#include <stdexcept>
+
+namespace recd::compress {
+
+namespace {
+
+void EncodeVarint(std::span<const std::int64_t> values,
+                  common::ByteWriter& out) {
+  for (const auto v : values) out.PutSVarint(v);
+}
+
+void EncodeDelta(std::span<const std::int64_t> values,
+                 common::ByteWriter& out) {
+  std::int64_t prev = 0;
+  for (const auto v : values) {
+    out.PutSVarint(v - prev);
+    prev = v;
+  }
+}
+
+void EncodeRle(std::span<const std::int64_t> values,
+               common::ByteWriter& out) {
+  std::size_t i = 0;
+  while (i < values.size()) {
+    std::size_t run = 1;
+    while (i + run < values.size() && values[i + run] == values[i]) ++run;
+    out.PutVarint(run);
+    out.PutSVarint(values[i]);
+    i += run;
+  }
+}
+
+}  // namespace
+
+void EncodeInts(std::span<const std::int64_t> values, IntEncoding encoding,
+                common::ByteWriter& out) {
+  out.PutU8(static_cast<std::uint8_t>(encoding));
+  out.PutVarint(values.size());
+  switch (encoding) {
+    case IntEncoding::kVarint:
+      EncodeVarint(values, out);
+      return;
+    case IntEncoding::kDeltaVarint:
+      EncodeDelta(values, out);
+      return;
+    case IntEncoding::kRle:
+      EncodeRle(values, out);
+      return;
+  }
+  throw std::invalid_argument("EncodeInts: unknown encoding");
+}
+
+void EncodeIntsAuto(std::span<const std::int64_t> values,
+                    common::ByteWriter& out) {
+  common::ByteWriter plain;
+  EncodeInts(values, IntEncoding::kVarint, plain);
+  common::ByteWriter delta;
+  EncodeInts(values, IntEncoding::kDeltaVarint, delta);
+  common::ByteWriter rle;
+  EncodeInts(values, IntEncoding::kRle, rle);
+  const common::ByteWriter* best = &plain;
+  if (delta.size() < best->size()) best = &delta;
+  if (rle.size() < best->size()) best = &rle;
+  out.PutBytes(best->bytes());
+}
+
+std::vector<std::int64_t> DecodeInts(common::ByteReader& in) {
+  const auto encoding = static_cast<IntEncoding>(in.GetU8());
+  const std::uint64_t count = in.GetVarint();
+  std::vector<std::int64_t> out;
+  out.reserve(count);
+  switch (encoding) {
+    case IntEncoding::kVarint:
+      for (std::uint64_t i = 0; i < count; ++i) out.push_back(in.GetSVarint());
+      return out;
+    case IntEncoding::kDeltaVarint: {
+      std::int64_t prev = 0;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        prev += in.GetSVarint();
+        out.push_back(prev);
+      }
+      return out;
+    }
+    case IntEncoding::kRle: {
+      while (out.size() < count) {
+        const std::uint64_t run = in.GetVarint();
+        const std::int64_t v = in.GetSVarint();
+        if (out.size() + run > count) {
+          throw common::ByteStreamError("DecodeInts: RLE run overflow");
+        }
+        out.insert(out.end(), run, v);
+      }
+      return out;
+    }
+  }
+  throw common::ByteStreamError("DecodeInts: unknown encoding tag");
+}
+
+}  // namespace recd::compress

@@ -1,0 +1,35 @@
+// Integer stream encodings for columnar storage (ORC/DWRF-style).
+//
+// Feature columns in the storage layer are int64 ID lists plus lengths;
+// encoding them as delta+varint (IDs are often sorted/clustered) or RLE
+// (lengths repeat) before block compression mirrors how DWRF encodes
+// streams before zstd.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace recd::compress {
+
+enum class IntEncoding : std::uint8_t {
+  kVarint = 0,       // plain zigzag varints
+  kDeltaVarint = 1,  // zigzag varint of successive differences
+  kRle = 2,          // (run_length, value) pairs
+};
+
+/// Encodes values with the chosen encoding into `out` (self-framing:
+/// leading encoding tag + count).
+void EncodeInts(std::span<const std::int64_t> values, IntEncoding encoding,
+                common::ByteWriter& out);
+
+/// Picks the smallest of the supported encodings for `values`.
+void EncodeIntsAuto(std::span<const std::int64_t> values,
+                    common::ByteWriter& out);
+
+/// Decodes a stream written by EncodeInts/EncodeIntsAuto.
+[[nodiscard]] std::vector<std::int64_t> DecodeInts(common::ByteReader& in);
+
+}  // namespace recd::compress

@@ -1,0 +1,124 @@
+#include "core/characterize.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace recd::core {
+
+namespace {
+
+/// Session id -> indices of its samples within the partition.
+std::unordered_map<std::int64_t, std::vector<std::size_t>> GroupBySession(
+    const std::vector<datagen::Sample>& partition) {
+  std::unordered_map<std::int64_t, std::vector<std::size_t>> sessions;
+  for (std::size_t i = 0; i < partition.size(); ++i) {
+    sessions[partition[i].session_id].push_back(i);
+  }
+  return sessions;
+}
+
+}  // namespace
+
+DuplicationReport AnalyzeDuplication(
+    const std::vector<datagen::Sample>& partition,
+    const datagen::DatasetSpec& spec, std::size_t batch_size) {
+  DuplicationReport report;
+  if (partition.empty()) return report;
+
+  const auto sessions = GroupBySession(partition);
+  for (const auto& [sid, indices] : sessions) {
+    report.samples_per_session.Add(
+        static_cast<std::int64_t>(indices.size()));
+  }
+  report.mean_samples_per_session = report.samples_per_session.mean();
+
+  // Fig 3 right: group within each consecutive batch of the partition's
+  // *current* order (interleaved unless clustered).
+  double batch_spc_sum = 0;
+  std::size_t num_batches = 0;
+  for (std::size_t start = 0; start < partition.size();
+       start += batch_size) {
+    const std::size_t end = std::min(partition.size(), start + batch_size);
+    std::unordered_map<std::int64_t, std::int64_t> counts;
+    for (std::size_t i = start; i < end; ++i) {
+      ++counts[partition[i].session_id];
+    }
+    for (const auto& [sid, count] : counts) {
+      report.batch_samples_per_session.Add(count);
+    }
+    batch_spc_sum += static_cast<double>(end - start) /
+                     static_cast<double>(counts.size());
+    ++num_batches;
+  }
+  report.mean_batch_samples_per_session =
+      num_batches == 0 ? 0.0 : batch_spc_sum / static_cast<double>(num_batches);
+
+  // Per-feature duplication across each session's samples.
+  const std::size_t num_features = spec.num_sparse();
+  report.features.resize(num_features);
+  double exact_sum = 0;
+  double partial_sum = 0;
+  double exact_ids_weighted = 0;
+  double partial_ids_weighted = 0;
+  double total_ids_all = 0;
+  for (std::size_t f = 0; f < num_features; ++f) {
+    auto& fd = report.features[f];
+    fd.name = spec.sparse[f].name;
+    fd.klass = spec.sparse[f].klass;
+    std::size_t exact_dups = 0;      // samples repeating an in-session list
+    std::size_t total_samples = 0;
+    std::size_t distinct_ids = 0;    // per-session distinct id values
+    std::size_t total_ids = 0;
+    for (const auto& [sid, indices] : sessions) {
+      std::unordered_set<std::uint64_t> seen_lists;
+      std::unordered_set<std::int64_t> seen_ids;
+      for (const auto i : indices) {
+        const auto& list = partition[i].sparse[f];
+        ++total_samples;
+        total_ids += list.size();
+        const std::uint64_t h = common::HashIds(list);
+        if (!seen_lists.insert(h).second) ++exact_dups;
+        for (const auto id : list) seen_ids.insert(id);
+      }
+      distinct_ids += seen_ids.size();
+    }
+    fd.exact_duplicate_pct =
+        total_samples == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(exact_dups) /
+                  static_cast<double>(total_samples);
+    fd.partial_duplicate_pct =
+        total_ids == 0 ? 0.0
+                       : 100.0 *
+                             static_cast<double>(total_ids - distinct_ids) /
+                             static_cast<double>(total_ids);
+    fd.total_ids = total_ids;
+    fd.mean_length = total_samples == 0
+                         ? 0.0
+                         : static_cast<double>(total_ids) /
+                               static_cast<double>(total_samples);
+    exact_sum += fd.exact_duplicate_pct;
+    partial_sum += fd.partial_duplicate_pct;
+    exact_ids_weighted +=
+        fd.exact_duplicate_pct * static_cast<double>(total_ids);
+    partial_ids_weighted +=
+        fd.partial_duplicate_pct * static_cast<double>(total_ids);
+    total_ids_all += static_cast<double>(total_ids);
+  }
+  report.mean_exact_pct = exact_sum / static_cast<double>(num_features);
+  report.mean_partial_pct = partial_sum / static_cast<double>(num_features);
+  if (total_ids_all > 0) {
+    report.byte_weighted_exact_pct = exact_ids_weighted / total_ids_all;
+    report.byte_weighted_partial_pct = partial_ids_weighted / total_ids_all;
+  }
+  std::sort(report.features.begin(), report.features.end(),
+            [](const FeatureDuplication& a, const FeatureDuplication& b) {
+              return a.exact_duplicate_pct > b.exact_duplicate_pct;
+            });
+  return report;
+}
+
+}  // namespace recd::core

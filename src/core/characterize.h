@@ -1,0 +1,47 @@
+// Dataset duplication characterization (paper §3, Figs 3 and 4).
+//
+// Measures, over a partition of samples: the samples-per-session
+// distribution (partition-wide and within training batches) and, per
+// sparse feature, the fraction of exact-duplicate values and of
+// partially-duplicated IDs across each session's samples — including the
+// byte-weighted aggregates the paper reports (81.6% / 89.4%).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "datagen/sample.h"
+#include "datagen/schema.h"
+
+namespace recd::core {
+
+struct FeatureDuplication {
+  std::string name;
+  datagen::FeatureClass klass = datagen::FeatureClass::kUser;
+  double exact_duplicate_pct = 0;    // % samples whose list repeats in-session
+  double partial_duplicate_pct = 0;  // % IDs shared within the session
+  double mean_length = 0;
+  std::size_t total_ids = 0;         // feature volume (bytes / 8)
+};
+
+struct DuplicationReport {
+  common::Histogram samples_per_session;       // Fig 3 left
+  common::Histogram batch_samples_per_session; // Fig 3 right
+  double mean_samples_per_session = 0;
+  double mean_batch_samples_per_session = 0;
+
+  std::vector<FeatureDuplication> features;    // Fig 4, sorted descending
+  double mean_exact_pct = 0;                   // unweighted feature mean
+  double mean_partial_pct = 0;
+  double byte_weighted_exact_pct = 0;          // ID-volume weighted
+  double byte_weighted_partial_pct = 0;
+};
+
+/// Analyzes one partition. `batch_size` drives the Fig 3-right view
+/// (sessions per training batch under the partition's current order).
+[[nodiscard]] DuplicationReport AnalyzeDuplication(
+    const std::vector<datagen::Sample>& partition,
+    const datagen::DatasetSpec& spec, std::size_t batch_size = 4096);
+
+}  // namespace recd::core

@@ -1,0 +1,28 @@
+#include "core/dedupe_model.h"
+
+#include <stdexcept>
+
+namespace recd::core {
+
+double DedupeModel::DedupeLen(double mean_length, double batch_size,
+                              double samples_per_session,
+                              double stay_prob) {
+  if (mean_length <= 0 || batch_size <= 0 || samples_per_session < 1) {
+    throw std::invalid_argument("DedupeLen: parameters must be positive");
+  }
+  if (stay_prob < 0 || stay_prob > 1) {
+    throw std::invalid_argument("DedupeLen: stay_prob must be in [0,1]");
+  }
+  const double s = samples_per_session;
+  return mean_length * batch_size * (1.0 - (s - 1.0) / s * stay_prob);
+}
+
+double DedupeModel::DedupeFactor(double mean_length, double batch_size,
+                                 double samples_per_session,
+                                 double stay_prob) {
+  const double dedup_len =
+      DedupeLen(mean_length, batch_size, samples_per_session, stay_prob);
+  return mean_length * batch_size / dedup_len;
+}
+
+}  // namespace recd::core

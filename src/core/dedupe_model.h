@@ -1,0 +1,30 @@
+// The paper's analytical deduplication model (§4.2, "Using IKJTs").
+//
+//   DedupeLen(f)    = l(f) * B * (1 - (S-1) * S^-1 * d(f))
+//   DedupeFactor(f) = l(f) * B / DedupeLen(f)
+//
+// where S = samples per session, B = batch size, d(f) = probability the
+// feature's value stays the same across adjacent rows, l(f) = average
+// list length. ML engineers deduplicate features with factor > ~1.5 (§7).
+#pragma once
+
+namespace recd::core {
+
+struct DedupeModel {
+  /// Expected deduplicated values-slice length for one batch.
+  [[nodiscard]] static double DedupeLen(double mean_length,
+                                        double batch_size,
+                                        double samples_per_session,
+                                        double stay_prob);
+
+  /// Expected ratio of original to deduplicated values length (>= 1).
+  [[nodiscard]] static double DedupeFactor(double mean_length,
+                                           double batch_size,
+                                           double samples_per_session,
+                                           double stay_prob);
+
+  /// The paper's rule-of-thumb threshold for deduplicating a feature.
+  static constexpr double kWorthItThreshold = 1.5;
+};
+
+}  // namespace recd::core

@@ -1,0 +1,162 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "train/model.h"
+
+namespace recd::core {
+
+PipelineRunner::PipelineRunner(datagen::DatasetSpec dataset,
+                               train::ModelConfig model,
+                               train::ClusterSpec cluster,
+                               PipelineOptions options)
+    : dataset_(std::move(dataset)),
+      model_(std::move(model)),
+      cluster_(cluster),
+      options_(options) {
+  datagen::TrafficGenerator generator(dataset_);
+  traffic_ = generator.Generate(options_.num_samples);
+  samples_ = etl::JoinLogs(traffic_.features, traffic_.events);
+}
+
+PipelineResult PipelineRunner::Run(const RecdConfig& config) {
+  PipelineResult result;
+
+  // ---- O1: Scribe sharding + compression. ----------------------------
+  scribe::ScribeCluster scribe_cluster(
+      options_.num_scribe_shards,
+      config.shard_by_session ? scribe::ShardKeyPolicy::kSessionId
+                              : scribe::ShardKeyPolicy::kRandomHash);
+  for (const auto& log : traffic_.features) {
+    scribe_cluster.LogFeature(log);
+  }
+  for (const auto& log : traffic_.events) scribe_cluster.LogEvent(log);
+  scribe_cluster.Flush();
+  result.scribe_compression_ratio =
+      scribe_cluster.totals().compression_ratio();
+
+  // ---- ETL: join (pre-joined in ctor) + downsample (§7) + O2 ----------
+  // clustering + landing.
+  std::vector<datagen::Sample> samples = samples_;
+  if (config.downsample != etl::DownsampleMode::kNone) {
+    samples = etl::Downsample(samples, config.downsample,
+                              config.downsample_keep_rate, dataset_.seed);
+  }
+  if (config.cluster_by_session) etl::ClusterBySession(samples);
+  result.samples_per_session = etl::MeanSamplesPerSession(samples);
+  auto partitions =
+      etl::PartitionByCount(std::move(samples), options_.samples_per_partition);
+
+  storage::StorageSchema schema;
+  schema.num_dense = dataset_.num_dense;
+  for (const auto& f : dataset_.sparse) schema.sparse_names.push_back(f.name);
+  storage::BlobStore store;
+  storage::WriterOptions wopts;
+  wopts.rows_per_stripe = options_.rows_per_stripe;
+  const auto landed =
+      storage::LandTable(store, "table", schema, partitions, wopts);
+  result.storage_compression_ratio = landed.compression_ratio();
+  result.stored_bytes = landed.stored_bytes;
+
+  // ---- Reader tier (O3/O4) feeding the trainer (O5-O7). ---------------
+  train::ModelConfig model = model_;
+  if (config.emb_dim_override.has_value()) {
+    model.emb_dim = *config.emb_dim_override;
+  }
+  auto loader =
+      train::MakeDataLoaderConfig(model, config.batch_size, config.use_ikjt);
+  // A representative preprocessing pipeline: hash the first dedup-able
+  // feature group and normalize dense inputs.
+  if (!model.elementwise_features.empty()) {
+    loader.transforms.push_back({reader::TransformKind::kSparseHash,
+                                 model.elementwise_features.front(),
+                                 1'000'003, 0});
+  }
+  for (const auto& group : model.sequence_groups) {
+    loader.transforms.push_back(
+        {reader::TransformKind::kSparseHash, group.features.front(),
+         1'000'003, 0});
+  }
+  loader.transforms.push_back(
+      {reader::TransformKind::kDenseNormalize, "", 0.0, 1.0});
+
+  reader::ReaderOptions ropts;
+  ropts.use_ikjt = config.use_ikjt;
+  reader::Reader rdr(store, landed.table, loader, ropts);
+
+  train::TrainerSim trainer(model, cluster_, config.trainer,
+                            options_.trainer_scale);
+  double spc_sum = 0;
+  double values_before = 0;
+  double values_after = 0;
+  std::size_t iterations = 0;
+  train::IterationBreakdown accum;
+  while (auto batch = rdr.NextBatch()) {
+    spc_sum += batch->SamplesPerSession();
+    for (const auto& stats : batch->group_stats) {
+      values_before += static_cast<double>(stats.values_before);
+      values_after += static_cast<double>(stats.values_after);
+    }
+    if (iterations < options_.max_trainer_batches &&
+        batch->batch_size == config.batch_size) {
+      const auto it = trainer.SimulateIteration(*batch);
+      if (iterations == 0) {
+        accum = it;
+      } else {
+        accum.emb_s += it.emb_s;
+        accum.gemm_s += it.gemm_s;
+        accum.a2a_exposed_s += it.a2a_exposed_s;
+        accum.other_s += it.other_s;
+        accum.a2a_raw_s += it.a2a_raw_s;
+        accum.sdd_bytes += it.sdd_bytes;
+        accum.emb_a2a_bytes += it.emb_a2a_bytes;
+        accum.lookups += it.lookups;
+        accum.flops += it.flops;
+        accum.flops_logical += it.flops_logical;
+        accum.mem_util_max = std::max(accum.mem_util_max, it.mem_util_max);
+        accum.mem_util_avg += it.mem_util_avg;
+        accum.dynamic_mem_bytes =
+            std::max(accum.dynamic_mem_bytes, it.dynamic_mem_bytes);
+      }
+      ++iterations;
+    }
+  }
+  const std::size_t batches = rdr.io().batches_produced;
+  result.batch_samples_per_session =
+      batches == 0 ? 0.0 : spc_sum / static_cast<double>(batches);
+  result.mean_dedupe_factor =
+      values_after == 0 ? 1.0 : values_before / values_after;
+  result.reader_times = rdr.times();
+  result.reader_io = rdr.io();
+  const double reader_s = rdr.times().total_s();
+  result.reader_rows_per_second =
+      reader_s == 0 ? 0.0
+                    : static_cast<double>(rdr.io().rows_read) / reader_s;
+
+  if (iterations > 0) {
+    const double inv = 1.0 / static_cast<double>(iterations);
+    accum.emb_s *= inv;
+    accum.gemm_s *= inv;
+    accum.a2a_exposed_s *= inv;
+    accum.other_s *= inv;
+    accum.a2a_raw_s *= inv;
+    accum.sdd_bytes *= inv;
+    accum.emb_a2a_bytes *= inv;
+    accum.lookups *= inv;
+    accum.flops *= inv;
+    accum.flops_logical *= inv;
+    accum.mem_util_avg *= iterations > 1 ? inv : 1.0;
+    accum.qps = accum.global_batch_rows / accum.total_s();
+    accum.achieved_flops_per_gpu =
+        accum.flops / accum.total_s() /
+        static_cast<double>(cluster_.num_gpus);
+    accum.logical_flops_per_gpu =
+        accum.flops_logical / accum.total_s() /
+        static_cast<double>(cluster_.num_gpus);
+    result.trainer = accum;
+    result.trainer_qps = accum.qps;
+  }
+  return result;
+}
+
+}  // namespace recd::core

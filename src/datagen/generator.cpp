@@ -1,0 +1,178 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/hash.h"
+
+namespace recd::datagen {
+
+std::size_t DatasetSpec::FeatureIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < sparse.size(); ++i) {
+    if (sparse[i].name == name) return i;
+  }
+  throw std::out_of_range("DatasetSpec: unknown feature " + name);
+}
+
+namespace {
+
+std::int64_t DrawId(const SparseFeatureSpec& spec, common::Rng& rng) {
+  return rng.Zipf(spec.id_domain, spec.zipf_s);
+}
+
+std::size_t DrawLength(const SparseFeatureSpec& spec, common::Rng& rng) {
+  // Poisson around the mean, at least 1, so l(f) is honored on average.
+  return static_cast<std::size_t>(
+      std::max<std::int64_t>(1, rng.Poisson(spec.mean_length)));
+}
+
+}  // namespace
+
+SessionState::SessionState(const DatasetSpec& spec, common::Rng& rng,
+                           std::int64_t session_id,
+                           std::int64_t planned_impressions)
+    : spec_(&spec),
+      session_id_(session_id),
+      remaining_(planned_impressions),
+      current_(spec.num_sparse()) {
+  for (std::size_t f = 0; f < spec.num_sparse(); ++f) InitFeature(f, rng);
+  session_dense_.resize(spec.num_dense);
+  for (auto& v : session_dense_) {
+    v = static_cast<float>(rng.Gaussian(0.0, 1.0));
+  }
+}
+
+void SessionState::InitFeature(std::size_t f, common::Rng& rng) {
+  const auto& fs = spec_->sparse[f];
+  auto& list = current_[f];
+  list.clear();
+  const std::size_t len = DrawLength(fs, rng);
+  list.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) list.push_back(DrawId(fs, rng));
+}
+
+void SessionState::UpdateFeature(std::size_t f, common::Rng& rng) {
+  const auto& fs = spec_->sparse[f];
+  auto& list = current_[f];
+  switch (fs.update) {
+    case UpdateKind::kShiftAppend: {
+      // Sliding window: drop the oldest element, append a new one —
+      // the paper's partial-duplication mechanism (lists are shifts).
+      if (!list.empty()) list.erase(list.begin());
+      list.push_back(DrawId(fs, rng));
+      return;
+    }
+    case UpdateKind::kRedraw:
+      InitFeature(f, rng);
+      return;
+  }
+}
+
+FeatureLog SessionState::NextImpression(common::Rng& rng,
+                                        std::int64_t request_id,
+                                        std::int64_t timestamp) {
+  if (remaining_ <= 0) {
+    throw std::logic_error("SessionState: session already exhausted");
+  }
+  --remaining_;
+
+  // One change draw per sync group per impression, so grouped features
+  // update in lockstep (grouped-IKJT premise). Groups adopt the minimum
+  // stay_prob among members.
+  std::vector<int> group_changed;  // -1 unknown, 0 stay, 1 change
+  for (std::size_t f = 0; f < spec_->num_sparse(); ++f) {
+    const auto& fs = spec_->sparse[f];
+    bool change;
+    if (fs.sync_group >= 0) {
+      const auto g = static_cast<std::size_t>(fs.sync_group);
+      if (g >= group_changed.size()) group_changed.resize(g + 1, -1);
+      if (group_changed[g] < 0) {
+        group_changed[g] = rng.Bernoulli(1.0 - fs.stay_prob) ? 1 : 0;
+      }
+      change = group_changed[g] == 1;
+    } else {
+      change = rng.Bernoulli(1.0 - fs.stay_prob);
+    }
+    if (change) UpdateFeature(f, rng);
+  }
+
+  FeatureLog log;
+  log.request_id = request_id;
+  log.session_id = session_id_;
+  log.timestamp = timestamp;
+  log.sparse = current_;  // copy: the log is immutable once emitted
+  log.dense = session_dense_;
+  if (!log.dense.empty()) {
+    // First dense slot carries per-impression variation (e.g. time).
+    log.dense[0] = static_cast<float>(rng.Gaussian(0.0, 1.0));
+  }
+  return log;
+}
+
+float ClickProbability(const FeatureLog& log) {
+  // Hidden linear model over hash-derived id weights: deterministic,
+  // learnable signal for the accuracy experiments.
+  double score = 0.0;
+  if (!log.sparse.empty()) {
+    const auto& first = log.sparse.front();
+    for (const auto id : log.sparse.front()) {
+      const auto h = common::Mix64(static_cast<std::uint64_t>(id));
+      score += (static_cast<double>(h % 2000) / 1000.0 - 1.0);
+    }
+    if (!first.empty()) score /= static_cast<double>(first.size());
+  }
+  if (!log.dense.empty()) score += 0.5 * static_cast<double>(log.dense[0]);
+  score -= 1.0;  // skew toward negative labels (realistic CTR regime)
+  return static_cast<float>(1.0 / (1.0 + std::exp(-score)));
+}
+
+TrafficGenerator::TrafficGenerator(DatasetSpec spec)
+    : spec_(std::move(spec)), rng_(spec_.seed) {
+  if (spec_.concurrent_sessions == 0) {
+    throw std::invalid_argument(
+        "TrafficGenerator: concurrent_sessions must be positive");
+  }
+}
+
+void TrafficGenerator::Refill() {
+  while (active_.size() < spec_.concurrent_sessions) {
+    const std::int64_t size =
+        common::SampleSessionSize(rng_, spec_.mean_session_size);
+    active_.emplace_back(spec_, rng_, next_session_id_++, size);
+  }
+}
+
+TrafficGenerator::Traffic TrafficGenerator::Generate(
+    std::size_t num_samples) {
+  Traffic out;
+  out.features.reserve(num_samples);
+  out.events.reserve(num_samples);
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    Refill();
+    const std::size_t pick = static_cast<std::size_t>(
+        rng_.Uniform(0, static_cast<std::int64_t>(active_.size()) - 1));
+    auto& session = active_[pick];
+    const std::int64_t request_id = next_request_id_++;
+    const std::int64_t ts = ++clock_;
+    FeatureLog flog = session.NextImpression(rng_, request_id, ts);
+
+    EventLog elog;
+    elog.request_id = request_id;
+    elog.session_id = flog.session_id;
+    // Outcomes land slightly after the impression.
+    elog.timestamp = ts + rng_.Uniform(1, 50);
+    elog.label = rng_.Bernoulli(ClickProbability(flog)) ? 1.0f : 0.0f;
+
+    out.features.push_back(std::move(flog));
+    out.events.push_back(elog);
+
+    if (session.remaining() == 0) {
+      std::swap(active_[pick], active_.back());
+      active_.pop_back();
+    }
+  }
+  return out;
+}
+
+}  // namespace recd::datagen

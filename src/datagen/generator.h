@@ -1,0 +1,81 @@
+// Session-centric traffic generator.
+//
+// Emits the two raw log streams an industrial pipeline joins into
+// training samples (paper Fig 1): FeatureLogs from inference servers and
+// EventLogs from impression outcomes. Sessions are interleaved the way
+// production traffic interleaves them — many concurrent sessions, each
+// emitting impressions over time — which is precisely why, before RecD's
+// clustering, a 4096-sample batch holds only ~1.15 samples per session
+// (Fig 3 right).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/sample.h"
+#include "datagen/schema.h"
+
+namespace recd::datagen {
+
+/// Evolving per-session feature state. Exposed for tests; normal users go
+/// through TrafficGenerator.
+class SessionState {
+ public:
+  SessionState(const DatasetSpec& spec, common::Rng& rng,
+               std::int64_t session_id, std::int64_t planned_impressions);
+
+  /// Advances the session by one impression: user features stay unchanged
+  /// with their per-feature probability d(f) (sync groups draw once per
+  /// group); item features re-draw. Returns the logged features.
+  [[nodiscard]] FeatureLog NextImpression(common::Rng& rng,
+                                          std::int64_t request_id,
+                                          std::int64_t timestamp);
+
+  [[nodiscard]] std::int64_t session_id() const { return session_id_; }
+  [[nodiscard]] std::int64_t remaining() const { return remaining_; }
+
+ private:
+  void InitFeature(std::size_t f, common::Rng& rng);
+  void UpdateFeature(std::size_t f, common::Rng& rng);
+
+  const DatasetSpec* spec_;
+  std::int64_t session_id_;
+  std::int64_t remaining_;
+  std::vector<std::vector<Id>> current_;  // per feature
+  std::vector<float> session_dense_;      // per-session dense baseline
+};
+
+/// Ground-truth click model: the label depends deterministically on the
+/// sample's features through hidden hash-derived weights, so models have
+/// real signal to learn (used by the accuracy experiment).
+[[nodiscard]] float ClickProbability(const FeatureLog& log);
+
+class TrafficGenerator {
+ public:
+  explicit TrafficGenerator(DatasetSpec spec);
+
+  struct Traffic {
+    std::vector<FeatureLog> features;
+    std::vector<EventLog> events;  // same order, same request ids
+  };
+
+  /// Generates `num_samples` impressions in global timestamp order,
+  /// round-robining over a pool of concurrent sessions.
+  [[nodiscard]] Traffic Generate(std::size_t num_samples);
+
+  [[nodiscard]] const DatasetSpec& spec() const { return spec_; }
+
+ private:
+  void Refill();
+
+  DatasetSpec spec_;
+  common::Rng rng_;
+  std::vector<SessionState> active_;
+  std::int64_t next_session_id_ = 1;
+  std::int64_t next_request_id_ = 1;
+  std::int64_t clock_ = 0;
+};
+
+}  // namespace recd::datagen

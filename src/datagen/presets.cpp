@@ -1,0 +1,185 @@
+#include "datagen/presets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace recd::datagen {
+
+namespace {
+
+std::size_t Scaled(double base, double scale, std::size_t min_value) {
+  return std::max<std::size_t>(
+      min_value, static_cast<std::size_t>(std::llround(base * scale)));
+}
+
+void AddSequenceFeatures(DatasetSpec& spec, std::size_t count,
+                         std::size_t groups, double mean_length,
+                         double stay_prob, int first_group) {
+  for (std::size_t i = 0; i < count; ++i) {
+    SparseFeatureSpec f;
+    f.name = "seq_" + std::to_string(i);
+    f.klass = FeatureClass::kUser;
+    f.update = UpdateKind::kShiftAppend;
+    f.mean_length = std::max(8.0, mean_length);
+    f.stay_prob = stay_prob;
+    f.id_domain = 1'000'000;
+    f.sync_group = first_group + static_cast<int>(i % groups);
+    spec.sparse.push_back(std::move(f));
+  }
+}
+
+void AddElementwiseFeatures(DatasetSpec& spec, std::size_t count,
+                            double mean_length) {
+  for (std::size_t i = 0; i < count; ++i) {
+    SparseFeatureSpec f;
+    f.name = "user_" + std::to_string(i);
+    f.klass = FeatureClass::kUser;
+    // Mix of window and set-like user features across a band of
+    // stay-probabilities (0.85 - 0.99).
+    f.update = i % 3 == 0 ? UpdateKind::kRedraw : UpdateKind::kShiftAppend;
+    f.mean_length =
+        std::max(2.0, mean_length * (0.5 + static_cast<double>(i % 5) * 0.25));
+    f.stay_prob = 0.85 + 0.14 * (static_cast<double>(i % 8) / 7.0);
+    f.id_domain = 200'000;
+    f.sync_group = -1;
+    spec.sparse.push_back(std::move(f));
+  }
+}
+
+void AddItemFeatures(DatasetSpec& spec, std::size_t count,
+                     double mean_length) {
+  for (std::size_t i = 0; i < count; ++i) {
+    SparseFeatureSpec f;
+    f.name = "item_" + std::to_string(i);
+    f.klass = FeatureClass::kItem;
+    f.update = UpdateKind::kRedraw;
+    f.mean_length = std::max(2.0, mean_length);
+    // Item features change almost every impression (paper §3: many
+    // different items are ranked within a session).
+    f.stay_prob = 0.05;
+    f.id_domain = 5'000'000;
+    f.sync_group = -1;
+    spec.sparse.push_back(std::move(f));
+  }
+}
+
+}  // namespace
+
+DatasetSpec RmDataset(RmKind kind, double scale, std::uint64_t seed) {
+  if (scale <= 0.0 || scale > 1.0) {
+    throw std::invalid_argument("RmDataset: scale must be in (0, 1]");
+  }
+  DatasetSpec spec;
+  spec.seed = seed;
+  spec.num_dense = 16;
+  spec.mean_session_size = 16.5;
+  spec.concurrent_sessions = Scaled(4096, scale, 64);
+  switch (kind) {
+    case RmKind::kRm1:
+      // 16 long sequence features deduplicated in 5 groups + ~100
+      // element-wise pooled features + item features.
+      AddSequenceFeatures(spec, 16, 5, 128 * scale, 0.91, 0);
+      AddElementwiseFeatures(spec, Scaled(100, scale, 12), 16 * scale);
+      AddItemFeatures(spec, Scaled(16, scale, 4), 8 * scale);
+      break;
+    case RmKind::kRm2:
+      // Same table as RM1 (same session stats), 6 sequence features in
+      // one group; fewer/shorter sequences than RM1.
+      AddSequenceFeatures(spec, 6, 1, 96 * scale, 0.95, 0);
+      AddElementwiseFeatures(spec, Scaled(100, scale, 12), 16 * scale);
+      AddItemFeatures(spec, Scaled(16, scale, 4), 8 * scale);
+      break;
+    case RmKind::kRm3:
+      // Different table: fewer samples per session (paper §6.1 notes
+      // RM3's table compresses less), 11 sequence features in one group.
+      spec.mean_session_size = 8.0;
+      AddSequenceFeatures(spec, 11, 1, 96 * scale, 0.93, 0);
+      AddElementwiseFeatures(spec, Scaled(100, scale, 12), 12 * scale);
+      AddItemFeatures(spec, Scaled(20, scale, 4), 8 * scale);
+      break;
+  }
+  return spec;
+}
+
+DatasetSpec CharacterizationDataset(std::size_t num_features, double scale,
+                                    std::uint64_t seed) {
+  if (num_features < 8) {
+    throw std::invalid_argument(
+        "CharacterizationDataset: need at least 8 features");
+  }
+  DatasetSpec spec;
+  spec.seed = seed;
+  spec.num_dense = 8;
+  spec.mean_session_size = 16.5;
+  spec.concurrent_sessions = Scaled(4096, scale, 64);
+
+  // ~80% user features spanning stay-prob 0.80..0.995 and a range of
+  // lengths (longer features slightly more static, matching the paper's
+  // byte-weighted observation), ~20% item features.
+  const std::size_t num_user = num_features * 4 / 5;
+  for (std::size_t i = 0; i < num_user; ++i) {
+    SparseFeatureSpec f;
+    f.name = "user_" + std::to_string(i);
+    f.klass = FeatureClass::kUser;
+    f.update = i % 2 == 0 ? UpdateKind::kShiftAppend : UpdateKind::kRedraw;
+    const double t = static_cast<double>(i) / static_cast<double>(num_user);
+    f.stay_prob = 0.80 + 0.195 * t;
+    f.mean_length = (4.0 + 60.0 * t * t) * scale;
+    f.mean_length = std::max(2.0, f.mean_length);
+    f.id_domain = 1'000'000;
+    f.sync_group = -1;
+    spec.sparse.push_back(std::move(f));
+  }
+  for (std::size_t i = num_user; i < num_features; ++i) {
+    SparseFeatureSpec f;
+    f.name = "item_" + std::to_string(i - num_user);
+    f.klass = FeatureClass::kItem;
+    f.update = UpdateKind::kRedraw;
+    f.stay_prob = 0.02 + 0.3 * (static_cast<double>(i - num_user) /
+                                static_cast<double>(num_features - num_user));
+    f.mean_length = std::max(2.0, 6.0 * scale);
+    f.id_domain = 5'000'000;
+    f.sync_group = -1;
+    spec.sparse.push_back(std::move(f));
+  }
+  return spec;
+}
+
+std::vector<std::vector<std::string>> RmDedupGroups(RmKind kind,
+                                                    const DatasetSpec& spec) {
+  std::size_t groups = 0;
+  switch (kind) {
+    case RmKind::kRm1:
+      groups = 5;
+      break;
+    case RmKind::kRm2:
+    case RmKind::kRm3:
+      groups = 1;
+      break;
+  }
+  std::vector<std::vector<std::string>> out(groups);
+  for (const auto& f : spec.sparse) {
+    if (f.sync_group >= 0 &&
+        static_cast<std::size_t>(f.sync_group) < groups) {
+      out[static_cast<std::size_t>(f.sync_group)].push_back(f.name);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> RmElementwiseDedupFeatures(RmKind /*kind*/,
+                                                    const DatasetSpec& spec) {
+  std::vector<std::string> out;
+  for (const auto& f : spec.sparse) {
+    // Element-wise pooled user features with high duplication are worth
+    // deduplicating (paper: DedupeFactor > 1.5 heuristic).
+    if (f.klass == FeatureClass::kUser && f.sync_group < 0 &&
+        f.stay_prob >= 0.85) {
+      out.push_back(f.name);
+    }
+  }
+  return out;
+}
+
+}  // namespace recd::datagen

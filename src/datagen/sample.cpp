@@ -1,0 +1,96 @@
+#include "datagen/sample.h"
+
+namespace recd::datagen {
+
+namespace {
+
+void PutSparse(const std::vector<std::vector<Id>>& sparse,
+               common::ByteWriter& out) {
+  out.PutVarint(sparse.size());
+  for (const auto& list : sparse) {
+    out.PutVarint(list.size());
+    for (const auto id : list) out.PutSVarint(id);
+  }
+}
+
+std::vector<std::vector<Id>> GetSparse(common::ByteReader& in) {
+  const std::uint64_t n = in.GetVarint();
+  std::vector<std::vector<Id>> sparse(n);
+  for (auto& list : sparse) {
+    const std::uint64_t len = in.GetVarint();
+    list.reserve(len);
+    for (std::uint64_t i = 0; i < len; ++i) list.push_back(in.GetSVarint());
+  }
+  return sparse;
+}
+
+void PutDense(const std::vector<float>& dense, common::ByteWriter& out) {
+  out.PutVarint(dense.size());
+  for (const auto v : dense) out.PutF32(v);
+}
+
+std::vector<float> GetDense(common::ByteReader& in) {
+  const std::uint64_t n = in.GetVarint();
+  std::vector<float> dense;
+  dense.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) dense.push_back(in.GetF32());
+  return dense;
+}
+
+}  // namespace
+
+void SerializeFeatureLog(const FeatureLog& log, common::ByteWriter& out) {
+  out.PutSVarint(log.request_id);
+  out.PutSVarint(log.session_id);
+  out.PutSVarint(log.timestamp);
+  PutDense(log.dense, out);
+  PutSparse(log.sparse, out);
+}
+
+FeatureLog DeserializeFeatureLog(common::ByteReader& in) {
+  FeatureLog log;
+  log.request_id = in.GetSVarint();
+  log.session_id = in.GetSVarint();
+  log.timestamp = in.GetSVarint();
+  log.dense = GetDense(in);
+  log.sparse = GetSparse(in);
+  return log;
+}
+
+void SerializeEventLog(const EventLog& log, common::ByteWriter& out) {
+  out.PutSVarint(log.request_id);
+  out.PutSVarint(log.session_id);
+  out.PutSVarint(log.timestamp);
+  out.PutF32(log.label);
+}
+
+EventLog DeserializeEventLog(common::ByteReader& in) {
+  EventLog log;
+  log.request_id = in.GetSVarint();
+  log.session_id = in.GetSVarint();
+  log.timestamp = in.GetSVarint();
+  log.label = in.GetF32();
+  return log;
+}
+
+void SerializeSample(const Sample& sample, common::ByteWriter& out) {
+  out.PutSVarint(sample.request_id);
+  out.PutSVarint(sample.session_id);
+  out.PutSVarint(sample.timestamp);
+  out.PutF32(sample.label);
+  PutDense(sample.dense, out);
+  PutSparse(sample.sparse, out);
+}
+
+Sample DeserializeSample(common::ByteReader& in) {
+  Sample s;
+  s.request_id = in.GetSVarint();
+  s.session_id = in.GetSVarint();
+  s.timestamp = in.GetSVarint();
+  s.label = in.GetF32();
+  s.dense = GetDense(in);
+  s.sparse = GetSparse(in);
+  return s;
+}
+
+}  // namespace recd::datagen

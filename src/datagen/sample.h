@@ -1,0 +1,57 @@
+// Log and sample records flowing through the pipeline.
+//
+// Inference servers log features at request time (to avoid data leakage,
+// §2.1); user-facing services log impression outcomes; the ETL join
+// produces labeled Samples. Sparse values are aligned to the
+// DatasetSpec's feature order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "tensor/jagged.h"
+
+namespace recd::datagen {
+
+using tensor::Id;
+
+/// Features captured at inference time, keyed by request.
+struct FeatureLog {
+  std::int64_t request_id = 0;
+  std::int64_t session_id = 0;
+  std::int64_t timestamp = 0;
+  std::vector<float> dense;
+  std::vector<std::vector<Id>> sparse;  // aligned to DatasetSpec::sparse
+};
+
+/// Impression outcome (e.g. click) keyed by request.
+struct EventLog {
+  std::int64_t request_id = 0;
+  std::int64_t session_id = 0;
+  std::int64_t timestamp = 0;
+  float label = 0;
+};
+
+/// Labeled training sample (output of the ETL join).
+struct Sample {
+  std::int64_t request_id = 0;
+  std::int64_t session_id = 0;
+  std::int64_t timestamp = 0;
+  float label = 0;
+  std::vector<float> dense;
+  std::vector<std::vector<Id>> sparse;
+
+  [[nodiscard]] bool operator==(const Sample&) const = default;
+};
+
+/// Row-wise serialization used by Scribe framing and tests. (Columnar
+/// storage uses its own stripe encoding.)
+void SerializeFeatureLog(const FeatureLog& log, common::ByteWriter& out);
+[[nodiscard]] FeatureLog DeserializeFeatureLog(common::ByteReader& in);
+void SerializeEventLog(const EventLog& log, common::ByteWriter& out);
+[[nodiscard]] EventLog DeserializeEventLog(common::ByteReader& in);
+void SerializeSample(const Sample& sample, common::ByteWriter& out);
+[[nodiscard]] Sample DeserializeSample(common::ByteReader& in);
+
+}  // namespace recd::datagen

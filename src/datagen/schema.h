@@ -1,0 +1,70 @@
+// Dataset schema for the synthetic session-centric workload.
+//
+// This is the substitution for the paper's O(100 PB) production dataset
+// (DESIGN.md §1): duplication is *generated* by the same process that
+// causes it in production — user features that rarely change within a
+// session — rather than being injected artificially. Every quantity the
+// paper's analytical model uses (S, l(f), d(f)) is an explicit knob.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace recd::datagen {
+
+/// User features reflect user state (largely static within a session);
+/// item features reflect the ranked item (change almost every impression).
+/// Paper §3 characterizes the duplication split between the two.
+enum class FeatureClass : std::uint8_t { kUser, kItem };
+
+/// How a feature's value evolves when it *does* change.
+enum class UpdateKind : std::uint8_t {
+  kShiftAppend,  // sliding window: drop oldest, append newest (sequences)
+  kRedraw,       // resample the whole list (set-like features)
+};
+
+struct SparseFeatureSpec {
+  std::string name;
+  FeatureClass klass = FeatureClass::kUser;
+  UpdateKind update = UpdateKind::kShiftAppend;
+
+  /// Mean list length l(f).
+  double mean_length = 32;
+
+  /// Probability the value remains unchanged between adjacent impressions
+  /// of a session — the paper's d(f).
+  double stay_prob = 0.9;
+
+  /// Categorical ID domain size and zipf skew for value draws.
+  std::int64_t id_domain = 1'000'000;
+  double zipf_s = 1.05;
+
+  /// Features sharing a sync_group >= 0 update on the same impressions
+  /// (the paper's grouped-IKJT premise, e.g. item-ID + seller-ID of the
+  /// same cart sequence). -1 = independent.
+  int sync_group = -1;
+};
+
+struct DatasetSpec {
+  std::vector<SparseFeatureSpec> sparse;
+  std::size_t num_dense = 8;
+
+  /// Mean samples per session, the paper's S (16.5 in the characterized
+  /// production partition).
+  double mean_session_size = 16.5;
+
+  /// How many sessions are concurrently active in the traffic stream;
+  /// controls how interleaved the log order is (paper Fig 3 right: only
+  /// 1.15 samples/session inside a 4096 batch at production interleave).
+  std::size_t concurrent_sessions = 4096;
+
+  std::uint64_t seed = 0x00c0ffee;
+
+  [[nodiscard]] std::size_t num_sparse() const { return sparse.size(); }
+
+  /// Index of a feature by name; throws std::out_of_range if absent.
+  [[nodiscard]] std::size_t FeatureIndex(const std::string& name) const;
+};
+
+}  // namespace recd::datagen

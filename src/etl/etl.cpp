@@ -1,0 +1,103 @@
+#include "etl/etl.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace recd::etl {
+
+std::vector<datagen::Sample> JoinLogs(
+    const std::vector<datagen::FeatureLog>& features,
+    const std::vector<datagen::EventLog>& events) {
+  std::unordered_map<std::int64_t, const datagen::EventLog*> by_request;
+  by_request.reserve(events.size());
+  for (const auto& e : events) by_request.emplace(e.request_id, &e);
+
+  std::vector<datagen::Sample> out;
+  out.reserve(features.size());
+  for (const auto& f : features) {
+    const auto it = by_request.find(f.request_id);
+    if (it == by_request.end()) continue;
+    datagen::Sample s;
+    s.request_id = f.request_id;
+    s.session_id = f.session_id;
+    s.timestamp = f.timestamp;
+    s.label = it->second->label;
+    s.dense = f.dense;
+    s.sparse = f.sparse;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void ClusterBySession(std::vector<datagen::Sample>& samples) {
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const datagen::Sample& a, const datagen::Sample& b) {
+                     if (a.session_id != b.session_id) {
+                       return a.session_id < b.session_id;
+                     }
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
+std::vector<datagen::Sample> Downsample(
+    const std::vector<datagen::Sample>& samples, DownsampleMode mode,
+    double keep_rate, std::uint64_t seed) {
+  if (keep_rate < 0.0 || keep_rate > 1.0) {
+    throw std::invalid_argument("Downsample: keep_rate must be in [0,1]");
+  }
+  if (mode == DownsampleMode::kNone) return samples;
+  // Deterministic coin flips derived from (seed, key) so the decision for
+  // a session is consistent no matter where its samples appear.
+  const auto keep = [&](std::int64_t key) {
+    const std::uint64_t h =
+        common::Mix64(seed ^ static_cast<std::uint64_t>(key));
+    return static_cast<double>(h % (1ULL << 53)) /
+               static_cast<double>(1ULL << 53) <
+           keep_rate;
+  };
+  std::vector<datagen::Sample> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) {
+    const std::int64_t key =
+        mode == DownsampleMode::kPerSample ? s.request_id : s.session_id;
+    if (keep(key)) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::vector<datagen::Sample>> PartitionByCount(
+    std::vector<datagen::Sample> samples,
+    std::size_t samples_per_partition) {
+  if (samples_per_partition == 0) {
+    throw std::invalid_argument(
+        "PartitionByCount: partition size must be positive");
+  }
+  std::vector<std::vector<datagen::Sample>> out;
+  std::vector<datagen::Sample> current;
+  current.reserve(samples_per_partition);
+  for (auto& s : samples) {
+    current.push_back(std::move(s));
+    if (current.size() == samples_per_partition) {
+      out.push_back(std::move(current));
+      current = {};
+      current.reserve(samples_per_partition);
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+double MeanSamplesPerSession(const std::vector<datagen::Sample>& samples) {
+  if (samples.empty()) return 0.0;
+  std::unordered_set<std::int64_t> sessions;
+  sessions.reserve(samples.size());
+  for (const auto& s : samples) sessions.insert(s.session_id);
+  return static_cast<double>(samples.size()) /
+         static_cast<double>(sessions.size());
+}
+
+}  // namespace recd::etl

@@ -1,0 +1,51 @@
+// ETL: join raw logs into labeled samples and order them for dedup.
+//
+// Paper §2.1/§4.1: streaming engines join feature logs with event logs to
+// produce labeled samples landed into hourly Hive partitions. RecD adds
+// the O2 clustering job — CLUSTER BY session_id SORT BY timestamp — so a
+// session's samples sit adjacently, which is what lets stripes compress
+// and batches deduplicate. §7 additionally proposes *per-session*
+// downsampling, which (unlike per-sample) preserves S.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/sample.h"
+
+namespace recd::etl {
+
+/// Hash-joins feature logs and event logs on request_id, producing one
+/// labeled sample per matched pair, ordered by feature-log time (the
+/// production default: inference order, sessions interleaved). Unmatched
+/// logs are dropped (late/lost events happen in production too).
+[[nodiscard]] std::vector<datagen::Sample> JoinLogs(
+    const std::vector<datagen::FeatureLog>& features,
+    const std::vector<datagen::EventLog>& events);
+
+/// O2: clusters samples by session id, ordering each session's samples by
+/// timestamp. Stable so equal keys keep their relative order.
+void ClusterBySession(std::vector<datagen::Sample>& samples);
+
+/// §7 "Boosting Dedupe Factors": how the dataset is thinned.
+enum class DownsampleMode {
+  kNone,
+  kPerSample,   // baseline: coin flip per sample (reduces S)
+  kPerSession,  // RecD proposal: coin flip per session (preserves S)
+};
+
+/// Keeps roughly `keep_rate` of samples under the given policy.
+[[nodiscard]] std::vector<datagen::Sample> Downsample(
+    const std::vector<datagen::Sample>& samples, DownsampleMode mode,
+    double keep_rate, std::uint64_t seed);
+
+/// Splits a sample stream into fixed-size "hourly" partitions in arrival
+/// order (the time-partitioned Hive landing from Fig 1).
+[[nodiscard]] std::vector<std::vector<datagen::Sample>> PartitionByCount(
+    std::vector<datagen::Sample> samples, std::size_t samples_per_partition);
+
+/// Mean samples-per-session of a sample stream (the paper's S).
+[[nodiscard]] double MeanSamplesPerSession(
+    const std::vector<datagen::Sample>& samples);
+
+}  // namespace recd::etl

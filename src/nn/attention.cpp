@@ -1,0 +1,80 @@
+#include "nn/attention.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace recd::nn {
+
+void SelfAttentionPooling::PoolRow(std::span<const float> seq,
+                                   std::size_t len, std::span<float> out) {
+  if (out.size() != dim_) {
+    throw std::invalid_argument("SelfAttentionPooling: bad output size");
+  }
+  std::fill(out.begin(), out.end(), 0.0f);
+  if (len == 0) return;
+  if (seq.size() != len * dim_) {
+    throw std::invalid_argument("SelfAttentionPooling: bad sequence size");
+  }
+  const float inv_sqrt_d =
+      1.0f / std::sqrt(static_cast<float>(dim_));
+
+  // scores = seq seq^T / sqrt(d), softmax per row, pooled = mean over
+  // rows of scores * seq.
+  std::vector<float> scores(len * len);
+  for (std::size_t i = 0; i < len; ++i) {
+    const float* qi = seq.data() + i * dim_;
+    float row_max = -1e30f;
+    for (std::size_t j = 0; j < len; ++j) {
+      const float* kj = seq.data() + j * dim_;
+      float dot = 0.0f;
+      for (std::size_t c = 0; c < dim_; ++c) dot += qi[c] * kj[c];
+      const float s = dot * inv_sqrt_d;
+      scores[i * len + j] = s;
+      row_max = std::max(row_max, s);
+    }
+    float denom = 0.0f;
+    for (std::size_t j = 0; j < len; ++j) {
+      float& s = scores[i * len + j];
+      s = std::exp(s - row_max);
+      denom += s;
+    }
+    const float inv = 1.0f / denom;
+    for (std::size_t j = 0; j < len; ++j) scores[i * len + j] *= inv;
+  }
+  const float inv_len = 1.0f / static_cast<float>(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    for (std::size_t j = 0; j < len; ++j) {
+      const float a = scores[i * len + j] * inv_len;
+      const float* vj = seq.data() + j * dim_;
+      for (std::size_t c = 0; c < dim_; ++c) out[c] += a * vj[c];
+    }
+  }
+  // QK^T and AV are each 2*L^2*d flops; softmax ~5 flops per score.
+  stats_.flops += 4ull * len * len * dim_ + 5ull * len * len;
+  stats_.bytes_read += 2ull * len * dim_ * sizeof(float);
+  stats_.bytes_written += dim_ * sizeof(float);
+  peak_score_bytes_ =
+      std::max(peak_score_bytes_, scores.size() * sizeof(float));
+}
+
+DenseMatrix SelfAttentionPooling::Forward(const tensor::JaggedTensor& batch,
+                                          const DenseMatrix& seq_emb) {
+  if (seq_emb.rows() != batch.total_values() || seq_emb.cols() != dim_) {
+    throw std::invalid_argument(
+        "SelfAttentionPooling::Forward: embedding shape mismatch");
+  }
+  DenseMatrix out(batch.num_rows(), dim_);
+  std::size_t pos = 0;
+  for (std::size_t r = 0; r < batch.num_rows(); ++r) {
+    const auto len = static_cast<std::size_t>(batch.length(r));
+    const std::span<const float> seq =
+        seq_emb.data().subspan(pos * dim_, len * dim_);
+    PoolRow(seq, len, out.row(r));
+    pos += len;
+  }
+  return out;
+}
+
+}  // namespace recd::nn

@@ -1,0 +1,54 @@
+// Self-attention sequence pooling (the paper's "transformer pooling").
+//
+// Recent DLRMs pool long user-history sequences with attention (§2.2);
+// its L² compute is exactly what RecD's O7 deduplicates — running the
+// module once per *unique* row and expanding the pooled output through
+// the shared inverse_lookup. The math here is real (softmax(QK^T/√d)·V
+// with Q=K=V=sequence embeddings), so the KJT and IKJT paths can be
+// checked for exact agreement, and the flop counters drive the modeled
+// GEMM savings in Fig 8/9.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "nn/dense_matrix.h"
+#include "nn/op_stats.h"
+#include "tensor/jagged.h"
+
+namespace recd::nn {
+
+class SelfAttentionPooling {
+ public:
+  explicit SelfAttentionPooling(std::size_t dim) : dim_(dim) {}
+
+  /// Pools one row's sequence embeddings `seq` (len x dim, row-major)
+  /// into `out` (dim): scores = softmax(seq seq^T / sqrt(dim)) followed
+  /// by mean over positions of scores * seq. Empty sequences pool to 0.
+  void PoolRow(std::span<const float> seq, std::size_t len,
+               std::span<float> out);
+
+  /// Pools every row of a jagged batch given its concatenated sequence
+  /// embeddings (`seq_emb` rows align with batch values order). Returns
+  /// batch-rows x dim.
+  [[nodiscard]] DenseMatrix Forward(const tensor::JaggedTensor& batch,
+                                    const DenseMatrix& seq_emb);
+
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  [[nodiscard]] const OpStats& stats() const { return stats_; }
+  /// Peak transient memory (score matrix) over all Forward calls.
+  [[nodiscard]] std::size_t peak_score_bytes() const {
+    return peak_score_bytes_;
+  }
+  void ResetStats() {
+    stats_ = {};
+    peak_score_bytes_ = 0;
+  }
+
+ private:
+  std::size_t dim_;
+  OpStats stats_;
+  std::size_t peak_score_bytes_ = 0;
+};
+
+}  // namespace recd::nn

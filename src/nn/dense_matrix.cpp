@@ -1,0 +1,66 @@
+#include "nn/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace recd::nn {
+
+DenseMatrix DenseMatrix::Xavier(std::size_t rows, std::size_t cols,
+                                common::Rng& rng) {
+  DenseMatrix m(rows, cols);
+  const double scale =
+      std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (auto& v : m.data_) {
+    v = static_cast<float>((rng.UniformReal() * 2.0 - 1.0) * scale);
+  }
+  return m;
+}
+
+void MatmulABt(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("MatmulABt: inner dimension mismatch");
+  }
+  c = DenseMatrix(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto ar = a.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const auto br = b.row(j);
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += ar[k] * br[k];
+      c.at(i, j) = acc;
+    }
+  }
+}
+
+void MatmulAB(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("MatmulAB: inner dimension mismatch");
+  }
+  c = DenseMatrix(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto ar = a.row(i);
+    auto cr = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float av = ar[k];
+      if (av == 0.0f) continue;
+      const auto br = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) cr[j] += av * br[j];
+    }
+  }
+}
+
+float MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("MaxAbsDiff: shape mismatch");
+  }
+  float max_diff = 0.0f;
+  const auto da = a.data();
+  const auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(da[i] - db[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace recd::nn

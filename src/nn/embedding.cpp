@@ -1,0 +1,110 @@
+#include "nn/embedding.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace recd::nn {
+
+EmbeddingTable::EmbeddingTable(std::size_t hash_size, std::size_t dim,
+                               common::Rng& rng) {
+  if (hash_size == 0 || dim == 0) {
+    throw std::invalid_argument("EmbeddingTable: zero hash_size or dim");
+  }
+  weights_ = DenseMatrix::Xavier(hash_size, dim, rng);
+}
+
+std::size_t EmbeddingTable::RowIndex(tensor::Id id) const {
+  const auto u = static_cast<std::uint64_t>(id);
+  return static_cast<std::size_t>(u % weights_.rows());
+}
+
+std::span<const float> EmbeddingTable::Lookup(tensor::Id id) const {
+  return weights_.row(RowIndex(id));
+}
+
+DenseMatrix EmbeddingTable::PooledForward(const tensor::JaggedTensor& batch,
+                                          PoolingKind pooling) {
+  const std::size_t d = dim();
+  DenseMatrix out(batch.num_rows(), d);
+  for (std::size_t r = 0; r < batch.num_rows(); ++r) {
+    const auto ids = batch.row(r);
+    auto orow = out.row(r);
+    if (ids.empty()) continue;
+    switch (pooling) {
+      case PoolingKind::kSum:
+      case PoolingKind::kMean: {
+        for (const auto id : ids) {
+          const auto w = Lookup(id);
+          for (std::size_t c = 0; c < d; ++c) orow[c] += w[c];
+        }
+        if (pooling == PoolingKind::kMean) {
+          const float inv = 1.0f / static_cast<float>(ids.size());
+          for (std::size_t c = 0; c < d; ++c) orow[c] *= inv;
+        }
+        break;
+      }
+      case PoolingKind::kMax: {
+        std::copy(Lookup(ids[0]).begin(), Lookup(ids[0]).end(),
+                  orow.begin());
+        for (std::size_t i = 1; i < ids.size(); ++i) {
+          const auto w = Lookup(ids[i]);
+          for (std::size_t c = 0; c < d; ++c) {
+            orow[c] = std::max(orow[c], w[c]);
+          }
+        }
+        break;
+      }
+    }
+  }
+  stats_.lookups += batch.total_values();
+  stats_.flops += 2ull * batch.total_values() * d;
+  stats_.bytes_read += batch.total_values() * d * sizeof(float);
+  stats_.bytes_written += out.byte_size();
+  return out;
+}
+
+DenseMatrix EmbeddingTable::SequenceForward(
+    const tensor::JaggedTensor& batch) {
+  const std::size_t d = dim();
+  DenseMatrix out(batch.total_values(), d);
+  std::size_t pos = 0;
+  for (std::size_t r = 0; r < batch.num_rows(); ++r) {
+    for (const auto id : batch.row(r)) {
+      const auto w = Lookup(id);
+      std::copy(w.begin(), w.end(), out.row(pos).begin());
+      ++pos;
+    }
+  }
+  stats_.lookups += batch.total_values();
+  stats_.bytes_read += batch.total_values() * d * sizeof(float);
+  stats_.bytes_written += out.byte_size();
+  return out;
+}
+
+void EmbeddingTable::ApplyPooledGradient(const tensor::JaggedTensor& batch,
+                                         const DenseMatrix& grad,
+                                         PoolingKind pooling, float lr) {
+  if (grad.rows() != batch.num_rows() || grad.cols() != dim()) {
+    throw std::invalid_argument(
+        "EmbeddingTable::ApplyPooledGradient: shape mismatch");
+  }
+  if (pooling == PoolingKind::kMax) {
+    throw std::invalid_argument(
+        "EmbeddingTable: max pooling backward unsupported");
+  }
+  for (std::size_t r = 0; r < batch.num_rows(); ++r) {
+    const auto ids = batch.row(r);
+    if (ids.empty()) continue;
+    const auto g = grad.row(r);
+    const float scale =
+        pooling == PoolingKind::kMean
+            ? lr / static_cast<float>(ids.size())
+            : lr;
+    for (const auto id : ids) {
+      auto w = weights_.row(RowIndex(id));
+      for (std::size_t c = 0; c < w.size(); ++c) w[c] -= scale * g[c];
+    }
+  }
+}
+
+}  // namespace recd::nn

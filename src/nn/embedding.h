@@ -1,0 +1,63 @@
+// Embedding tables with pooled lookups — the sparse half of a DLRM.
+//
+// EMBs translate each sparse ID into a dense vector; a pooling function
+// aggregates a row's vectors (paper §2.2). RecD's O5 performs lookups on
+// *deduplicated* values slices, cutting lookups, activation memory, and
+// memory bandwidth by DedupeFactor(f); the trainer simulation exercises
+// both paths through this class and tests assert they agree exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/dense_matrix.h"
+#include "nn/op_stats.h"
+#include "tensor/jagged.h"
+
+namespace recd::nn {
+
+enum class PoolingKind : std::uint8_t { kSum, kMean, kMax };
+
+class EmbeddingTable {
+ public:
+  /// `hash_size` rows of `dim` floats; IDs are mapped by modulo (the
+  /// standard hash-trick used when the raw domain exceeds table rows).
+  EmbeddingTable(std::size_t hash_size, std::size_t dim, common::Rng& rng);
+
+  [[nodiscard]] std::size_t hash_size() const { return weights_.rows(); }
+  [[nodiscard]] std::size_t dim() const { return weights_.cols(); }
+  [[nodiscard]] std::size_t param_bytes() const {
+    return weights_.byte_size();
+  }
+
+  /// Row view for one ID.
+  [[nodiscard]] std::span<const float> Lookup(tensor::Id id) const;
+
+  /// Pooled lookup over a jagged batch: out(r, :) = pool(rows of batch r).
+  /// Empty rows pool to zero.
+  [[nodiscard]] DenseMatrix PooledForward(const tensor::JaggedTensor& batch,
+                                          PoolingKind pooling);
+
+  /// Un-pooled lookup: concatenated sequence embeddings, one row per
+  /// value in the jagged batch (feeds attention pooling).
+  [[nodiscard]] DenseMatrix SequenceForward(const tensor::JaggedTensor& batch);
+
+  /// Sparse SGD for sum/mean pooling: applies -lr * grad(r) to every ID
+  /// of row r (scaled by 1/len for mean). Max pooling is forward-only.
+  void ApplyPooledGradient(const tensor::JaggedTensor& batch,
+                           const DenseMatrix& grad, PoolingKind pooling,
+                           float lr);
+
+  [[nodiscard]] const OpStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
+
+ private:
+  [[nodiscard]] std::size_t RowIndex(tensor::Id id) const;
+
+  DenseMatrix weights_;
+  OpStats stats_;
+};
+
+}  // namespace recd::nn

@@ -1,0 +1,82 @@
+#include "nn/interaction.h"
+
+#include <stdexcept>
+
+namespace recd::nn {
+
+std::size_t FeatureInteraction::OutputDim(std::size_t num_inputs,
+                                          std::size_t dim) {
+  return dim + num_inputs * (num_inputs - 1) / 2;
+}
+
+DenseMatrix FeatureInteraction::Forward(
+    const std::vector<const DenseMatrix*>& inputs) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("FeatureInteraction: no inputs");
+  }
+  const std::size_t rows = inputs[0]->rows();
+  const std::size_t d = inputs[0]->cols();
+  for (const auto* m : inputs) {
+    if (m->rows() != rows || m->cols() != d) {
+      throw std::invalid_argument("FeatureInteraction: shape mismatch");
+    }
+  }
+  const std::size_t f = inputs.size();
+  DenseMatrix out(rows, OutputDim(f, d));
+  for (std::size_t r = 0; r < rows; ++r) {
+    auto orow = out.row(r);
+    const auto base = inputs[0]->row(r);
+    std::copy(base.begin(), base.end(), orow.begin());
+    std::size_t k = d;
+    for (std::size_t i = 0; i < f; ++i) {
+      const auto xi = inputs[i]->row(r);
+      for (std::size_t j = i + 1; j < f; ++j) {
+        const auto xj = inputs[j]->row(r);
+        float dot = 0.0f;
+        for (std::size_t c = 0; c < d; ++c) dot += xi[c] * xj[c];
+        orow[k++] = dot;
+      }
+    }
+  }
+  stats_.flops += 2ull * rows * d * (f * (f - 1) / 2);
+  stats_.bytes_written += out.byte_size();
+  return out;
+}
+
+void FeatureInteraction::Backward(
+    const DenseMatrix& grad_out,
+    const std::vector<const DenseMatrix*>& inputs,
+    std::vector<DenseMatrix>& grad_inputs) {
+  const std::size_t rows = inputs[0]->rows();
+  const std::size_t d = inputs[0]->cols();
+  const std::size_t f = inputs.size();
+  if (grad_out.rows() != rows || grad_out.cols() != OutputDim(f, d)) {
+    throw std::invalid_argument(
+        "FeatureInteraction::Backward: grad shape mismatch");
+  }
+  grad_inputs.assign(f, DenseMatrix(rows, d));
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto g = grad_out.row(r);
+    // Pass-through of the copied x_0 block.
+    auto g0 = grad_inputs[0].row(r);
+    for (std::size_t c = 0; c < d; ++c) g0[c] += g[c];
+    std::size_t k = d;
+    for (std::size_t i = 0; i < f; ++i) {
+      const auto xi = inputs[i]->row(r);
+      auto gi = grad_inputs[i].row(r);
+      for (std::size_t j = i + 1; j < f; ++j) {
+        const auto xj = inputs[j]->row(r);
+        auto gj = grad_inputs[j].row(r);
+        const float gd = g[k++];
+        if (gd == 0.0f) continue;
+        for (std::size_t c = 0; c < d; ++c) {
+          gi[c] += gd * xj[c];
+          gj[c] += gd * xi[c];
+        }
+      }
+    }
+  }
+  stats_.flops += 4ull * rows * d * (f * (f - 1) / 2);
+}
+
+}  // namespace recd::nn

@@ -1,0 +1,45 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace recd::nn {
+
+float Sigmoid(float x) {
+  if (x >= 0.0f) {
+    return 1.0f / (1.0f + std::exp(-x));
+  }
+  const float e = std::exp(x);
+  return e / (1.0f + e);
+}
+
+float BceWithLogitsLoss(const DenseMatrix& logits,
+                        std::span<const float> labels) {
+  if (logits.rows() != labels.size() || logits.cols() != 1) {
+    throw std::invalid_argument("BceWithLogitsLoss: shape mismatch");
+  }
+  // loss = max(z,0) - z*y + log(1 + exp(-|z|)) (stable form).
+  double total = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const float z = logits.at(r, 0);
+    const float y = labels[r];
+    total += std::max(z, 0.0f) - z * y +
+             std::log1p(std::exp(-std::abs(z)));
+  }
+  return static_cast<float>(total / static_cast<double>(logits.rows()));
+}
+
+DenseMatrix BceWithLogitsGrad(const DenseMatrix& logits,
+                              std::span<const float> labels) {
+  if (logits.rows() != labels.size() || logits.cols() != 1) {
+    throw std::invalid_argument("BceWithLogitsGrad: shape mismatch");
+  }
+  DenseMatrix grad(logits.rows(), 1);
+  const float inv_n = 1.0f / static_cast<float>(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    grad.at(r, 0) = (Sigmoid(logits.at(r, 0)) - labels[r]) * inv_n;
+  }
+  return grad;
+}
+
+}  // namespace recd::nn

@@ -1,0 +1,22 @@
+// Binary cross-entropy with logits (the CTR objective).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/dense_matrix.h"
+
+namespace recd::nn {
+
+/// Numerically-stable sigmoid.
+[[nodiscard]] float Sigmoid(float x);
+
+/// Mean BCE-with-logits loss over a batch. `logits` is rows x 1.
+[[nodiscard]] float BceWithLogitsLoss(const DenseMatrix& logits,
+                                      std::span<const float> labels);
+
+/// dL/dlogits for the mean BCE loss: (sigmoid(z) - y) / N, rows x 1.
+[[nodiscard]] DenseMatrix BceWithLogitsGrad(const DenseMatrix& logits,
+                                            std::span<const float> labels);
+
+}  // namespace recd::nn

@@ -1,0 +1,123 @@
+#include "nn/mlp.h"
+
+#include <stdexcept>
+
+namespace recd::nn {
+
+Linear::Linear(std::size_t in_dim, std::size_t out_dim, bool relu,
+               common::Rng& rng)
+    : w_(DenseMatrix::Xavier(out_dim, in_dim, rng)),
+      b_(out_dim, 0.0f),
+      relu_(relu),
+      grad_w_(out_dim, in_dim),
+      grad_b_(out_dim, 0.0f) {}
+
+DenseMatrix Linear::Forward(const DenseMatrix& x) {
+  if (x.cols() != w_.cols()) {
+    throw std::invalid_argument("Linear::Forward: input dim mismatch");
+  }
+  last_input_ = x;
+  DenseMatrix y;
+  MatmulABt(x, w_, y);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    auto yr = y.row(r);
+    for (std::size_t c = 0; c < y.cols(); ++c) yr[c] += b_[c];
+  }
+  last_pre_act_ = y;
+  if (relu_) {
+    for (auto& v : y.data()) {
+      if (v < 0.0f) v = 0.0f;
+    }
+  }
+  stats_.flops += 2ull * x.rows() * x.cols() * w_.rows();
+  stats_.bytes_read += (x.byte_size() + w_.byte_size());
+  stats_.bytes_written += y.byte_size();
+  return y;
+}
+
+DenseMatrix Linear::Backward(const DenseMatrix& grad_out) {
+  if (grad_out.rows() != last_input_.rows() ||
+      grad_out.cols() != w_.rows()) {
+    throw std::invalid_argument("Linear::Backward: grad shape mismatch");
+  }
+  DenseMatrix g = grad_out;
+  if (relu_) {
+    const auto pre = last_pre_act_.data();
+    auto gd = g.data();
+    for (std::size_t i = 0; i < gd.size(); ++i) {
+      if (pre[i] <= 0.0f) gd[i] = 0.0f;
+    }
+  }
+  // dW += g^T X ; db += colsum g ; dX = g W
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    const auto gr = g.row(r);
+    const auto xr = last_input_.row(r);
+    for (std::size_t o = 0; o < w_.rows(); ++o) {
+      const float gv = gr[o];
+      if (gv == 0.0f) continue;
+      auto wr = grad_w_.row(o);
+      for (std::size_t i = 0; i < w_.cols(); ++i) wr[i] += gv * xr[i];
+      grad_b_[o] += gv;
+    }
+  }
+  DenseMatrix grad_in;
+  MatmulAB(g, w_, grad_in);
+  stats_.flops += 4ull * g.rows() * g.cols() * w_.cols();
+  return grad_in;
+}
+
+void Linear::Step(float lr) {
+  auto wd = w_.data();
+  const auto gw = grad_w_.data();
+  for (std::size_t i = 0; i < wd.size(); ++i) wd[i] -= lr * gw[i];
+  for (std::size_t i = 0; i < b_.size(); ++i) b_[i] -= lr * grad_b_[i];
+  grad_w_.Fill(0.0f);
+  std::fill(grad_b_.begin(), grad_b_.end(), 0.0f);
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, common::Rng& rng) {
+  if (dims.size() < 2) {
+    throw std::invalid_argument("Mlp: need at least input and output dims");
+  }
+  layers_.reserve(dims.size() - 1);
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    const bool relu = i + 2 < dims.size();
+    layers_.emplace_back(dims[i], dims[i + 1], relu, rng);
+  }
+}
+
+DenseMatrix Mlp::Forward(const DenseMatrix& x) {
+  DenseMatrix h = x;
+  for (auto& layer : layers_) h = layer.Forward(h);
+  return h;
+}
+
+DenseMatrix Mlp::Backward(const DenseMatrix& grad_out) {
+  DenseMatrix g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = it->Backward(g);
+  }
+  return g;
+}
+
+void Mlp::Step(float lr) {
+  for (auto& layer : layers_) layer.Step(lr);
+}
+
+std::size_t Mlp::num_params() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) n += layer.num_params();
+  return n;
+}
+
+OpStats Mlp::stats() const {
+  OpStats s;
+  for (const auto& layer : layers_) s += layer.stats();
+  return s;
+}
+
+void Mlp::ResetStats() {
+  for (auto& layer : layers_) layer.ResetStats();
+}
+
+}  // namespace recd::nn

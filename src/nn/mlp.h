@@ -1,0 +1,76 @@
+// Multilayer perceptron with forward and backward passes.
+//
+// DLRMs are "primarily MLPs and embedding tables" (paper §2.2): a bottom
+// MLP transforms dense features to embedding dimensionality and a top MLP
+// maps interactions to the logit. Backward is real (used by the
+// clustering-accuracy experiment); flop counters feed the trainer model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/dense_matrix.h"
+#include "nn/op_stats.h"
+
+namespace recd::nn {
+
+/// Fully-connected layer (weights out x in), optional ReLU.
+class Linear {
+ public:
+  Linear(std::size_t in_dim, std::size_t out_dim, bool relu,
+         common::Rng& rng);
+
+  /// Y = relu?(X W^T + b). Stores what backward needs.
+  [[nodiscard]] DenseMatrix Forward(const DenseMatrix& x);
+
+  /// Given dL/dY, accumulates dW/db and returns dL/dX. Requires a
+  /// preceding Forward on the same input.
+  [[nodiscard]] DenseMatrix Backward(const DenseMatrix& grad_out);
+
+  /// SGD update; zeroes accumulated gradients.
+  void Step(float lr);
+
+  [[nodiscard]] std::size_t in_dim() const { return w_.cols(); }
+  [[nodiscard]] std::size_t out_dim() const { return w_.rows(); }
+  [[nodiscard]] std::size_t num_params() const {
+    return w_.size() + b_.size();
+  }
+  [[nodiscard]] const OpStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
+
+ private:
+  DenseMatrix w_;  // out x in
+  std::vector<float> b_;
+  bool relu_;
+  DenseMatrix last_input_;
+  DenseMatrix last_pre_act_;
+  DenseMatrix grad_w_;
+  std::vector<float> grad_b_;
+  OpStats stats_;
+};
+
+/// Stack of Linear layers; ReLU between layers, none after the last.
+class Mlp {
+ public:
+  /// `dims` = {in, hidden..., out}; needs at least 2 entries.
+  Mlp(const std::vector<std::size_t>& dims, common::Rng& rng);
+
+  [[nodiscard]] DenseMatrix Forward(const DenseMatrix& x);
+  [[nodiscard]] DenseMatrix Backward(const DenseMatrix& grad_out);
+  void Step(float lr);
+
+  [[nodiscard]] std::size_t num_params() const;
+  [[nodiscard]] OpStats stats() const;
+  void ResetStats();
+
+  [[nodiscard]] std::size_t in_dim() const { return layers_.front().in_dim(); }
+  [[nodiscard]] std::size_t out_dim() const {
+    return layers_.back().out_dim();
+  }
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+}  // namespace recd::nn

@@ -1,0 +1,29 @@
+// Operation counters accumulated by every nn module.
+//
+// The distributed trainer simulation converts these counters — computed
+// from *real* tensor math on real batches — into modeled GPU time
+// (DESIGN.md §1). Keeping them exact is what makes the iteration
+// breakdown (Fig 8) a measurement of work, not a guess.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace recd::nn {
+
+struct OpStats {
+  std::uint64_t flops = 0;          // multiply-adds count as 2
+  std::uint64_t bytes_read = 0;     // parameter/activation reads
+  std::uint64_t bytes_written = 0;  // activation writes
+  std::uint64_t lookups = 0;        // embedding row fetches
+
+  OpStats& operator+=(const OpStats& other) {
+    flops += other.flops;
+    bytes_read += other.bytes_read;
+    bytes_written += other.bytes_written;
+    lookups += other.lookups;
+    return *this;
+  }
+};
+
+}  // namespace recd::nn

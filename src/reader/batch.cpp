@@ -1,0 +1,28 @@
+#include "reader/batch.h"
+
+#include <unordered_set>
+
+#include "tensor/serialize.h"
+
+namespace recd::reader {
+
+std::size_t PreprocessedBatch::WireBytes() const {
+  std::size_t bytes = tensor::KjtWireBytes(kjt);
+  for (const auto& g : groups) {
+    bytes += tensor::IkjtWireBytes(g, /*include_inverse_lookup=*/true);
+  }
+  for (const auto& p : partials) bytes += p.WireBytes();
+  bytes += dense.size() * sizeof(float);
+  bytes += labels.size() * sizeof(float);
+  return bytes;
+}
+
+double PreprocessedBatch::SamplesPerSession() const {
+  if (session_ids.empty()) return 0.0;
+  std::unordered_set<std::int64_t> sessions(session_ids.begin(),
+                                            session_ids.end());
+  return static_cast<double>(session_ids.size()) /
+         static_cast<double>(sessions.size());
+}
+
+}  // namespace recd::reader

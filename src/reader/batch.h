@@ -1,0 +1,45 @@
+// PreprocessedBatch: what a reader ships to trainers.
+//
+// Holds the non-deduplicated KJT, the per-group IKJTs (when RecD is on),
+// dense features, and labels. Wire-byte accounting on this type backs the
+// reader→trainer network results (Table 3 "Send Bytes").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/ikjt.h"
+#include "tensor/kjt.h"
+#include "tensor/partial_ikjt.h"
+
+namespace recd::reader {
+
+struct PreprocessedBatch {
+  std::size_t batch_size = 0;
+
+  /// Features converted without deduplication.
+  tensor::KeyedJaggedTensor kjt;
+
+  /// One IKJT per dedup_sparse_features group (empty when RecD is off —
+  /// group features then live in `kjt`).
+  std::vector<tensor::InverseKeyedJaggedTensor> groups;
+  std::vector<tensor::DedupStats> group_stats;
+
+  /// One partial IKJT per partial_dedup_features entry (§7); empty when
+  /// RecD is off.
+  std::vector<tensor::PartialIkjt> partials;
+
+  std::size_t dense_dim = 0;
+  std::vector<float> dense;  // row-major batch_size x dense_dim
+  std::vector<float> labels;
+  std::vector<std::int64_t> session_ids;
+
+  /// Bytes this batch occupies on the reader→trainer wire (tensor
+  /// payloads + dense + labels).
+  [[nodiscard]] std::size_t WireBytes() const;
+
+  /// Samples per session within the batch (paper Fig 3 right).
+  [[nodiscard]] double SamplesPerSession() const;
+};
+
+}  // namespace recd::reader

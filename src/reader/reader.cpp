@@ -1,0 +1,228 @@
+#include "reader/reader.h"
+
+#include <stdexcept>
+
+#include "common/stopwatch.h"
+
+namespace recd::reader {
+
+namespace {
+
+storage::ReadProjection BuildProjection(const storage::StorageSchema& schema,
+                                        const DataLoaderConfig& config) {
+  storage::ReadProjection p;
+  p.dense = config.dense;
+  for (const auto& name : config.sparse_features) {
+    p.sparse.push_back(schema.FeatureIndex(name));
+  }
+  for (const auto& group : config.dedup_sparse_features) {
+    for (const auto& name : group) {
+      p.sparse.push_back(schema.FeatureIndex(name));
+    }
+  }
+  for (const auto& name : config.partial_dedup_features) {
+    p.sparse.push_back(schema.FeatureIndex(name));
+  }
+  return p;
+}
+
+}  // namespace
+
+Reader::Reader(storage::BlobStore& store, const storage::Table& table,
+               DataLoaderConfig config, ReaderOptions options)
+    : store_(&store),
+      table_(&table),
+      config_(std::move(config)),
+      options_(options),
+      projection_(BuildProjection(table.schema, config_)) {
+  if (config_.batch_size == 0) {
+    throw std::invalid_argument("Reader: batch_size must be positive");
+  }
+}
+
+bool Reader::FillRaw() {
+  // Fill (paper Fig 5): fetch from storage, decrypt, decompress. Decoding
+  // into rows/tensors belongs to the Convert stage.
+  common::Stopwatch sw;
+  sw.Start();
+  const std::size_t read_before = store_->stats().bytes_read;
+  bool progressed = false;
+  while (buffer_.size() + raw_rows_ < config_.batch_size) {
+    if (!current_file_.has_value()) {
+      // Advance to the next file in partition order.
+      while (partition_ < table_->partitions.size() &&
+             file_ >= table_->partitions[partition_].files.size()) {
+        ++partition_;
+        file_ = 0;
+      }
+      if (partition_ >= table_->partitions.size()) break;
+      current_file_.emplace(*store_,
+                            table_->partitions[partition_].files[file_]);
+      stripe_ = 0;
+    }
+    if (stripe_ >= current_file_->num_stripes()) {
+      current_file_.reset();
+      ++file_;
+      continue;
+    }
+    auto raw = current_file_->FetchStripe(stripe_++, projection_);
+    raw_rows_ += raw.num_rows;
+    io_.rows_read += raw.num_rows;
+    raw_queue_.push_back(std::move(raw));
+    progressed = true;
+  }
+  io_.bytes_read += store_->stats().bytes_read - read_before;
+  sw.Stop();
+  times_.fill_s += sw.seconds();
+  return progressed || buffer_.size() + raw_rows_ > 0;
+}
+
+void Reader::DecodePending() {
+  // Still the Fill stage (paper §6.3: fill = "fetching data from
+  // Tectonic and decrypting, decompressing, and decoding bytes to form
+  // rows"); Convert starts when rows become tensors.
+  common::Stopwatch sw;
+  sw.Start();
+  while (!raw_queue_.empty()) {
+    auto raw = std::move(raw_queue_.front());
+    raw_queue_.pop_front();
+    raw_rows_ -= raw.num_rows;
+    auto rows = storage::DecodeRawStripe(table_->schema, raw, projection_);
+    for (auto& r : rows) buffer_.push_back(std::move(r));
+  }
+  sw.Stop();
+  times_.fill_s += sw.seconds();
+}
+
+PreprocessedBatch Reader::Convert(std::vector<datagen::Sample> rows) const {
+  common::Stopwatch sw;
+  sw.Start();
+  PreprocessedBatch batch;
+  batch.batch_size = rows.size();
+
+  const auto& schema = table_->schema;
+  auto column = [&](const std::string& name) {
+    const std::size_t f = schema.FeatureIndex(name);
+    tensor::JaggedTensor jt;
+    for (const auto& row : rows) jt.AppendRow(row.sparse[f]);
+    return jt;
+  };
+
+  for (const auto& name : config_.sparse_features) {
+    batch.kjt.AddFeature(name, column(name));
+  }
+  for (const auto& group : config_.dedup_sparse_features) {
+    if (options_.use_ikjt) {
+      // Feature conversion with duplicate detection (O3): rows feed the
+      // dedup builder directly, so duplicate values are never copied
+      // into a staging column (paper: "detecting and avoiding duplicate
+      // copies during feature conversion").
+      std::vector<std::size_t> feature_idx;
+      feature_idx.reserve(group.size());
+      for (const auto& name : group) {
+        feature_idx.push_back(schema.FeatureIndex(name));
+      }
+      tensor::DedupStats stats;
+      batch.groups.push_back(tensor::DeduplicateRows(
+          group, rows.size(),
+          [&](std::size_t row, std::size_t k) {
+            return std::span<const tensor::Id>(
+                rows[row].sparse[feature_idx[k]]);
+          },
+          &stats));
+      batch.group_stats.push_back(stats);
+    } else {
+      for (const auto& name : group) {
+        batch.kjt.AddFeature(name, column(name));
+      }
+    }
+  }
+
+  for (const auto& name : config_.partial_dedup_features) {
+    if (options_.use_ikjt) {
+      batch.partials.push_back(
+          tensor::BuildPartialIkjt(name, column(name)));
+    } else {
+      batch.kjt.AddFeature(name, column(name));
+    }
+  }
+
+  if (config_.dense) {
+    batch.dense_dim = schema.num_dense;
+    batch.dense.reserve(rows.size() * schema.num_dense);
+    for (const auto& row : rows) {
+      batch.dense.insert(batch.dense.end(), row.dense.begin(),
+                         row.dense.end());
+    }
+  }
+  batch.labels.reserve(rows.size());
+  batch.session_ids.reserve(rows.size());
+  for (const auto& row : rows) {
+    batch.labels.push_back(row.label);
+    batch.session_ids.push_back(row.session_id);
+  }
+  sw.Stop();
+  times_.convert_s += sw.seconds();
+  return batch;
+}
+
+void Reader::Process(PreprocessedBatch& batch) const {
+  common::Stopwatch sw;
+  sw.Start();
+  for (const auto& spec : config_.transforms) {
+    switch (spec.kind) {
+      case TransformKind::kDenseNormalize:
+      case TransformKind::kDenseClamp:
+        ApplyDenseTransform(spec, batch.dense);
+        break;
+      case TransformKind::kSparseHash:
+      case TransformKind::kSparseModShift: {
+        // O4: if the feature was deduplicated, transform its unique
+        // slice; the wrapper makes this transparent to the transform.
+        bool applied = false;
+        for (auto& group : batch.groups) {
+          for (const auto& key : group.keys()) {
+            if (key == spec.feature) {
+              auto& unique = group.MutableUnique(key);
+              ApplySparseTransform(spec, unique.mutable_values());
+              io_.sparse_elements_processed += unique.total_values();
+              applied = true;
+              break;
+            }
+          }
+          if (applied) break;
+        }
+        if (!applied && batch.kjt.Has(spec.feature)) {
+          auto& jt = batch.kjt.MutableGet(spec.feature);
+          ApplySparseTransform(spec, jt.mutable_values());
+          io_.sparse_elements_processed += jt.total_values();
+        }
+        break;
+      }
+    }
+  }
+  sw.Stop();
+  times_.process_s += sw.seconds();
+}
+
+std::optional<PreprocessedBatch> Reader::NextBatch() {
+  if (buffer_.size() + raw_rows_ < config_.batch_size) {
+    (void)FillRaw();
+  }
+  DecodePending();
+  if (buffer_.empty()) return std::nullopt;
+  const std::size_t take = std::min(buffer_.size(), config_.batch_size);
+  std::vector<datagen::Sample> rows;
+  rows.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    rows.push_back(std::move(buffer_.front()));
+    buffer_.pop_front();
+  }
+  PreprocessedBatch batch = Convert(std::move(rows));
+  Process(batch);
+  io_.bytes_sent += batch.WireBytes();
+  io_.batches_produced += 1;
+  return batch;
+}
+
+}  // namespace recd::reader

@@ -1,0 +1,21 @@
+#include "reader/reader_tier.h"
+
+#include <cmath>
+
+namespace recd::reader {
+
+ReaderProvisioning ProvisionReaders(double trainer_samples_per_s,
+                                    double reader_samples_per_s) {
+  ReaderProvisioning p;
+  p.trainer_samples_per_s = trainer_samples_per_s;
+  p.reader_samples_per_s = reader_samples_per_s;
+  if (reader_samples_per_s <= 0 || trainer_samples_per_s <= 0) {
+    p.readers_needed = 0;
+    return p;
+  }
+  p.readers_needed = static_cast<std::size_t>(
+      std::ceil(trainer_samples_per_s / reader_samples_per_s));
+  return p;
+}
+
+}  // namespace recd::reader

@@ -1,0 +1,25 @@
+// Reader-tier provisioning (paper §2.1: "the number of readers for each
+// job is scaled to meet trainers' ingestion bandwidth demands").
+//
+// Fig 7's reader result is reported per reader precisely because faster
+// readers mean proportionally fewer reader hosts per job. This helper
+// computes that provisioning from measured reader throughput and the
+// trainers' consumption rate.
+#pragma once
+
+#include <cstddef>
+
+namespace recd::reader {
+
+struct ReaderProvisioning {
+  double trainer_samples_per_s = 0;  // demand
+  double reader_samples_per_s = 0;   // supply per reader
+  std::size_t readers_needed = 0;    // ceil(demand / supply)
+};
+
+/// Readers needed so the tier's aggregate throughput covers the
+/// trainers' ingest rate (no data stalls). Zero-supply returns 0.
+[[nodiscard]] ReaderProvisioning ProvisionReaders(
+    double trainer_samples_per_s, double reader_samples_per_s);
+
+}  // namespace recd::reader

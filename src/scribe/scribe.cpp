@@ -1,0 +1,147 @@
+#include "scribe/scribe.h"
+
+#include <stdexcept>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+
+namespace recd::scribe {
+
+ScribeCluster::ScribeCluster(std::size_t num_shards, ShardKeyPolicy policy,
+                             compress::CodecKind codec,
+                             std::size_t block_bytes)
+    : shards_(num_shards),
+      policy_(policy),
+      codec_(&compress::GetCodec(codec)),
+      block_bytes_(block_bytes) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("ScribeCluster: need at least one shard");
+  }
+}
+
+std::size_t ScribeCluster::Route(std::int64_t request_id,
+                                 std::int64_t session_id) const {
+  const std::uint64_t key =
+      policy_ == ShardKeyPolicy::kSessionId
+          ? static_cast<std::uint64_t>(session_id)
+          : static_cast<std::uint64_t>(request_id);
+  return static_cast<std::size_t>(common::Mix64(key) % shards_.size());
+}
+
+void ScribeCluster::MaybeCompress(Shard& shard) {
+  // Compress the buffer tail once a full block has accumulated. Blocks
+  // are independent (as a log store's chunks are), so the compressor's
+  // window only sees co-located messages — which is what makes the shard
+  // key choice matter.
+  while (shard.feature_buffer.size() - shard.feature_compress_watermark >=
+         block_bytes_) {
+    const std::span<const std::byte> block(
+        shard.feature_buffer.data() + shard.feature_compress_watermark,
+        block_bytes_);
+    auto compressed = codec_->Compress(block);
+    shard.stats.compressed_bytes += compressed.size();
+    shard.compressed_blocks.push_back(std::move(compressed));
+    shard.feature_compress_watermark += block_bytes_;
+  }
+}
+
+void ScribeCluster::LogFeature(const datagen::FeatureLog& log) {
+  auto& shard = shards_[Route(log.request_id, log.session_id)];
+  common::ByteWriter frame;
+  datagen::SerializeFeatureLog(log, frame);
+  common::ByteWriter framed;
+  framed.PutVarint(frame.size());
+  framed.PutBytes(frame.bytes());
+  shard.stats.messages += 1;
+  shard.stats.rx_bytes += framed.size();
+  shard.stats.buffered_bytes += framed.size();
+  const auto bytes = framed.bytes();
+  shard.feature_buffer.insert(shard.feature_buffer.end(), bytes.begin(),
+                              bytes.end());
+  MaybeCompress(shard);
+}
+
+void ScribeCluster::LogEvent(const datagen::EventLog& log) {
+  auto& shard = shards_[Route(log.request_id, log.session_id)];
+  common::ByteWriter frame;
+  datagen::SerializeEventLog(log, frame);
+  common::ByteWriter framed;
+  framed.PutVarint(frame.size());
+  framed.PutBytes(frame.bytes());
+  shard.stats.messages += 1;
+  shard.stats.rx_bytes += framed.size();
+  const auto bytes = framed.bytes();
+  shard.event_buffer.insert(shard.event_buffer.end(), bytes.begin(),
+                            bytes.end());
+  // Event logs are tiny relative to feature logs; they are accounted in
+  // rx bytes but the compression experiment (O1) concerns feature logs.
+}
+
+void ScribeCluster::Flush() {
+  for (auto& shard : shards_) {
+    if (shard.feature_compress_watermark < shard.feature_buffer.size()) {
+      const std::span<const std::byte> tail(
+          shard.feature_buffer.data() + shard.feature_compress_watermark,
+          shard.feature_buffer.size() - shard.feature_compress_watermark);
+      auto compressed = codec_->Compress(tail);
+      shard.stats.compressed_bytes += compressed.size();
+      shard.compressed_blocks.push_back(std::move(compressed));
+      shard.feature_compress_watermark = shard.feature_buffer.size();
+    }
+  }
+}
+
+ScribeCluster::Totals ScribeCluster::totals() const {
+  Totals t;
+  for (const auto& shard : shards_) {
+    t.messages += shard.stats.messages;
+    t.rx_bytes += shard.stats.rx_bytes;
+    t.buffered_bytes += shard.stats.buffered_bytes;
+    t.compressed_bytes += shard.stats.compressed_bytes;
+  }
+  return t;
+}
+
+std::vector<datagen::FeatureLog> ScribeCluster::DrainFeatures() {
+  std::vector<datagen::FeatureLog> out;
+  for (auto& shard : shards_) {
+    // Reassemble the raw stream from compressed blocks + uncompressed
+    // tail, verifying the codec round trip end-to-end.
+    std::vector<std::byte> raw;
+    for (const auto& block : shard.compressed_blocks) {
+      auto decompressed = codec_->Decompress(block);
+      raw.insert(raw.end(), decompressed.begin(), decompressed.end());
+    }
+    raw.insert(raw.end(),
+               shard.feature_buffer.begin() +
+                   static_cast<std::ptrdiff_t>(
+                       shard.feature_compress_watermark),
+               shard.feature_buffer.end());
+    common::ByteReader reader(raw);
+    while (!reader.AtEnd()) {
+      const std::uint64_t frame_len = reader.GetVarint();
+      common::ByteReader frame(reader.GetBytes(frame_len));
+      out.push_back(datagen::DeserializeFeatureLog(frame));
+    }
+    shard.feature_buffer.clear();
+    shard.compressed_blocks.clear();
+    shard.feature_compress_watermark = 0;
+  }
+  return out;
+}
+
+std::vector<datagen::EventLog> ScribeCluster::DrainEvents() {
+  std::vector<datagen::EventLog> out;
+  for (auto& shard : shards_) {
+    common::ByteReader reader(shard.event_buffer);
+    while (!reader.AtEnd()) {
+      const std::uint64_t frame_len = reader.GetVarint();
+      common::ByteReader frame(reader.GetBytes(frame_len));
+      out.push_back(datagen::DeserializeEventLog(frame));
+    }
+    shard.event_buffer.clear();
+  }
+  return out;
+}
+
+}  // namespace recd::scribe

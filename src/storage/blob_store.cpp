@@ -1,0 +1,63 @@
+#include "storage/blob_store.h"
+
+#include <stdexcept>
+
+namespace recd::storage {
+
+void BlobStore::Put(const std::string& name, std::vector<std::byte> data) {
+  stats_.bytes_written += data.size();
+  stats_.write_ops += 1;
+  objects_[name] = std::move(data);
+}
+
+std::span<const std::byte> BlobStore::Get(const std::string& name) {
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    throw std::out_of_range("BlobStore: unknown object " + name);
+  }
+  stats_.bytes_read += it->second.size();
+  stats_.read_ops += 1;
+  return it->second;
+}
+
+std::span<const std::byte> BlobStore::ReadRange(const std::string& name,
+                                                std::size_t offset,
+                                                std::size_t length) {
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    throw std::out_of_range("BlobStore: unknown object " + name);
+  }
+  if (offset + length > it->second.size()) {
+    throw std::out_of_range("BlobStore: range read past end of " + name);
+  }
+  stats_.bytes_read += length;
+  stats_.read_ops += 1;
+  return std::span<const std::byte>(it->second).subspan(offset, length);
+}
+
+bool BlobStore::Exists(const std::string& name) const {
+  return objects_.contains(name);
+}
+
+std::size_t BlobStore::ObjectSize(const std::string& name) const {
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    throw std::out_of_range("BlobStore: unknown object " + name);
+  }
+  return it->second.size();
+}
+
+std::size_t BlobStore::TotalStoredBytes() const {
+  std::size_t total = 0;
+  for (const auto& [name, data] : objects_) total += data.size();
+  return total;
+}
+
+std::vector<std::string> BlobStore::ListObjects() const {
+  std::vector<std::string> names;
+  names.reserve(objects_.size());
+  for (const auto& [name, data] : objects_) names.push_back(name);
+  return names;
+}
+
+}  // namespace recd::storage

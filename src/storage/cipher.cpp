@@ -1,0 +1,29 @@
+#include "storage/cipher.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace recd::storage {
+
+void XorKeystream(std::span<std::byte> data, std::uint64_t seed,
+                  int rounds) {
+  for (int round = 0; round < rounds; ++round) {
+    std::uint64_t state = common::Mix64(seed + static_cast<std::uint64_t>(round));
+    std::size_t i = 0;
+    while (i + 8 <= data.size()) {
+      state = common::Mix64(state);
+      std::uint64_t word;
+      std::memcpy(&word, data.data() + i, 8);
+      word ^= state;
+      std::memcpy(data.data() + i, &word, 8);
+      i += 8;
+    }
+    state = common::Mix64(state);
+    for (; i < data.size(); ++i) {
+      data[i] ^= static_cast<std::byte>(state >> ((i % 8) * 8));
+    }
+  }
+}
+
+}  // namespace recd::storage

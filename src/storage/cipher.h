@@ -1,0 +1,25 @@
+// At-rest stream cipher (XOR keystream) for stored column streams.
+//
+// Tectonic data is encrypted at rest; the paper's reader fill stage
+// explicitly includes "fetching data from Tectonic and decrypting,
+// decompressing, and decoding" (§6.3). This keystream pass is the
+// decrypt stand-in: real per-byte work proportional to the *compressed*
+// bytes read, which is exactly the cost clustering (O2) shrinks. It is
+// not cryptographically secure and is documented as a simulation
+// substitute (DESIGN.md §1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace recd::storage {
+
+/// XORs `data` with a splitmix-derived keystream seeded by `seed`.
+/// Involutive: applying twice with the same seed restores the input.
+/// `rounds` scales the per-byte work (decrypt paths use > 1 round to
+/// approximate AES-class cost on the simulated reader CPUs).
+void XorKeystream(std::span<std::byte> data, std::uint64_t seed,
+                  int rounds = 1);
+
+}  // namespace recd::storage

@@ -1,0 +1,350 @@
+#include "storage/column_file.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "compress/int_codec.h"
+#include "storage/cipher.h"
+
+namespace recd::storage {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x52454344;  // "RECD"
+
+// At-rest encryption rounds (must match between writer and reader; the
+// keystream is involutive per round count). Two rounds approximate
+// AES-class per-byte decrypt cost on the reader fill path.
+constexpr int kCipherRounds = 8;
+
+// Stream order within a stripe: request_id, session_id, timestamp, label,
+// [dense], then per sparse feature (lengths, values).
+constexpr std::size_t kMetaStreams = 4;
+
+std::size_t StreamCount(const StorageSchema& schema) {
+  return kMetaStreams + (schema.num_dense > 0 ? 1 : 0) +
+         2 * schema.sparse_names.size();
+}
+
+std::size_t DenseStreamIndex() { return kMetaStreams; }
+
+std::size_t LengthsStreamIndex(const StorageSchema& schema,
+                               std::size_t feature) {
+  return kMetaStreams + (schema.num_dense > 0 ? 1 : 0) + 2 * feature;
+}
+
+}  // namespace
+
+std::size_t StorageSchema::FeatureIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < sparse_names.size(); ++i) {
+    if (sparse_names[i] == name) return i;
+  }
+  throw std::out_of_range("StorageSchema: unknown feature " + name);
+}
+
+ReadProjection ReadProjection::All(const StorageSchema& schema) {
+  ReadProjection p;
+  p.dense = schema.num_dense > 0;
+  p.sparse.resize(schema.sparse_names.size());
+  for (std::size_t i = 0; i < p.sparse.size(); ++i) p.sparse[i] = i;
+  return p;
+}
+
+ColumnFileWriter::ColumnFileWriter(BlobStore& store, std::string name,
+                                   StorageSchema schema,
+                                   WriterOptions options)
+    : store_(&store),
+      name_(std::move(name)),
+      schema_(std::move(schema)),
+      options_(options),
+      codec_(&compress::GetCodec(options.codec)) {
+  if (options_.rows_per_stripe == 0) {
+    throw std::invalid_argument(
+        "ColumnFileWriter: rows_per_stripe must be positive");
+  }
+}
+
+void ColumnFileWriter::Append(const datagen::Sample& sample) {
+  if (finished_) {
+    throw std::logic_error("ColumnFileWriter: Append after Finish");
+  }
+  if (sample.sparse.size() != schema_.sparse_names.size()) {
+    throw std::invalid_argument(
+        "ColumnFileWriter: sample sparse arity mismatch");
+  }
+  if (sample.dense.size() != schema_.num_dense) {
+    throw std::invalid_argument(
+        "ColumnFileWriter: sample dense arity mismatch");
+  }
+  pending_.push_back(sample);
+  ++rows_written_;
+  if (pending_.size() >= options_.rows_per_stripe) FlushStripe();
+}
+
+void ColumnFileWriter::FlushStripe() {
+  if (pending_.empty()) return;
+  StripeInfo stripe;
+  stripe.num_rows = pending_.size();
+  stripe.streams.reserve(StreamCount(schema_));
+
+  // `logical` is the order-invariant in-memory size of the column data
+  // (8 bytes per int, 4 per float) so compression ratios compare the
+  // same numerator regardless of row order or chosen encoding.
+  auto add_stream = [&](const common::ByteWriter& raw,
+                        std::size_t logical) {
+    auto compressed = codec_->Compress(raw.bytes());
+    StreamInfo info;
+    info.offset = file_.size();
+    info.compressed_len = compressed.size();
+    info.raw_len = raw.size();
+    logical_bytes_ += logical;
+    // Encrypt at rest; the stream offset seeds the keystream.
+    XorKeystream(compressed, info.offset, kCipherRounds);
+    file_.PutBytes(compressed);
+    stripe.streams.push_back(info);
+  };
+
+  // Meta streams (always present).
+  std::vector<std::int64_t> ints(pending_.size());
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      const auto& row = pending_[i];
+      ints[i] = s == 0 ? row.request_id
+                       : (s == 1 ? row.session_id : row.timestamp);
+    }
+    common::ByteWriter raw;
+    compress::EncodeIntsAuto(ints, raw);
+    add_stream(raw, ints.size() * sizeof(std::int64_t));
+  }
+  {
+    common::ByteWriter raw;
+    for (const auto& row : pending_) raw.PutF32(row.label);
+    add_stream(raw, pending_.size() * sizeof(float));
+  }
+  if (schema_.num_dense > 0) {
+    common::ByteWriter raw;
+    for (const auto& row : pending_) {
+      for (const float v : row.dense) raw.PutF32(v);
+    }
+    add_stream(raw, pending_.size() * schema_.num_dense * sizeof(float));
+  }
+  // Flattened sparse feature streams.
+  std::vector<std::int64_t> lengths(pending_.size());
+  std::vector<std::int64_t> values;
+  for (std::size_t f = 0; f < schema_.sparse_names.size(); ++f) {
+    values.clear();
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      const auto& list = pending_[i].sparse[f];
+      lengths[i] = static_cast<std::int64_t>(list.size());
+      values.insert(values.end(), list.begin(), list.end());
+    }
+    common::ByteWriter raw_lengths;
+    compress::EncodeIntsAuto(lengths, raw_lengths);
+    add_stream(raw_lengths, lengths.size() * sizeof(std::int64_t));
+    common::ByteWriter raw_values;
+    compress::EncodeIntsAuto(values, raw_values);
+    add_stream(raw_values, values.size() * sizeof(std::int64_t));
+  }
+
+  stripes_.push_back(std::move(stripe));
+  pending_.clear();
+}
+
+void ColumnFileWriter::Finish() {
+  if (finished_) {
+    throw std::logic_error("ColumnFileWriter: Finish called twice");
+  }
+  FlushStripe();
+  finished_ = true;
+
+  common::ByteWriter footer;
+  footer.PutU8(static_cast<std::uint8_t>(options_.codec));
+  footer.PutVarint(schema_.sparse_names.size());
+  for (const auto& n : schema_.sparse_names) footer.PutString(n);
+  footer.PutVarint(schema_.num_dense);
+  footer.PutVarint(stripes_.size());
+  for (const auto& stripe : stripes_) {
+    footer.PutVarint(stripe.num_rows);
+    footer.PutVarint(stripe.streams.size());
+    for (const auto& s : stripe.streams) {
+      footer.PutVarint(s.offset);
+      footer.PutVarint(s.compressed_len);
+      footer.PutVarint(s.raw_len);
+    }
+  }
+  const std::uint64_t footer_len = footer.size();
+  file_.PutBytes(footer.bytes());
+  file_.PutU64(footer_len);
+  file_.PutU32(kMagic);
+  store_->Put(name_, std::move(file_).Take());
+}
+
+ColumnFileReader::ColumnFileReader(BlobStore& store, std::string name)
+    : store_(&store), name_(std::move(name)) {
+  const std::size_t file_size = store_->ObjectSize(name_);
+  if (file_size < 12) {
+    throw std::runtime_error("ColumnFileReader: file too small: " + name_);
+  }
+  // Tail: [footer][footer_len u64][magic u32]
+  const auto tail = store_->ReadRange(name_, file_size - 12, 12);
+  common::ByteReader tail_reader(tail);
+  const std::uint64_t footer_len = tail_reader.GetU64();
+  const std::uint32_t magic = tail_reader.GetU32();
+  if (magic != kMagic) {
+    throw std::runtime_error("ColumnFileReader: bad magic in " + name_);
+  }
+  if (footer_len + 12 > file_size) {
+    throw std::runtime_error("ColumnFileReader: bad footer length in " +
+                             name_);
+  }
+  const auto footer_bytes =
+      store_->ReadRange(name_, file_size - 12 - footer_len, footer_len);
+  common::ByteReader footer(footer_bytes);
+  codec_kind_ = static_cast<compress::CodecKind>(footer.GetU8());
+  const std::uint64_t num_sparse = footer.GetVarint();
+  schema_.sparse_names.reserve(num_sparse);
+  for (std::uint64_t i = 0; i < num_sparse; ++i) {
+    schema_.sparse_names.push_back(footer.GetString());
+  }
+  schema_.num_dense = footer.GetVarint();
+  const std::uint64_t num_stripes = footer.GetVarint();
+  stripes_.reserve(num_stripes);
+  for (std::uint64_t i = 0; i < num_stripes; ++i) {
+    StripeInfo stripe;
+    stripe.num_rows = footer.GetVarint();
+    const std::uint64_t num_streams = footer.GetVarint();
+    stripe.streams.reserve(num_streams);
+    for (std::uint64_t s = 0; s < num_streams; ++s) {
+      StreamInfo info;
+      info.offset = footer.GetVarint();
+      info.compressed_len = footer.GetVarint();
+      info.raw_len = footer.GetVarint();
+      stripe.streams.push_back(info);
+    }
+    stripes_.push_back(std::move(stripe));
+  }
+}
+
+std::size_t ColumnFileReader::num_rows() const {
+  std::size_t n = 0;
+  for (const auto& s : stripes_) n += s.num_rows;
+  return n;
+}
+
+std::vector<std::byte> ColumnFileReader::ReadStream(const StreamInfo& info) {
+  // Fill-stage work per compressed byte: fetch (copy), decrypt, then
+  // decompress — the §6.3 fill pipeline.
+  const auto stored =
+      store_->ReadRange(name_, info.offset, info.compressed_len);
+  std::vector<std::byte> compressed(stored.begin(), stored.end());
+  XorKeystream(compressed, info.offset, kCipherRounds);
+  return compress::GetCodec(codec_kind_).Decompress(compressed);
+}
+
+RawStripe ColumnFileReader::FetchStripe(
+    std::size_t i, const ReadProjection& projection) {
+  if (i >= stripes_.size()) {
+    throw std::out_of_range("ColumnFileReader: stripe index out of range");
+  }
+  const auto& stripe = stripes_[i];
+  RawStripe raw;
+  raw.num_rows = stripe.num_rows;
+  raw.streams.resize(stripe.streams.size());
+  auto fetch = [&](std::size_t stream) {
+    raw.streams[stream] = ReadStream(stripe.streams[stream]);
+  };
+  for (std::size_t s = 0; s < kMetaStreams; ++s) fetch(s);
+  if (projection.dense && schema_.num_dense > 0) {
+    fetch(DenseStreamIndex());
+  }
+  for (const std::size_t f : projection.sparse) {
+    if (f >= schema_.sparse_names.size()) {
+      throw std::out_of_range("ColumnFileReader: projected feature index");
+    }
+    const std::size_t ls = LengthsStreamIndex(schema_, f);
+    fetch(ls);
+    fetch(ls + 1);
+  }
+  return raw;
+}
+
+std::vector<datagen::Sample> ColumnFileReader::DecodeStripe(
+    const RawStripe& raw, const ReadProjection& projection) const {
+  return DecodeRawStripe(schema_, raw, projection);
+}
+
+std::vector<datagen::Sample> DecodeRawStripe(
+    const StorageSchema& schema, const RawStripe& raw,
+    const ReadProjection& projection) {
+  const std::size_t rows = raw.num_rows;
+  std::vector<datagen::Sample> out(rows);
+  for (auto& s : out) s.sparse.resize(schema.sparse_names.size());
+
+  // Meta streams.
+  for (std::size_t s = 0; s < 3; ++s) {
+    common::ByteReader reader(raw.streams[s]);
+    const auto vals = compress::DecodeInts(reader);
+    if (vals.size() != rows) {
+      throw std::runtime_error("DecodeRawStripe: meta stream row mismatch");
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (s == 0) out[r].request_id = vals[r];
+      if (s == 1) out[r].session_id = vals[r];
+      if (s == 2) out[r].timestamp = vals[r];
+    }
+  }
+  {
+    common::ByteReader reader(raw.streams[3]);
+    for (std::size_t r = 0; r < rows; ++r) out[r].label = reader.GetF32();
+  }
+  if (projection.dense && schema.num_dense > 0) {
+    common::ByteReader reader(raw.streams[DenseStreamIndex()]);
+    for (std::size_t r = 0; r < rows; ++r) {
+      out[r].dense.resize(schema.num_dense);
+      for (auto& v : out[r].dense) v = reader.GetF32();
+    }
+  }
+  for (const std::size_t f : projection.sparse) {
+    const std::size_t ls = LengthsStreamIndex(schema, f);
+    common::ByteReader lengths_reader(raw.streams[ls]);
+    const auto lengths = compress::DecodeInts(lengths_reader);
+    common::ByteReader values_reader(raw.streams[ls + 1]);
+    const auto values = compress::DecodeInts(values_reader);
+    if (lengths.size() != rows) {
+      throw std::runtime_error("DecodeRawStripe: lengths row mismatch");
+    }
+    std::size_t pos = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto len = static_cast<std::size_t>(lengths[r]);
+      if (pos + len > values.size()) {
+        throw std::runtime_error("DecodeRawStripe: values underflow");
+      }
+      out[r].sparse[f].assign(values.begin() + static_cast<std::ptrdiff_t>(pos),
+                              values.begin() +
+                                  static_cast<std::ptrdiff_t>(pos + len));
+      pos += len;
+    }
+  }
+  return out;
+}
+
+std::vector<datagen::Sample> ColumnFileReader::ReadStripe(
+    std::size_t i, const ReadProjection& projection) {
+  return DecodeStripe(FetchStripe(i, projection), projection);
+}
+
+WriteResult WriteSamples(BlobStore& store, const std::string& name,
+                         const StorageSchema& schema,
+                         const std::vector<datagen::Sample>& samples,
+                         WriterOptions options) {
+  ColumnFileWriter writer(store, name, schema, options);
+  for (const auto& s : samples) writer.Append(s);
+  writer.Finish();
+  WriteResult result;
+  result.rows = samples.size();
+  result.stored_bytes = store.ObjectSize(name);
+  result.logical_bytes = writer.logical_bytes();
+  return result;
+}
+
+}  // namespace recd::storage

@@ -1,0 +1,173 @@
+// DWRF/ORC-like columnar file format (paper §2.1, "Dataset Schema and
+// Storage").
+//
+// Layout: a file is a sequence of stripes, each holding a bounded row
+// count. Within a stripe, feature columns are flattened — every sparse
+// feature becomes its own (lengths, values) stream pair — then each
+// stream is integer-encoded (varint / delta / RLE, picked per stream) and
+// block-compressed. A footer indexes every stream so readers can project
+// columns: reading 3 of 100 features touches only those streams' byte
+// ranges (the read-byte mechanism behind Table 3 / Fig 10).
+//
+//   [stripe 0 streams][stripe 1 streams]...[footer][footer_len u64][magic]
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compress/codec.h"
+#include "datagen/sample.h"
+#include "storage/blob_store.h"
+
+namespace recd::storage {
+
+/// Column layout of a dataset (shared by writer and readers).
+struct StorageSchema {
+  std::vector<std::string> sparse_names;
+  std::size_t num_dense = 0;
+
+  [[nodiscard]] std::size_t FeatureIndex(const std::string& name) const;
+};
+
+struct WriterOptions {
+  std::size_t rows_per_stripe = 1024;
+  compress::CodecKind codec = compress::CodecKind::kLz77;
+};
+
+/// Which columns a read touches. Row identity (request/session/timestamp/
+/// label) is always read; dense and any subset of sparse features are
+/// optional.
+struct ReadProjection {
+  bool dense = true;
+  /// Indices into StorageSchema::sparse_names. Unprojected features come
+  /// back as empty lists.
+  std::vector<std::size_t> sparse;
+
+  [[nodiscard]] static ReadProjection All(const StorageSchema& schema);
+};
+
+/// Streams a sample batch into one columnar blob.
+class ColumnFileWriter {
+ public:
+  ColumnFileWriter(BlobStore& store, std::string name, StorageSchema schema,
+                   WriterOptions options = {});
+
+  /// Appends one row. Row order is preserved — the clustering experiment
+  /// depends on it. Throws if the sample's arity disagrees with schema.
+  void Append(const datagen::Sample& sample);
+
+  /// Flushes the tail stripe and writes the footer. Must be called
+  /// exactly once; no Appends afterwards.
+  void Finish();
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_written_; }
+  /// Sum of raw (pre-encoding) stream bytes, for compression-ratio math.
+  [[nodiscard]] std::size_t logical_bytes() const { return logical_bytes_; }
+
+ private:
+  void FlushStripe();
+
+  BlobStore* store_;
+  std::string name_;
+  StorageSchema schema_;
+  WriterOptions options_;
+  const compress::Codec* codec_;
+
+  std::vector<datagen::Sample> pending_;
+  common::ByteWriter file_;
+  struct StreamInfo {
+    std::uint64_t offset = 0;
+    std::uint64_t compressed_len = 0;
+    std::uint64_t raw_len = 0;
+  };
+  struct StripeInfo {
+    std::uint64_t num_rows = 0;
+    std::vector<StreamInfo> streams;
+  };
+  std::vector<StripeInfo> stripes_;
+  std::size_t rows_written_ = 0;
+  std::size_t logical_bytes_ = 0;
+  bool finished_ = false;
+};
+
+/// A stripe's projected streams after fetch + decrypt + decompress but
+/// before decoding — the hand-off between the reader's Fill and Convert
+/// stages (paper Fig 5: Fill produces raw byte arrays; Feature
+/// Conversion copies them into structured tensors).
+struct RawStripe {
+  std::size_t num_rows = 0;
+  /// Indexed by stream position within the stripe; streams outside the
+  /// projection stay empty.
+  std::vector<std::vector<std::byte>> streams;
+};
+
+/// Reads stripes back with column projection.
+class ColumnFileReader {
+ public:
+  /// Opens the file: reads magic + footer (accounted as IO).
+  ColumnFileReader(BlobStore& store, std::string name);
+
+  [[nodiscard]] const StorageSchema& schema() const { return schema_; }
+  [[nodiscard]] std::size_t num_stripes() const { return stripes_.size(); }
+  [[nodiscard]] std::size_t num_rows() const;
+
+  /// Fill-stage work: fetches, decrypts, and decompresses the projected
+  /// streams of stripe `i` (IO accounted against the BlobStore).
+  [[nodiscard]] RawStripe FetchStripe(std::size_t i,
+                                      const ReadProjection& projection);
+
+  /// Convert-stage work: decodes fetched streams into samples.
+  /// Unprojected sparse features are empty lists; dense is empty if not
+  /// projected.
+  [[nodiscard]] std::vector<datagen::Sample> DecodeStripe(
+      const RawStripe& raw, const ReadProjection& projection) const;
+  // (See also the schema-level free function DecodeRawStripe.)
+
+  /// FetchStripe + DecodeStripe in one call.
+  [[nodiscard]] std::vector<datagen::Sample> ReadStripe(
+      std::size_t i, const ReadProjection& projection);
+
+ private:
+  struct StreamInfo {
+    std::uint64_t offset = 0;
+    std::uint64_t compressed_len = 0;
+    std::uint64_t raw_len = 0;
+  };
+  struct StripeInfo {
+    std::uint64_t num_rows = 0;
+    std::vector<StreamInfo> streams;
+  };
+
+  [[nodiscard]] std::vector<std::byte> ReadStream(const StreamInfo& info);
+
+  BlobStore* store_;
+  std::string name_;
+  StorageSchema schema_;
+  compress::CodecKind codec_kind_ = compress::CodecKind::kLz77;
+  std::vector<StripeInfo> stripes_;
+};
+
+/// Convenience: writes all samples into `name` and returns compressed
+/// (stored) and logical byte sizes.
+struct WriteResult {
+  std::size_t rows = 0;
+  std::size_t stored_bytes = 0;
+  std::size_t logical_bytes = 0;
+  [[nodiscard]] double compression_ratio() const {
+    return compress::CompressionRatio(logical_bytes, stored_bytes);
+  }
+};
+WriteResult WriteSamples(BlobStore& store, const std::string& name,
+                         const StorageSchema& schema,
+                         const std::vector<datagen::Sample>& samples,
+                         WriterOptions options = {});
+
+/// Decodes a fetched stripe against a table-wide schema (all files of a
+/// table share one schema, so decoding does not need the file handle).
+[[nodiscard]] std::vector<datagen::Sample> DecodeRawStripe(
+    const StorageSchema& schema, const RawStripe& raw,
+    const ReadProjection& projection);
+
+}  // namespace recd::storage

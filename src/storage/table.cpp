@@ -1,0 +1,27 @@
+#include "storage/table.h"
+
+namespace recd::storage {
+
+LandResult LandTable(
+    BlobStore& store, const std::string& table_name,
+    const StorageSchema& schema,
+    const std::vector<std::vector<datagen::Sample>>& partitions,
+    WriterOptions options) {
+  LandResult result;
+  result.table.name = table_name;
+  result.table.schema = schema;
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    Partition partition;
+    partition.name = table_name + "/part_" + std::to_string(p);
+    const std::string file = partition.name + "/file_0";
+    const auto wr = WriteSamples(store, file, schema, partitions[p], options);
+    result.rows += wr.rows;
+    result.stored_bytes += wr.stored_bytes;
+    result.logical_bytes += wr.logical_bytes;
+    partition.files.push_back(file);
+    result.table.partitions.push_back(std::move(partition));
+  }
+  return result;
+}
+
+}  // namespace recd::storage

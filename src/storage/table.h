@@ -1,0 +1,42 @@
+// Hive-style time-partitioned table of columnar files (paper Fig 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datagen/sample.h"
+#include "storage/column_file.h"
+
+namespace recd::storage {
+
+/// One time partition: the files landed for one "hour" of samples.
+struct Partition {
+  std::string name;
+  std::vector<std::string> files;
+};
+
+/// A training dataset: schema + ordered partitions.
+struct Table {
+  std::string name;
+  StorageSchema schema;
+  std::vector<Partition> partitions;
+};
+
+/// Lands sample partitions into the store as one file per partition and
+/// returns the table plus aggregate size accounting.
+struct LandResult {
+  Table table;
+  std::size_t rows = 0;
+  std::size_t stored_bytes = 0;
+  std::size_t logical_bytes = 0;
+  [[nodiscard]] double compression_ratio() const {
+    return compress::CompressionRatio(logical_bytes, stored_bytes);
+  }
+};
+[[nodiscard]] LandResult LandTable(
+    BlobStore& store, const std::string& table_name,
+    const StorageSchema& schema,
+    const std::vector<std::vector<datagen::Sample>>& partitions,
+    WriterOptions options = {});
+
+}  // namespace recd::storage

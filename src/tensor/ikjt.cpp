@@ -1,0 +1,155 @@
+#include "tensor/ikjt.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "tensor/jagged_ops.h"
+
+namespace recd::tensor {
+
+InverseKeyedJaggedTensor::InverseKeyedJaggedTensor(
+    std::vector<std::string> keys, std::vector<JaggedTensor> unique,
+    std::vector<std::int64_t> inverse_lookup)
+    : keys_(std::move(keys)),
+      unique_(std::move(unique)),
+      inverse_lookup_(std::move(inverse_lookup)) {
+  if (keys_.empty() || keys_.size() != unique_.size()) {
+    throw std::invalid_argument("IKJT: keys/unique size mismatch");
+  }
+  const std::size_t u = unique_.front().num_rows();
+  for (const auto& t : unique_) {
+    if (t.num_rows() != u) {
+      throw std::invalid_argument(
+          "IKJT: all group features must share the unique row count");
+    }
+  }
+  for (const auto idx : inverse_lookup_) {
+    if (idx < 0 || static_cast<std::size_t>(idx) >= u) {
+      throw std::invalid_argument("IKJT: inverse_lookup out of range");
+    }
+  }
+}
+
+std::size_t InverseKeyedJaggedTensor::unique_rows() const {
+  return unique_.empty() ? 0 : unique_.front().num_rows();
+}
+
+const JaggedTensor& InverseKeyedJaggedTensor::Unique(
+    std::string_view key) const {
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) return unique_[i];
+  }
+  throw std::out_of_range("IKJT::Unique: unknown key " + std::string(key));
+}
+
+JaggedTensor& InverseKeyedJaggedTensor::MutableUnique(std::string_view key) {
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) return unique_[i];
+  }
+  throw std::out_of_range("IKJT::MutableUnique: unknown key " +
+                          std::string(key));
+}
+
+std::size_t InverseKeyedJaggedTensor::total_unique_values() const {
+  std::size_t n = 0;
+  for (const auto& t : unique_) n += t.total_values();
+  return n;
+}
+
+std::span<const Id> InverseKeyedJaggedTensor::Row(std::string_view key,
+                                                  std::size_t i) const {
+  const auto& t = Unique(key);
+  return t.row(static_cast<std::size_t>(inverse_lookup_[i]));
+}
+
+InverseKeyedJaggedTensor DeduplicateRows(
+    std::vector<std::string> keys, std::size_t batch_size,
+    const GroupRowAccessor& row_of, DedupStats* stats) {
+  if (keys.empty()) {
+    throw std::invalid_argument("DeduplicateRows: empty feature group");
+  }
+  const std::size_t num_features = keys.size();
+  std::vector<JaggedTensor> unique(num_features);
+  std::vector<std::int64_t> inverse_lookup;
+  inverse_lookup.reserve(batch_size);
+
+  // hash over all group rows -> candidate unique indices (verified by
+  // full equality against the already-stored unique rows, so a hash
+  // collision can never alias distinct rows).
+  std::unordered_map<std::uint64_t, std::vector<std::int64_t>> seen;
+  seen.reserve(batch_size * 2);
+  std::size_t values_before = 0;
+
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    std::uint64_t h = 0x5eedULL;
+    for (std::size_t k = 0; k < num_features; ++k) {
+      const auto row = row_of(i, k);
+      values_before += row.size();
+      h = common::HashCombine(h, common::HashIds(row));
+    }
+    auto& candidates = seen[h];
+    std::int64_t match = -1;
+    for (const auto cand : candidates) {
+      bool all_equal = true;
+      for (std::size_t k = 0; k < num_features; ++k) {
+        if (!unique[k].RowEquals(static_cast<std::size_t>(cand),
+                                 row_of(i, k))) {
+          all_equal = false;
+          break;
+        }
+      }
+      if (all_equal) {
+        match = cand;
+        break;
+      }
+    }
+    if (match < 0) {
+      match = static_cast<std::int64_t>(unique[0].num_rows());
+      candidates.push_back(match);
+      for (std::size_t k = 0; k < num_features; ++k) {
+        unique[k].AppendRow(row_of(i, k));
+      }
+    }
+    inverse_lookup.push_back(match);
+  }
+
+  if (stats != nullptr) {
+    stats->batch_size = batch_size;
+    stats->unique_rows = unique[0].num_rows();
+    stats->values_before = values_before;
+    stats->values_after = 0;
+    for (const auto& u : unique) stats->values_after += u.total_values();
+  }
+  return InverseKeyedJaggedTensor(std::move(keys), std::move(unique),
+                                  std::move(inverse_lookup));
+}
+
+InverseKeyedJaggedTensor DeduplicateGroup(
+    const KeyedJaggedTensor& kjt, std::span<const std::string> group_keys,
+    DedupStats* stats) {
+  if (group_keys.empty()) {
+    throw std::invalid_argument("DeduplicateGroup: empty feature group");
+  }
+  std::vector<const JaggedTensor*> features;
+  features.reserve(group_keys.size());
+  for (const auto& key : group_keys) {
+    features.push_back(&kjt.Get(key));  // throws for unknown keys
+  }
+  return DeduplicateRows(
+      std::vector<std::string>(group_keys.begin(), group_keys.end()),
+      kjt.batch_size(),
+      [&](std::size_t row, std::size_t k) { return features[k]->row(row); },
+      stats);
+}
+
+KeyedJaggedTensor ExpandToKjt(const InverseKeyedJaggedTensor& ikjt) {
+  KeyedJaggedTensor out;
+  for (std::size_t k = 0; k < ikjt.num_keys(); ++k) {
+    out.AddFeature(ikjt.keys()[k],
+                   JaggedIndexSelect(ikjt.unique(k), ikjt.inverse_lookup()));
+  }
+  return out;
+}
+
+}  // namespace recd::tensor

@@ -1,0 +1,123 @@
+// InverseKeyedJaggedTensor (IKJT): RecD's deduplicated batch format.
+//
+// Paper §4.2, Fig 5. An IKJT stores, for a *group* of features that are
+// updated synchronously, one deduplicated JaggedTensor per feature plus a
+// single shared `inverse_lookup` slice of batch length:
+// `inverse_lookup[i]` is the index of the unique row that batch row i
+// maps to, for every feature in the group.
+//
+// Invariants (enforced on construction and by the builder):
+//   * every feature's unique tensor has the same number of unique rows U;
+//   * every inverse_lookup entry is in [0, U);
+//   * a batch row joins an existing unique entry only if ALL features in
+//     the group match it exactly — otherwise it becomes a new unique
+//     entry (the paper's rule for unsynchronized rows).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tensor/kjt.h"
+
+namespace recd::tensor {
+
+/// Outcome statistics of one group deduplication, feeding the paper's
+/// DedupeFactor accounting (§4.2).
+struct DedupStats {
+  std::size_t batch_size = 0;    // rows in the batch (B)
+  std::size_t unique_rows = 0;   // unique entries after dedup
+  std::size_t values_before = 0; // sum of values lengths across features
+  std::size_t values_after = 0;  // same, deduplicated
+
+  /// Measured DedupeFactor: original values length / deduplicated length.
+  [[nodiscard]] double dedupe_factor() const {
+    return values_after == 0
+               ? 1.0
+               : static_cast<double>(values_before) /
+                     static_cast<double>(values_after);
+  }
+};
+
+class InverseKeyedJaggedTensor {
+ public:
+  InverseKeyedJaggedTensor() = default;
+
+  /// Assembles an IKJT from parts; validates the invariants above.
+  InverseKeyedJaggedTensor(std::vector<std::string> keys,
+                           std::vector<JaggedTensor> unique,
+                           std::vector<std::int64_t> inverse_lookup);
+
+  [[nodiscard]] std::size_t num_keys() const { return keys_.size(); }
+  [[nodiscard]] const std::vector<std::string>& keys() const { return keys_; }
+
+  /// Batch size of the original (expanded) batch.
+  [[nodiscard]] std::size_t batch_size() const {
+    return inverse_lookup_.size();
+  }
+
+  /// Number of deduplicated (unique) rows shared by all features.
+  [[nodiscard]] std::size_t unique_rows() const;
+
+  /// Deduplicated tensor of feature `key`. Throws std::out_of_range if
+  /// the key is not part of this group.
+  [[nodiscard]] const JaggedTensor& Unique(std::string_view key) const;
+
+  /// Deduplicated tensor by group position.
+  [[nodiscard]] const JaggedTensor& unique(std::size_t i) const {
+    return unique_[i];
+  }
+
+  /// Mutable deduplicated tensor of feature `key`, for the O4 wrapper
+  /// that runs preprocessing over deduplicated slices in place.
+  [[nodiscard]] JaggedTensor& MutableUnique(std::string_view key);
+
+  [[nodiscard]] std::span<const std::int64_t> inverse_lookup() const {
+    return inverse_lookup_;
+  }
+
+  /// Sum of deduplicated values lengths across the group's features.
+  [[nodiscard]] std::size_t total_unique_values() const;
+
+  /// Reconstructs row i of feature `key` (logical view; used by tests and
+  /// the IKJT→KJT expansion).
+  [[nodiscard]] std::span<const Id> Row(std::string_view key,
+                                        std::size_t i) const;
+
+ private:
+  std::vector<std::string> keys_;
+  std::vector<JaggedTensor> unique_;
+  std::vector<std::int64_t> inverse_lookup_;
+};
+
+/// Deduplicates the `group_keys` features of `kjt` into one IKJT
+/// (paper Fig 5: Feature Conversion). Duplicate detection hashes all of a
+/// row's group features jointly, then verifies with full equality so hash
+/// collisions can never alias distinct rows. O(total values) expected.
+///
+/// Throws std::invalid_argument if `group_keys` is empty or contains a
+/// key absent from `kjt`.
+[[nodiscard]] InverseKeyedJaggedTensor DeduplicateGroup(
+    const KeyedJaggedTensor& kjt, std::span<const std::string> group_keys,
+    DedupStats* stats = nullptr);
+
+/// Row-major variant used during feature conversion (paper Fig 5): rows
+/// are consumed straight from storage without first materializing full
+/// KJT columns, so duplicate copies are *avoided*, not copied-then-
+/// dropped. `row_of(row, k)` must return feature k's ID list for batch
+/// row `row`.
+using GroupRowAccessor =
+    std::function<std::span<const Id>(std::size_t row, std::size_t k)>;
+[[nodiscard]] InverseKeyedJaggedTensor DeduplicateRows(
+    std::vector<std::string> keys, std::size_t batch_size,
+    const GroupRowAccessor& row_of, DedupStats* stats = nullptr);
+
+/// Expands an IKJT back to per-feature KJT form via JaggedIndexSelect
+/// (paper O6: the conversion trainers apply before feature interaction).
+[[nodiscard]] KeyedJaggedTensor ExpandToKjt(
+    const InverseKeyedJaggedTensor& ikjt);
+
+}  // namespace recd::tensor

@@ -1,0 +1,76 @@
+#include "tensor/jagged.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace recd::tensor {
+
+JaggedTensor::JaggedTensor(std::vector<Id> values,
+                           std::vector<Offset> offsets)
+    : values_(std::move(values)), offsets_(std::move(offsets)) {
+  if (offsets_.empty()) {
+    if (!values_.empty()) {
+      throw std::invalid_argument(
+          "JaggedTensor: values present but no rows");
+    }
+    return;
+  }
+  if (offsets_.front() != 0) {
+    throw std::invalid_argument("JaggedTensor: offsets must start at 0");
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    if (offsets_[i] < offsets_[i - 1]) {
+      throw std::invalid_argument(
+          "JaggedTensor: offsets must be non-decreasing");
+    }
+  }
+  if (offsets_.back() > static_cast<Offset>(values_.size())) {
+    throw std::invalid_argument(
+        "JaggedTensor: offsets index past end of values");
+  }
+}
+
+JaggedTensor JaggedTensor::FromRows(std::span<const std::vector<Id>> rows) {
+  JaggedTensor jt;
+  for (const auto& r : rows) jt.AppendRow(r);
+  return jt;
+}
+
+JaggedTensor JaggedTensor::FromRows(
+    std::initializer_list<std::vector<Id>> rows) {
+  JaggedTensor jt;
+  for (const auto& r : rows) jt.AppendRow(r);
+  return jt;
+}
+
+std::span<const Id> JaggedTensor::row(std::size_t i) const {
+  const Offset start = offsets_[i];
+  const Offset end = i + 1 < offsets_.size()
+                         ? offsets_[i + 1]
+                         : static_cast<Offset>(values_.size());
+  return std::span<const Id>(values_).subspan(
+      static_cast<std::size_t>(start), static_cast<std::size_t>(end - start));
+}
+
+Offset JaggedTensor::length(std::size_t i) const {
+  const Offset end = i + 1 < offsets_.size()
+                         ? offsets_[i + 1]
+                         : static_cast<Offset>(values_.size());
+  return end - offsets_[i];
+}
+
+void JaggedTensor::AppendRow(std::span<const Id> ids) {
+  offsets_.push_back(static_cast<Offset>(values_.size()));
+  values_.insert(values_.end(), ids.begin(), ids.end());
+}
+
+bool JaggedTensor::operator==(const JaggedTensor& other) const {
+  return values_ == other.values_ && offsets_ == other.offsets_;
+}
+
+bool JaggedTensor::RowEquals(std::size_t i, std::span<const Id> ids) const {
+  const auto r = row(i);
+  return r.size() == ids.size() && std::equal(r.begin(), r.end(), ids.begin());
+}
+
+}  // namespace recd::tensor

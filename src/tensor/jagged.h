@@ -1,0 +1,68 @@
+// JaggedTensor: a 2-D tensor whose rows have different lengths.
+//
+// This mirrors TorchRec's JaggedTensor and follows the *paper's* offsets
+// convention (Fig 5): `offsets` has one entry per row, `offsets[i]` is the
+// starting index of row i in `values`, and row i's length is
+// `offsets[i+1] - offsets[i]` (or `|values| - offsets[i]` for the last
+// row). Accessors hide the last-row edge case.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace recd::tensor {
+
+/// Sparse feature element type (categorical IDs).
+using Id = std::int64_t;
+/// Index into a values slice.
+using Offset = std::int64_t;
+
+class JaggedTensor {
+ public:
+  /// Empty tensor: zero rows, zero values.
+  JaggedTensor() = default;
+
+  /// Takes ownership of prebuilt slices. Throws std::invalid_argument if
+  /// offsets are not monotonically non-decreasing, do not start at 0, or
+  /// index past `values`.
+  JaggedTensor(std::vector<Id> values, std::vector<Offset> offsets);
+
+  /// Builds from materialized rows.
+  [[nodiscard]] static JaggedTensor FromRows(
+      std::span<const std::vector<Id>> rows);
+  /// Brace-list convenience: FromRows({{1, 2}, {}, {3}}).
+  [[nodiscard]] static JaggedTensor FromRows(
+      std::initializer_list<std::vector<Id>> rows);
+
+  [[nodiscard]] std::size_t num_rows() const { return offsets_.size(); }
+  [[nodiscard]] std::size_t total_values() const { return values_.size(); }
+
+  /// View of row i's IDs. Requires i < num_rows().
+  [[nodiscard]] std::span<const Id> row(std::size_t i) const;
+
+  /// Length of row i. Requires i < num_rows().
+  [[nodiscard]] Offset length(std::size_t i) const;
+
+  [[nodiscard]] std::span<const Id> values() const { return values_; }
+  [[nodiscard]] std::span<const Offset> offsets() const { return offsets_; }
+
+  /// Mutable values view for in-place elementwise transforms (hashing,
+  /// remapping). Lengths/offsets are invariant under such transforms.
+  [[nodiscard]] std::span<Id> mutable_values() { return values_; }
+
+  /// Appends a row (builder-style use).
+  void AppendRow(std::span<const Id> ids);
+
+  [[nodiscard]] bool operator==(const JaggedTensor& other) const;
+
+  /// Logical equality of row i against an ID list (no materialization).
+  [[nodiscard]] bool RowEquals(std::size_t i, std::span<const Id> ids) const;
+
+ private:
+  std::vector<Id> values_;
+  std::vector<Offset> offsets_;
+};
+
+}  // namespace recd::tensor

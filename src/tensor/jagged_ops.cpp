@@ -1,0 +1,80 @@
+#include "tensor/jagged_ops.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace recd::tensor {
+
+JaggedTensor JaggedIndexSelect(const JaggedTensor& src,
+                               std::span<const std::int64_t> indices) {
+  // Two-pass: size the output exactly, then copy row spans. This is the
+  // O6 fast path — no padding, no dense intermediate.
+  std::size_t total = 0;
+  for (const auto idx : indices) {
+    if (idx < 0 || static_cast<std::size_t>(idx) >= src.num_rows()) {
+      throw std::out_of_range("JaggedIndexSelect: index out of range");
+    }
+    total += static_cast<std::size_t>(
+        src.length(static_cast<std::size_t>(idx)));
+  }
+  std::vector<Id> values;
+  values.reserve(total);
+  std::vector<Offset> offsets;
+  offsets.reserve(indices.size());
+  for (const auto idx : indices) {
+    offsets.push_back(static_cast<Offset>(values.size()));
+    const auto r = src.row(static_cast<std::size_t>(idx));
+    values.insert(values.end(), r.begin(), r.end());
+  }
+  return JaggedTensor(std::move(values), std::move(offsets));
+}
+
+PaddedDense JaggedToPaddedDense(const JaggedTensor& src, Id pad) {
+  PaddedDense out;
+  out.rows = src.num_rows();
+  for (std::size_t i = 0; i < src.num_rows(); ++i) {
+    out.max_len = std::max(out.max_len,
+                           static_cast<std::size_t>(src.length(i)));
+  }
+  out.data.assign(out.rows * out.max_len, pad);
+  out.lengths.resize(out.rows);
+  for (std::size_t i = 0; i < src.num_rows(); ++i) {
+    const auto r = src.row(i);
+    std::copy(r.begin(), r.end(), out.data.begin() + i * out.max_len);
+    out.lengths[i] = static_cast<std::int64_t>(r.size());
+  }
+  return out;
+}
+
+PaddedDense DenseIndexSelect(const PaddedDense& src,
+                             std::span<const std::int64_t> indices) {
+  PaddedDense out;
+  out.rows = indices.size();
+  out.max_len = src.max_len;
+  out.data.resize(out.rows * out.max_len);
+  out.lengths.resize(out.rows);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto idx = indices[i];
+    if (idx < 0 || static_cast<std::size_t>(idx) >= src.rows) {
+      throw std::out_of_range("DenseIndexSelect: index out of range");
+    }
+    const auto* from =
+        src.data.data() + static_cast<std::size_t>(idx) * src.max_len;
+    std::copy(from, from + src.max_len,
+              out.data.begin() + i * out.max_len);
+    out.lengths[i] = src.lengths[static_cast<std::size_t>(idx)];
+  }
+  return out;
+}
+
+JaggedTensor PaddedDenseToJagged(const PaddedDense& src) {
+  JaggedTensor out;
+  for (std::size_t i = 0; i < src.rows; ++i) {
+    const auto len = static_cast<std::size_t>(src.lengths[i]);
+    out.AppendRow(std::span<const Id>(src.data.data() + i * src.max_len,
+                                      len));
+  }
+  return out;
+}
+
+}  // namespace recd::tensor

@@ -1,0 +1,50 @@
+// Jagged tensor operators.
+//
+// JaggedIndexSelect is RecD optimization O6: index_select directly over a
+// jagged tensor, avoiding the pad-to-dense round trip that the paper
+// identifies as a large memory overhead. The dense-path helpers here
+// implement that *baseline* so benchmarks can measure the overhead O6
+// removes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/jagged.h"
+
+namespace recd::tensor {
+
+/// out.row(i) = src.row(indices[i]). Throws std::out_of_range on any
+/// index outside [0, src.num_rows()).
+[[nodiscard]] JaggedTensor JaggedIndexSelect(
+    const JaggedTensor& src, std::span<const std::int64_t> indices);
+
+/// Baseline path (pre-O6): a jagged tensor padded to a dense
+/// [rows x max_len] matrix with explicit per-row lengths.
+struct PaddedDense {
+  std::vector<Id> data;                // rows*max_len, padded with `pad`
+  std::vector<std::int64_t> lengths;   // true length per row
+  std::size_t rows = 0;
+  std::size_t max_len = 0;
+
+  /// Bytes the padded representation occupies (the O6 overhead metric).
+  [[nodiscard]] std::size_t byte_size() const {
+    return data.size() * sizeof(Id) +
+           lengths.size() * sizeof(std::int64_t);
+  }
+};
+
+/// Pads to dense (baseline step 1).
+[[nodiscard]] PaddedDense JaggedToPaddedDense(const JaggedTensor& src,
+                                              Id pad = 0);
+
+/// Dense index_select (baseline step 2): gathers rows of the padded
+/// matrix. Throws std::out_of_range on bad indices.
+[[nodiscard]] PaddedDense DenseIndexSelect(
+    const PaddedDense& src, std::span<const std::int64_t> indices);
+
+/// Converts the padded matrix back to jagged (baseline step 3).
+[[nodiscard]] JaggedTensor PaddedDenseToJagged(const PaddedDense& src);
+
+}  // namespace recd::tensor

@@ -1,0 +1,54 @@
+#include "tensor/kjt.h"
+
+#include <stdexcept>
+
+namespace recd::tensor {
+
+void KeyedJaggedTensor::AddFeature(std::string key, JaggedTensor tensor) {
+  if (index_.contains(key)) {
+    throw std::invalid_argument("KJT::AddFeature: duplicate key " + key);
+  }
+  if (batch_size_set_ && tensor.num_rows() != batch_size_) {
+    throw std::invalid_argument(
+        "KJT::AddFeature: batch size mismatch for key " + key);
+  }
+  batch_size_ = tensor.num_rows();
+  batch_size_set_ = true;
+  index_.emplace(key, keys_.size());
+  keys_.push_back(std::move(key));
+  tensors_.push_back(std::move(tensor));
+}
+
+bool KeyedJaggedTensor::Has(std::string_view key) const {
+  return index_.contains(std::string(key));
+}
+
+JaggedTensor& KeyedJaggedTensor::MutableGet(std::string_view key) {
+  const auto it = index_.find(std::string(key));
+  if (it == index_.end()) {
+    throw std::out_of_range("KJT::MutableGet: unknown key " +
+                            std::string(key));
+  }
+  return tensors_[it->second];
+}
+
+const JaggedTensor& KeyedJaggedTensor::Get(std::string_view key) const {
+  const auto it = index_.find(std::string(key));
+  if (it == index_.end()) {
+    throw std::out_of_range("KJT::Get: unknown key " + std::string(key));
+  }
+  return tensors_[it->second];
+}
+
+std::size_t KeyedJaggedTensor::total_values() const {
+  std::size_t n = 0;
+  for (const auto& t : tensors_) n += t.total_values();
+  return n;
+}
+
+bool KeyedJaggedTensor::operator==(const KeyedJaggedTensor& other) const {
+  if (keys_ != other.keys_) return false;
+  return tensors_ == other.tensors_;
+}
+
+}  // namespace recd::tensor

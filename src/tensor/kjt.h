@@ -1,0 +1,61 @@
+// KeyedJaggedTensor (KJT): the batch format for sparse features.
+//
+// Maps feature keys to JaggedTensors that all share one batch dimension —
+// the format DLRM trainers consume (paper §4.2, Fig 5 left). RecD's IKJT
+// deduplicates these per-batch.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/jagged.h"
+
+namespace recd::tensor {
+
+class KeyedJaggedTensor {
+ public:
+  KeyedJaggedTensor() = default;
+
+  /// Adds a feature. All features must share the same number of rows
+  /// (batch size); the first insert fixes it. Throws on mismatch or
+  /// duplicate key.
+  void AddFeature(std::string key, JaggedTensor tensor);
+
+  [[nodiscard]] std::size_t num_keys() const { return keys_.size(); }
+
+  /// Batch size (rows); 0 when no features were added.
+  [[nodiscard]] std::size_t batch_size() const { return batch_size_; }
+
+  [[nodiscard]] const std::vector<std::string>& keys() const { return keys_; }
+
+  [[nodiscard]] bool Has(std::string_view key) const;
+
+  /// Feature lookup by key. Throws std::out_of_range for unknown keys.
+  [[nodiscard]] const JaggedTensor& Get(std::string_view key) const;
+
+  /// Feature lookup by insertion index. Requires i < num_keys().
+  [[nodiscard]] const JaggedTensor& tensor(std::size_t i) const {
+    return tensors_[i];
+  }
+
+  /// Mutable feature access for in-place preprocessing transforms.
+  /// Throws std::out_of_range for unknown keys.
+  [[nodiscard]] JaggedTensor& MutableGet(std::string_view key);
+
+  /// Sum of values-slice lengths across all features.
+  [[nodiscard]] std::size_t total_values() const;
+
+  [[nodiscard]] bool operator==(const KeyedJaggedTensor& other) const;
+
+ private:
+  std::vector<std::string> keys_;
+  std::vector<JaggedTensor> tensors_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::size_t batch_size_ = 0;
+  bool batch_size_set_ = false;
+};
+
+}  // namespace recd::tensor

@@ -1,0 +1,141 @@
+#include "tensor/partial_ikjt.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace recd::tensor {
+
+PartialIkjt::PartialIkjt(std::string key, std::vector<Id> values,
+                         std::vector<RowRef> inverse_lookup)
+    : key_(std::move(key)),
+      values_(std::move(values)),
+      inverse_lookup_(std::move(inverse_lookup)) {
+  for (const auto& ref : inverse_lookup_) {
+    if (ref.offset < 0 || ref.length < 0 ||
+        ref.offset + ref.length > static_cast<std::int64_t>(values_.size())) {
+      throw std::invalid_argument("PartialIkjt: row ref out of range");
+    }
+  }
+}
+
+std::span<const Id> PartialIkjt::Row(std::size_t i) const {
+  const auto& ref = inverse_lookup_[i];
+  return std::span<const Id>(values_).subspan(
+      static_cast<std::size_t>(ref.offset),
+      static_cast<std::size_t>(ref.length));
+}
+
+double PartialIkjt::dedupe_factor() const {
+  std::size_t logical = 0;
+  for (const auto& ref : inverse_lookup_) {
+    logical += static_cast<std::size_t>(ref.length);
+  }
+  return values_.empty()
+             ? 1.0
+             : static_cast<double>(logical) /
+                   static_cast<double>(values_.size());
+}
+
+PartialIkjt BuildPartialIkjt(const std::string& key,
+                             const JaggedTensor& feature,
+                             const PartialDedupOptions& options) {
+  std::vector<Id> values;
+  std::vector<PartialIkjt::RowRef> lookup;
+  lookup.reserve(feature.num_rows());
+
+  // Exact-match memo: any previously emitted window can be reused
+  // verbatim (so a value that recurs later — paper Fig 5's third row —
+  // points back at its first occurrence).
+  std::unordered_map<std::uint64_t, std::vector<PartialIkjt::RowRef>> memo;
+
+  // Shift detection chains from the previous row's window. Appending new
+  // elements is only possible while that window still ends at the tail of
+  // `values` (appends must stay contiguous).
+  PartialIkjt::RowRef prev{0, 0};
+  bool have_prev = false;
+
+  auto window_equals = [&](const PartialIkjt::RowRef& ref,
+                           std::span<const Id> row) {
+    if (static_cast<std::size_t>(ref.length) != row.size()) return false;
+    return std::equal(row.begin(), row.end(),
+                      values.begin() + static_cast<std::ptrdiff_t>(ref.offset));
+  };
+
+  for (std::size_t i = 0; i < feature.num_rows(); ++i) {
+    const auto row = feature.row(i);
+    const std::uint64_t h = common::HashIds(row);
+
+    // 1) Exact reuse of any prior window.
+    bool emitted = false;
+    if (const auto it = memo.find(h); it != memo.end()) {
+      for (const auto& ref : it->second) {
+        if (window_equals(ref, row)) {
+          lookup.push_back(ref);
+          prev = ref;
+          emitted = true;
+          break;
+        }
+      }
+    }
+
+    // 2) Shift detection: row equals the previous window shifted by k
+    // (drop the k oldest elements, append up to max_shift new ones). New
+    // elements can only be appended while the previous window ends at the
+    // tail of `values`.
+    const bool prev_at_tail =
+        have_prev &&
+        prev.offset + prev.length == static_cast<std::int64_t>(values.size());
+    if (!emitted && prev_at_tail) {
+      const std::size_t max_k = std::min(
+          options.max_shift, static_cast<std::size_t>(prev.length));
+      for (std::size_t k = 1; k <= max_k && !emitted; ++k) {
+        const std::size_t overlap =
+            static_cast<std::size_t>(prev.length) - k;
+        if (row.size() < overlap) continue;
+        const std::size_t fresh = row.size() - overlap;
+        if (fresh == 0 || fresh > options.max_shift) continue;
+        const auto* window_begin =
+            values.data() + prev.offset + static_cast<std::int64_t>(k);
+        if (!std::equal(window_begin, window_begin + overlap, row.begin())) {
+          continue;
+        }
+        values.insert(values.end(),
+                      row.end() - static_cast<std::ptrdiff_t>(fresh),
+                      row.end());
+        const PartialIkjt::RowRef ref{
+            prev.offset + static_cast<std::int64_t>(k),
+            static_cast<std::int64_t>(row.size())};
+        lookup.push_back(ref);
+        memo[h].push_back(ref);
+        prev = ref;
+        emitted = true;
+      }
+    }
+
+    // 3) Fresh block.
+    if (!emitted) {
+      const PartialIkjt::RowRef ref{
+          static_cast<std::int64_t>(values.size()),
+          static_cast<std::int64_t>(row.size())};
+      values.insert(values.end(), row.begin(), row.end());
+      lookup.push_back(ref);
+      memo[h].push_back(ref);
+      prev = ref;
+    }
+    have_prev = true;
+  }
+  return PartialIkjt(key, std::move(values), std::move(lookup));
+}
+
+JaggedTensor ExpandPartialIkjt(const PartialIkjt& ikjt) {
+  JaggedTensor out;
+  for (std::size_t i = 0; i < ikjt.batch_size(); ++i) {
+    out.AppendRow(ikjt.Row(i));
+  }
+  return out;
+}
+
+}  // namespace recd::tensor

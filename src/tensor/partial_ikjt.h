@@ -1,0 +1,79 @@
+// Partial IKJT (paper §7, "Supporting Partial IKJTs").
+//
+// Exact-match IKJTs capture 81.6% of duplicate bytes; partial matches —
+// which are *shifts* of a sliding-window feature list (e.g. "last N liked
+// posts" after one new like) — capture another ~7.8%. A partial IKJT
+// drops the offsets slice and instead stores a per-row [offset, length]
+// pair into a shared values slice, so a shifted row can reference the
+// overlapping window and append only its new elements.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/jagged.h"
+
+namespace recd::tensor {
+
+class PartialIkjt {
+ public:
+  struct RowRef {
+    std::int64_t offset = 0;
+    std::int64_t length = 0;
+    [[nodiscard]] bool operator==(const RowRef&) const = default;
+  };
+
+  PartialIkjt() = default;
+  PartialIkjt(std::string key, std::vector<Id> values,
+              std::vector<RowRef> inverse_lookup);
+
+  [[nodiscard]] const std::string& key() const { return key_; }
+  [[nodiscard]] std::size_t batch_size() const {
+    return inverse_lookup_.size();
+  }
+  [[nodiscard]] std::span<const Id> values() const { return values_; }
+  [[nodiscard]] std::span<const RowRef> inverse_lookup() const {
+    return inverse_lookup_;
+  }
+
+  /// Logical view of batch row i.
+  [[nodiscard]] std::span<const Id> Row(std::size_t i) const;
+
+  /// Stored elements vs logical elements (>= 1; higher is better).
+  [[nodiscard]] double dedupe_factor() const;
+
+  /// Tensor-payload bytes on the wire: the shared values slice plus one
+  /// [offset, length] pair per row (the offsets slice is gone — §7).
+  [[nodiscard]] std::size_t WireBytes() const {
+    return values_.size() * sizeof(Id) +
+           inverse_lookup_.size() * 2 * sizeof(std::int64_t);
+  }
+
+ private:
+  std::string key_;
+  std::vector<Id> values_;
+  std::vector<RowRef> inverse_lookup_;
+};
+
+/// Options for shift detection.
+struct PartialDedupOptions {
+  /// Maximum shift considered when matching a row against the current
+  /// window block (paper: lists shift by the few newly-appended items).
+  std::size_t max_shift = 16;
+};
+
+/// Builds a partial IKJT from one feature's jagged batch. Rows are
+/// deduplicated against the most recent "window block": an exact match
+/// reuses it outright; a row equal to the block shifted by k (dropping k
+/// old elements, appending k new ones) appends only the k new elements.
+/// Anything else starts a fresh block. Reconstruction is exact.
+[[nodiscard]] PartialIkjt BuildPartialIkjt(
+    const std::string& key, const JaggedTensor& feature,
+    const PartialDedupOptions& options = {});
+
+/// Expands back to a JaggedTensor (inverse of BuildPartialIkjt).
+[[nodiscard]] JaggedTensor ExpandPartialIkjt(const PartialIkjt& ikjt);
+
+}  // namespace recd::tensor

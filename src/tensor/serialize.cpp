@@ -1,0 +1,109 @@
+#include "tensor/serialize.h"
+
+namespace recd::tensor {
+
+namespace {
+
+void PutJagged(const JaggedTensor& t, common::ByteWriter& out) {
+  out.PutVarint(t.num_rows());
+  for (const auto o : t.offsets()) {
+    out.PutU64(static_cast<std::uint64_t>(o));
+  }
+  out.PutVarint(t.total_values());
+  for (const auto v : t.values()) {
+    out.PutU64(static_cast<std::uint64_t>(v));
+  }
+}
+
+JaggedTensor GetJagged(common::ByteReader& in) {
+  const std::uint64_t rows = in.GetVarint();
+  std::vector<Offset> offsets;
+  offsets.reserve(rows);
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    offsets.push_back(static_cast<Offset>(in.GetU64()));
+  }
+  const std::uint64_t nvals = in.GetVarint();
+  std::vector<Id> values;
+  values.reserve(nvals);
+  for (std::uint64_t i = 0; i < nvals; ++i) {
+    values.push_back(static_cast<Id>(in.GetU64()));
+  }
+  return JaggedTensor(std::move(values), std::move(offsets));
+}
+
+}  // namespace
+
+void SerializeKjt(const KeyedJaggedTensor& kjt, common::ByteWriter& out) {
+  out.PutVarint(kjt.num_keys());
+  for (std::size_t i = 0; i < kjt.num_keys(); ++i) {
+    out.PutString(kjt.keys()[i]);
+    PutJagged(kjt.tensor(i), out);
+  }
+}
+
+KeyedJaggedTensor DeserializeKjt(common::ByteReader& in) {
+  const std::uint64_t n = in.GetVarint();
+  KeyedJaggedTensor kjt;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key = in.GetString();
+    kjt.AddFeature(std::move(key), GetJagged(in));
+  }
+  return kjt;
+}
+
+void SerializeIkjt(const InverseKeyedJaggedTensor& ikjt,
+                   common::ByteWriter& out) {
+  out.PutVarint(ikjt.num_keys());
+  for (std::size_t i = 0; i < ikjt.num_keys(); ++i) {
+    out.PutString(ikjt.keys()[i]);
+    PutJagged(ikjt.unique(i), out);
+  }
+  out.PutVarint(ikjt.batch_size());
+  for (const auto idx : ikjt.inverse_lookup()) {
+    out.PutU64(static_cast<std::uint64_t>(idx));
+  }
+}
+
+InverseKeyedJaggedTensor DeserializeIkjt(common::ByteReader& in) {
+  const std::uint64_t n = in.GetVarint();
+  std::vector<std::string> keys;
+  std::vector<JaggedTensor> unique;
+  keys.reserve(n);
+  unique.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    keys.push_back(in.GetString());
+    unique.push_back(GetJagged(in));
+  }
+  const std::uint64_t b = in.GetVarint();
+  std::vector<std::int64_t> lookup;
+  lookup.reserve(b);
+  for (std::uint64_t i = 0; i < b; ++i) {
+    lookup.push_back(static_cast<std::int64_t>(in.GetU64()));
+  }
+  return InverseKeyedJaggedTensor(std::move(keys), std::move(unique),
+                                  std::move(lookup));
+}
+
+std::size_t KjtWireBytes(const KeyedJaggedTensor& kjt) {
+  std::size_t bytes = 0;
+  for (std::size_t i = 0; i < kjt.num_keys(); ++i) {
+    const auto& t = kjt.tensor(i);
+    bytes += (t.num_rows() + t.total_values()) * sizeof(std::int64_t);
+  }
+  return bytes;
+}
+
+std::size_t IkjtWireBytes(const InverseKeyedJaggedTensor& ikjt,
+                          bool include_inverse_lookup) {
+  std::size_t bytes = 0;
+  for (std::size_t i = 0; i < ikjt.num_keys(); ++i) {
+    const auto& t = ikjt.unique(i);
+    bytes += (t.num_rows() + t.total_values()) * sizeof(std::int64_t);
+  }
+  if (include_inverse_lookup) {
+    bytes += ikjt.batch_size() * sizeof(std::int64_t);
+  }
+  return bytes;
+}
+
+}  // namespace recd::tensor

@@ -1,0 +1,42 @@
+// Wire serialization of KJTs and IKJTs.
+//
+// The paper's network results hinge on byte accounting: readers send
+// (I)KJTs to trainers, and the SDD all-to-all moves `values` and
+// `offsets` slices between GPUs while `inverse_lookup` stays local
+// (§5, "Sparse Data Distribution"). Tensors go over the wire as raw
+// little-endian int64 arrays — matching how a framework ships tensor
+// buffers — so IKJT savings come only from genuinely smaller slices.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bytes.h"
+#include "tensor/ikjt.h"
+#include "tensor/kjt.h"
+
+namespace recd::tensor {
+
+/// Serializes a KJT (keys + offsets + values per feature).
+void SerializeKjt(const KeyedJaggedTensor& kjt, common::ByteWriter& out);
+[[nodiscard]] KeyedJaggedTensor DeserializeKjt(common::ByteReader& in);
+
+/// Serializes an IKJT (keys + deduplicated offsets/values + the shared
+/// inverse_lookup).
+void SerializeIkjt(const InverseKeyedJaggedTensor& ikjt,
+                   common::ByteWriter& out);
+[[nodiscard]] InverseKeyedJaggedTensor DeserializeIkjt(
+    common::ByteReader& in);
+
+/// Tensor-payload bytes of a KJT: 8 bytes per offset and per value, for
+/// every feature. (Key strings are metadata, excluded — they are
+/// negligible and identical across formats.)
+[[nodiscard]] std::size_t KjtWireBytes(const KeyedJaggedTensor& kjt);
+
+/// Tensor-payload bytes of an IKJT. `include_inverse_lookup` is true for
+/// reader→trainer transfer and false for the SDD all-to-all, where the
+/// lookup slice is kept local (§5).
+[[nodiscard]] std::size_t IkjtWireBytes(
+    const InverseKeyedJaggedTensor& ikjt, bool include_inverse_lookup);
+
+}  // namespace recd::tensor

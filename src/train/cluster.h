@@ -1,0 +1,62 @@
+// Training-cluster hardware description (paper §6.1's ZionEX testbed).
+//
+// The simulator converts exact operation/byte counters into time through
+// these rates. Absolute numbers differ from A100 silicon — the paper's
+// shapes (ratios, crossovers) are the reproduction target (DESIGN.md §1).
+#pragma once
+
+#include <cstddef>
+
+namespace recd::train {
+
+struct GpuSpec {
+  double flops = 50e12;        // sustained mixed-precision FLOP/s
+  double mem_bw = 1.3e12;      // HBM bytes/s
+  double hbm_bytes = 40e9;     // device memory
+  double nvlink_bw = 250e9;    // intra-node per-GPU bytes/s
+  double roce_bw = 15e9;       // inter-node per-GPU bytes/s (effective)
+};
+
+struct ClusterSpec {
+  std::size_t num_gpus = 8;
+  std::size_t gpus_per_node = 8;
+  GpuSpec gpu;
+  double collective_latency_s = 10e-6;  // per-collective fixed cost
+  /// Per-iteration fixed overhead (kernel launches, optimizer, host sync).
+  double fixed_overhead_s = 50e-6;
+  /// Fraction of compute time that can hide collective time (pipelined
+  /// SDD/a2a overlap in the training loop).
+  double comm_overlap = 0.3;
+
+  [[nodiscard]] bool single_node() const {
+    return num_gpus <= gpus_per_node;
+  }
+  /// Per-GPU bandwidth available to collectives: NVLink when the job fits
+  /// one node, the RoCE backend NIC otherwise.
+  [[nodiscard]] double collective_bw() const {
+    return single_node() ? gpu.nvlink_bw : gpu.roce_bw;
+  }
+};
+
+/// ZionEX-like presets (8 GPUs per node). `work_scale` divides every
+/// rate and fixed cost: benchmark workloads run at 1/8 the paper's batch
+/// sizes and ~1/4 its sequence lengths, so scaling the hardware down by
+/// the same ~32x keeps the *fractional* iteration breakdown (Fig 8)
+/// comparable — the simulator reproduces shapes, not absolute seconds
+/// (DESIGN.md §1).
+[[nodiscard]] inline ClusterSpec ZionEx(std::size_t num_gpus,
+                                        double work_scale = 1.0) {
+  ClusterSpec spec;
+  spec.num_gpus = num_gpus;
+  spec.gpus_per_node = 8;
+  spec.gpu.flops /= work_scale;
+  spec.gpu.mem_bw /= work_scale;
+  spec.gpu.nvlink_bw /= work_scale;
+  spec.gpu.roce_bw /= work_scale;
+  spec.gpu.hbm_bytes /= work_scale;
+  spec.collective_latency_s /= work_scale;
+  spec.fixed_overhead_s /= work_scale;
+  return spec;
+}
+
+}  // namespace recd::train

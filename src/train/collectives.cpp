@@ -1,0 +1,38 @@
+#include "train/collectives.h"
+
+#include <algorithm>
+
+namespace recd::train {
+
+double AllToAllSeconds(const ClusterSpec& cluster, double total_bytes) {
+  const double n = static_cast<double>(cluster.num_gpus);
+  if (n <= 1.0 || total_bytes <= 0.0) return 0.0;
+  // Each GPU sends its share of the payload minus the fraction destined
+  // to itself; the slowest NIC bounds the step.
+  const double per_gpu_bytes = total_bytes / n * (n - 1.0) / n;
+  return cluster.collective_latency_s +
+         per_gpu_bytes / cluster.collective_bw();
+}
+
+double AllReduceSeconds(const ClusterSpec& cluster, double bytes) {
+  const double n = static_cast<double>(cluster.num_gpus);
+  if (n <= 1.0 || bytes <= 0.0) return 0.0;
+  if (cluster.single_node()) {
+    // Ring over NVLink: 2*(n-1)/n of the payload per link.
+    const double per_gpu_bytes = 2.0 * (n - 1.0) / n * bytes;
+    return 2.0 * cluster.collective_latency_s +
+           per_gpu_bytes / cluster.gpu.nvlink_bw;
+  }
+  // Hierarchical: intra-node ring over NVLink, then the node-reduced
+  // buffer is sharded across the node's NICs for the inter-node ring.
+  const double g = static_cast<double>(cluster.gpus_per_node);
+  const double nodes = n / g;
+  const double intra_bytes = 2.0 * (g - 1.0) / g * bytes;
+  const double inter_bytes =
+      2.0 * (nodes - 1.0) / nodes * bytes / g;
+  return 3.0 * cluster.collective_latency_s +
+         intra_bytes / cluster.gpu.nvlink_bw +
+         inter_bytes / cluster.gpu.roce_bw;
+}
+
+}  // namespace recd::train

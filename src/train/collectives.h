@@ -1,0 +1,25 @@
+// Collective-communication cost models (all-to-all, all-reduce).
+//
+// DLRM hybrid parallelism (paper Fig 2) runs four collectives per
+// iteration: SDD all-to-all (sparse inputs), embedding all-to-all
+// (pooled outputs), the mirror-image gradient all-to-all, and the MLP
+// gradient all-reduce. Costs follow the standard alpha-beta model with
+// per-GPU NIC bandwidth as the bottleneck term.
+#pragma once
+
+#include <cstddef>
+
+#include "train/cluster.h"
+
+namespace recd::train {
+
+/// Time for an all-to-all where `total_bytes` is the sum of all data that
+/// must cross GPU boundaries (each GPU sends total/N, keeps 1/N of it).
+[[nodiscard]] double AllToAllSeconds(const ClusterSpec& cluster,
+                                     double total_bytes);
+
+/// Time for a ring all-reduce of `bytes` replicated on every GPU.
+[[nodiscard]] double AllReduceSeconds(const ClusterSpec& cluster,
+                                      double bytes);
+
+}  // namespace recd::train

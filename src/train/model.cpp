@@ -1,0 +1,108 @@
+#include "train/model.h"
+
+#include <stdexcept>
+
+namespace recd::train {
+
+std::size_t ModelConfig::num_tables() const {
+  std::size_t n = elementwise_features.size() + plain_features.size();
+  for (const auto& g : sequence_groups) n += g.features.size();
+  return n;
+}
+
+std::size_t ModelConfig::num_interaction_inputs() const {
+  return 1 + elementwise_features.size() + plain_features.size() +
+         sequence_groups.size();
+}
+
+std::vector<std::size_t> ModelConfig::BottomMlpDims() const {
+  std::vector<std::size_t> dims;
+  dims.push_back(dense_dim);
+  dims.insert(dims.end(), bottom_mlp_hidden.begin(),
+              bottom_mlp_hidden.end());
+  dims.push_back(emb_dim);
+  return dims;
+}
+
+std::vector<std::size_t> ModelConfig::TopMlpDims() const {
+  const std::size_t f = num_interaction_inputs();
+  std::vector<std::size_t> dims;
+  dims.push_back(emb_dim + f * (f - 1) / 2);
+  dims.insert(dims.end(), top_mlp_hidden.begin(), top_mlp_hidden.end());
+  dims.push_back(1);
+  return dims;
+}
+
+ModelConfig RmModel(datagen::RmKind kind,
+                    const datagen::DatasetSpec& dataset) {
+  ModelConfig model;
+  model.dense_dim = dataset.num_dense;
+  switch (kind) {
+    case datagen::RmKind::kRm1:
+      model.name = "RM1";
+      model.emb_dim = 128;
+      model.emb_hash_size = 400'000;  // O(10GB) class, scaled
+      break;
+    case datagen::RmKind::kRm2:
+      model.name = "RM2";
+      model.emb_dim = 192;
+      model.emb_hash_size = 800'000;  // O(100GB) class, scaled
+      model.bottom_mlp_hidden = {512, 256};
+      model.top_mlp_hidden = {2048, 1024};
+      break;
+    case datagen::RmKind::kRm3:
+      model.name = "RM3";
+      model.emb_dim = 160;
+      model.emb_hash_size = 800'000;
+      model.bottom_mlp_hidden = {512};
+      model.top_mlp_hidden = {1024, 512};
+      break;
+  }
+  for (const auto& group : datagen::RmDedupGroups(kind, dataset)) {
+    SequenceGroup g;
+    g.features = group;
+    // RM1 pools sequence groups with transformers (paper §6.2); RM2/RM3
+    // use cheaper sequence pooling.
+    g.attention = kind == datagen::RmKind::kRm1;
+    model.sequence_groups.push_back(std::move(g));
+  }
+  model.elementwise_features =
+      datagen::RmElementwiseDedupFeatures(kind, dataset);
+  for (const auto& f : dataset.sparse) {
+    bool used = f.sync_group >= 0;
+    for (const auto& name : model.elementwise_features) {
+      if (name == f.name) used = true;
+    }
+    if (!used) model.plain_features.push_back(f.name);
+  }
+  return model;
+}
+
+reader::DataLoaderConfig MakeDataLoaderConfig(const ModelConfig& model,
+                                              std::size_t batch_size,
+                                              bool recd_enabled) {
+  reader::DataLoaderConfig config;
+  config.batch_size = batch_size;
+  config.dense = true;
+  config.sparse_features = model.plain_features;
+  if (recd_enabled) {
+    for (const auto& g : model.sequence_groups) {
+      config.dedup_sparse_features.push_back(g.features);
+    }
+    for (const auto& f : model.elementwise_features) {
+      config.dedup_sparse_features.push_back({f});
+    }
+  } else {
+    for (const auto& g : model.sequence_groups) {
+      for (const auto& f : g.features) {
+        config.sparse_features.push_back(f);
+      }
+    }
+    for (const auto& f : model.elementwise_features) {
+      config.sparse_features.push_back(f);
+    }
+  }
+  return config;
+}
+
+}  // namespace recd::train

@@ -1,0 +1,66 @@
+// Trainer-side model architecture description.
+//
+// Maps dataset features onto DLRM components (paper §2.2 / Fig 2): every
+// sparse feature gets an embedding table; element-wise features pool with
+// sum; sequence groups pool with self-attention ("transformer pooling");
+// a bottom MLP embeds dense features; pairwise interaction feeds a top
+// MLP. RM presets mirror the paper's three models.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "datagen/presets.h"
+#include "datagen/schema.h"
+#include "nn/embedding.h"
+#include "reader/dataloader.h"
+
+namespace recd::train {
+
+/// A group of sequence features pooled together (one attention module per
+/// group; with RecD the group shares one IKJT so the module runs on
+/// deduplicated rows — O7).
+struct SequenceGroup {
+  std::vector<std::string> features;
+  bool attention = true;  // false = sum-pool the concatenated sequence
+};
+
+struct ModelConfig {
+  std::string name;
+  std::size_t emb_dim = 128;
+  std::size_t emb_hash_size = 200'000;  // rows per embedding table
+
+  /// Sum-pooled features that RecD deduplicates one-per-group.
+  std::vector<std::string> elementwise_features;
+  /// Features never deduplicated (item features and low-dup users).
+  std::vector<std::string> plain_features;
+  std::vector<SequenceGroup> sequence_groups;
+
+  std::size_t dense_dim = 16;
+  std::vector<std::size_t> bottom_mlp_hidden = {256};
+  std::vector<std::size_t> top_mlp_hidden = {512, 256};
+
+  [[nodiscard]] std::size_t num_tables() const;
+  /// Number of interaction inputs: bottom output + pooled outputs
+  /// (one per element-wise feature, plain feature, and sequence group).
+  [[nodiscard]] std::size_t num_interaction_inputs() const;
+  /// Full bottom-MLP layer dims: {dense_dim, hidden..., emb_dim}.
+  [[nodiscard]] std::vector<std::size_t> BottomMlpDims() const;
+  /// Full top-MLP layer dims: {interaction_dim, hidden..., 1}.
+  [[nodiscard]] std::vector<std::size_t> TopMlpDims() const;
+};
+
+/// Builds the RM model preset over the matching dataset spec (paper §6.1:
+/// RM1 pools several user sequence features with transformers; RM2/RM3
+/// use one group; all deduplicate ~100 element-wise features).
+[[nodiscard]] ModelConfig RmModel(datagen::RmKind kind,
+                                  const datagen::DatasetSpec& dataset);
+
+/// Derives the reader DataLoader config for a model. With `recd_enabled`,
+/// sequence groups and element-wise features become dedup groups (O3);
+/// otherwise everything converts to plain KJT.
+[[nodiscard]] reader::DataLoaderConfig MakeDataLoaderConfig(
+    const ModelConfig& model, std::size_t batch_size, bool recd_enabled);
+
+}  // namespace recd::train

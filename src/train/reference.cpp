@@ -1,0 +1,257 @@
+#include "train/reference.h"
+
+#include <stdexcept>
+
+#include "tensor/jagged_ops.h"
+
+namespace recd::train {
+
+tensor::JaggedTensor ExpandedFeature(const reader::PreprocessedBatch& batch,
+                                     const std::string& feature) {
+  if (batch.kjt.Has(feature)) return batch.kjt.Get(feature);
+  for (const auto& g : batch.groups) {
+    for (const auto& key : g.keys()) {
+      if (key == feature) {
+        return tensor::JaggedIndexSelect(g.Unique(feature),
+                                         g.inverse_lookup());
+      }
+    }
+  }
+  for (const auto& p : batch.partials) {
+    if (p.key() == feature) return tensor::ExpandPartialIkjt(p);
+  }
+  throw std::out_of_range("ExpandedFeature: feature not in batch: " +
+                          feature);
+}
+
+nn::DenseMatrix ExpandRows(const nn::DenseMatrix& pooled,
+                           std::span<const std::int64_t> inverse) {
+  nn::DenseMatrix out(inverse.size(), pooled.cols());
+  for (std::size_t i = 0; i < inverse.size(); ++i) {
+    const auto src = pooled.row(static_cast<std::size_t>(inverse[i]));
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+namespace {
+
+const tensor::InverseKeyedJaggedTensor* FindGroupByFirstKey(
+    const reader::PreprocessedBatch& batch, const std::string& first) {
+  for (const auto& g : batch.groups) {
+    for (const auto& key : g.keys()) {
+      if (key == first) return &g;
+    }
+  }
+  return nullptr;
+}
+
+common::Rng MakeRng(std::uint64_t seed) { return common::Rng(seed); }
+
+}  // namespace
+
+ReferenceDlrm::ReferenceDlrm(ModelConfig model, std::uint64_t seed)
+    : model_(std::move(model)),
+      bottom_mlp_([&] {
+        auto rng = MakeRng(seed);
+        return nn::Mlp(model_.BottomMlpDims(), rng);
+      }()),
+      top_mlp_([&] {
+        auto rng = MakeRng(seed + 1);
+        return nn::Mlp(model_.TopMlpDims(), rng);
+      }()),
+      attention_(model_.emb_dim) {
+  auto rng = MakeRng(seed + 2);
+  auto add_table = [&](const std::string& feature) {
+    table_order_.push_back(feature);
+    tables_.emplace_back(model_.emb_hash_size, model_.emb_dim, rng);
+  };
+  for (const auto& g : model_.sequence_groups) {
+    for (const auto& f : g.features) add_table(f);
+  }
+  for (const auto& f : model_.elementwise_features) add_table(f);
+  for (const auto& f : model_.plain_features) add_table(f);
+}
+
+nn::EmbeddingTable& ReferenceDlrm::Table(const std::string& feature) {
+  for (std::size_t i = 0; i < table_order_.size(); ++i) {
+    if (table_order_[i] == feature) return tables_[i];
+  }
+  throw std::out_of_range("ReferenceDlrm: no table for feature " + feature);
+}
+
+nn::DenseMatrix ReferenceDlrm::BottomForward(
+    const reader::PreprocessedBatch& batch) {
+  nn::DenseMatrix dense(batch.batch_size, model_.dense_dim);
+  if (batch.dense.size() != batch.batch_size * model_.dense_dim) {
+    throw std::invalid_argument("ReferenceDlrm: dense size mismatch");
+  }
+  std::copy(batch.dense.begin(), batch.dense.end(), dense.data().begin());
+  return bottom_mlp_.Forward(dense);
+}
+
+ReferenceDlrm::PooledInputs ReferenceDlrm::PoolSparse(
+    const reader::PreprocessedBatch& batch, bool recd, bool attention_ok) {
+  PooledInputs out;
+  const std::size_t d = model_.emb_dim;
+
+  // Pools a group of features over the given (possibly deduplicated)
+  // per-feature jagged tensors: per row, the features' sequences are
+  // concatenated and pooled by attention or summed.
+  auto pool_group = [&](const SequenceGroup& group,
+                        const std::vector<const tensor::JaggedTensor*>& jts)
+      -> nn::DenseMatrix {
+    const std::size_t rows = jts.front()->num_rows();
+    const bool use_attention = group.attention && attention_ok;
+    nn::DenseMatrix pooled(rows, d);
+    std::vector<float> seq;
+    for (std::size_t r = 0; r < rows; ++r) {
+      seq.clear();
+      for (std::size_t k = 0; k < jts.size(); ++k) {
+        for (const auto id : jts[k]->row(r)) {
+          const auto w = Table(group.features[k]).Lookup(id);
+          seq.insert(seq.end(), w.begin(), w.end());
+        }
+      }
+      const std::size_t len = seq.size() / d;
+      if (use_attention) {
+        attention_.PoolRow(seq, len, pooled.row(r));
+      } else {
+        auto prow = pooled.row(r);
+        for (std::size_t i = 0; i < len; ++i) {
+          for (std::size_t c = 0; c < d; ++c) prow[c] += seq[i * d + c];
+        }
+      }
+    }
+    return pooled;
+  };
+
+  for (const auto& group : model_.sequence_groups) {
+    const auto* ikjt = FindGroupByFirstKey(batch, group.features.front());
+    if (recd) {
+      if (ikjt == nullptr) {
+        throw std::invalid_argument(
+            "ReferenceDlrm: recd path requires IKJT groups in the batch");
+      }
+      // O7: pool unique rows, then expand through the shared lookup.
+      std::vector<const tensor::JaggedTensor*> jts;
+      for (const auto& f : group.features) jts.push_back(&ikjt->Unique(f));
+      out.matrices.push_back(
+          ExpandRows(pool_group(group, jts), ikjt->inverse_lookup()));
+    } else {
+      // Baseline: expand every feature to batch rows, pool everything.
+      std::vector<tensor::JaggedTensor> expanded;
+      expanded.reserve(group.features.size());
+      for (const auto& f : group.features) {
+        expanded.push_back(ExpandedFeature(batch, f));
+      }
+      std::vector<const tensor::JaggedTensor*> jts;
+      for (const auto& jt : expanded) jts.push_back(&jt);
+      out.matrices.push_back(pool_group(group, jts));
+    }
+  }
+
+  auto pool_single = [&](const std::string& feature) {
+    const auto* ikjt = FindGroupByFirstKey(batch, feature);
+    if (recd && ikjt != nullptr) {
+      auto pooled = Table(feature).PooledForward(ikjt->Unique(feature),
+                                                 nn::PoolingKind::kSum);
+      out.matrices.push_back(
+          ExpandRows(pooled, ikjt->inverse_lookup()));
+    } else {
+      out.matrices.push_back(Table(feature).PooledForward(
+          ExpandedFeature(batch, feature), nn::PoolingKind::kSum));
+    }
+  };
+  for (const auto& f : model_.elementwise_features) pool_single(f);
+  for (const auto& f : model_.plain_features) pool_single(f);
+  return out;
+}
+
+nn::DenseMatrix ReferenceDlrm::Forward(
+    const reader::PreprocessedBatch& batch, bool recd) {
+  nn::DenseMatrix bottom = BottomForward(batch);
+  PooledInputs pooled = PoolSparse(batch, recd, /*attention_ok=*/true);
+  pooled.pointers.push_back(&bottom);
+  for (const auto& m : pooled.matrices) pooled.pointers.push_back(&m);
+  nn::DenseMatrix interacted = interaction_.Forward(pooled.pointers);
+  return top_mlp_.Forward(interacted);
+}
+
+float ReferenceDlrm::TrainStep(const reader::PreprocessedBatch& batch,
+                               float lr) {
+  // Forward with sum pooling everywhere (attention backward unsupported).
+  nn::DenseMatrix bottom = BottomForward(batch);
+  PooledInputs pooled = PoolSparse(batch, /*recd=*/false,
+                                   /*attention_ok=*/false);
+  pooled.pointers.push_back(&bottom);
+  for (const auto& m : pooled.matrices) pooled.pointers.push_back(&m);
+  nn::DenseMatrix interacted = interaction_.Forward(pooled.pointers);
+  nn::DenseMatrix logits = top_mlp_.Forward(interacted);
+  const float loss = nn::BceWithLogitsLoss(logits, batch.labels);
+
+  // Backward.
+  nn::DenseMatrix grad_logits = nn::BceWithLogitsGrad(logits, batch.labels);
+  nn::DenseMatrix grad_interacted = top_mlp_.Backward(grad_logits);
+  std::vector<nn::DenseMatrix> grad_inputs;
+  interaction_.Backward(grad_interacted, pooled.pointers, grad_inputs);
+  (void)bottom_mlp_.Backward(grad_inputs[0]);
+
+  // Sparse updates: every pooled input after index 0 corresponds to a
+  // model input in PoolSparse order (groups, elementwise, plain).
+  std::size_t gi = 1;
+  for (const auto& group : model_.sequence_groups) {
+    // The concatenated-group sum pool distributes the same row gradient
+    // to every feature's IDs.
+    for (const auto& f : group.features) {
+      Table(f).ApplyPooledGradient(ExpandedFeature(batch, f),
+                                   grad_inputs[gi], nn::PoolingKind::kSum,
+                                   lr);
+    }
+    ++gi;
+  }
+  for (const auto& f : model_.elementwise_features) {
+    Table(f).ApplyPooledGradient(ExpandedFeature(batch, f),
+                                 grad_inputs[gi], nn::PoolingKind::kSum, lr);
+    ++gi;
+  }
+  for (const auto& f : model_.plain_features) {
+    Table(f).ApplyPooledGradient(ExpandedFeature(batch, f),
+                                 grad_inputs[gi], nn::PoolingKind::kSum, lr);
+    ++gi;
+  }
+  bottom_mlp_.Step(lr);
+  top_mlp_.Step(lr);
+  return loss;
+}
+
+float ReferenceDlrm::EvalLoss(const reader::PreprocessedBatch& batch) {
+  nn::DenseMatrix bottom = BottomForward(batch);
+  PooledInputs pooled = PoolSparse(batch, /*recd=*/false,
+                                   /*attention_ok=*/false);
+  pooled.pointers.push_back(&bottom);
+  for (const auto& m : pooled.matrices) pooled.pointers.push_back(&m);
+  nn::DenseMatrix interacted = interaction_.Forward(pooled.pointers);
+  nn::DenseMatrix logits = top_mlp_.Forward(interacted);
+  return nn::BceWithLogitsLoss(logits, batch.labels);
+}
+
+nn::OpStats ReferenceDlrm::Stats() const {
+  nn::OpStats s;
+  s += bottom_mlp_.stats();
+  s += top_mlp_.stats();
+  s += interaction_.stats();
+  s += attention_.stats();
+  for (const auto& t : tables_) s += t.stats();
+  return s;
+}
+
+void ReferenceDlrm::ResetStats() {
+  bottom_mlp_.ResetStats();
+  top_mlp_.ResetStats();
+  interaction_.ResetStats();
+  attention_.ResetStats();
+  for (auto& t : tables_) t.ResetStats();
+}
+
+}  // namespace recd::train

@@ -1,0 +1,80 @@
+// Reference DLRM with real math on a single device.
+//
+// Two purposes (DESIGN.md §4): (1) prove the paper's claim that "IKJTs
+// encode the exact same logical data as KJTs" — the RecD forward path
+// (pool unique rows, expand through inverse_lookup) must produce results
+// identical to the baseline path (expand first, pool everything); and
+// (2) run the §6.2 accuracy experiment (clustered vs interleaved batches)
+// with genuine gradient updates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/interaction.h"
+#include "nn/loss.h"
+#include "nn/mlp.h"
+#include "reader/batch.h"
+#include "train/model.h"
+
+namespace recd::train {
+
+/// Looks up the expanded (batch-rows) jagged tensor of `feature` in a
+/// batch, reconstructing from an IKJT when the feature was deduplicated.
+[[nodiscard]] tensor::JaggedTensor ExpandedFeature(
+    const reader::PreprocessedBatch& batch, const std::string& feature);
+
+/// Gathers rows: out(i, :) = pooled(inverse[i], :). The RecD post-pooling
+/// expansion (dense index-select through the local inverse_lookup).
+[[nodiscard]] nn::DenseMatrix ExpandRows(
+    const nn::DenseMatrix& pooled, std::span<const std::int64_t> inverse);
+
+class ReferenceDlrm {
+ public:
+  ReferenceDlrm(ModelConfig model, std::uint64_t seed);
+
+  /// Forward to logits (batch_size x 1). `recd` selects the deduplicated
+  /// compute path; it requires the batch to carry IKJT groups. The
+  /// baseline path accepts either batch form (IKJTs are expanded first).
+  [[nodiscard]] nn::DenseMatrix Forward(
+      const reader::PreprocessedBatch& batch, bool recd);
+
+  /// One SGD step (forward, BCE loss, backward, update). Uses sum
+  /// pooling for sequence groups regardless of the attention flag
+  /// (attention backward is out of scope). Returns the batch loss.
+  float TrainStep(const reader::PreprocessedBatch& batch, float lr);
+
+  /// Mean BCE loss without updating parameters.
+  [[nodiscard]] float EvalLoss(const reader::PreprocessedBatch& batch);
+
+  [[nodiscard]] const ModelConfig& model() const { return model_; }
+
+  /// Aggregate op counters since the last reset (drives micro-benches).
+  [[nodiscard]] nn::OpStats Stats() const;
+  void ResetStats();
+
+ private:
+  struct PooledInputs {
+    std::vector<nn::DenseMatrix> matrices;
+    std::vector<const nn::DenseMatrix*> pointers;  // bottom + pooled
+  };
+  [[nodiscard]] PooledInputs PoolSparse(
+      const reader::PreprocessedBatch& batch, bool recd, bool attention_ok);
+  [[nodiscard]] nn::DenseMatrix BottomForward(
+      const reader::PreprocessedBatch& batch);
+
+  ModelConfig model_;
+  nn::Mlp bottom_mlp_;
+  nn::Mlp top_mlp_;
+  nn::FeatureInteraction interaction_;
+  nn::SelfAttentionPooling attention_;
+  std::vector<std::string> table_order_;
+  std::vector<nn::EmbeddingTable> tables_;
+
+  [[nodiscard]] nn::EmbeddingTable& Table(const std::string& feature);
+};
+
+}  // namespace recd::train

@@ -1,0 +1,340 @@
+#include "train/trainer_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "train/collectives.h"
+
+namespace recd::train {
+
+namespace {
+
+/// Per-feature-or-group tensor statistics, representation-independent:
+/// derived from the IKJT when present, otherwise from the KJT.
+struct GroupShape {
+  std::size_t batch_rows = 0;    // B
+  std::size_t unique_rows = 0;   // U (== B when not deduplicated)
+  double values_full = 0;        // expanded values count
+  double values_unique = 0;      // deduplicated values count
+  double sum_len2_full = 0;      // sum over rows+features of length^2
+  double sum_len2_unique = 0;
+  double sum_max_len = 0;        // sum over features of max row length
+};
+
+/// Per-row lengths are tracked per feature: each sequence feature is
+/// pooled by its own attention module (paper §5: "each transformer's
+/// features grouped together using IKJTs"), so score work is
+/// sum-over-features of length^2, not (combined length)^2.
+GroupShape ShapeFromIkjt(const tensor::InverseKeyedJaggedTensor& ikjt) {
+  GroupShape s;
+  s.batch_rows = ikjt.batch_size();
+  s.unique_rows = ikjt.unique_rows();
+  for (std::size_t k = 0; k < ikjt.num_keys(); ++k) {
+    const auto& t = ikjt.unique(k);
+    s.values_unique += static_cast<double>(t.total_values());
+    double feature_max = 0;
+    for (std::size_t u = 0; u < t.num_rows(); ++u) {
+      const double len = static_cast<double>(t.length(u));
+      s.sum_len2_unique += len * len;
+      feature_max = std::max(feature_max, len);
+    }
+    s.sum_max_len += feature_max;
+    for (const auto u : ikjt.inverse_lookup()) {
+      const double len =
+          static_cast<double>(t.length(static_cast<std::size_t>(u)));
+      s.values_full += len;
+      s.sum_len2_full += len * len;
+    }
+  }
+  return s;
+}
+
+GroupShape ShapeFromKjt(const tensor::KeyedJaggedTensor& kjt,
+                        const std::vector<std::string>& features) {
+  GroupShape s;
+  s.batch_rows = kjt.batch_size();
+  s.unique_rows = kjt.batch_size();  // no dedup information
+  for (const auto& name : features) {
+    const auto& t = kjt.Get(name);
+    s.values_full += static_cast<double>(t.total_values());
+    double feature_max = 0;
+    for (std::size_t r = 0; r < t.num_rows(); ++r) {
+      const double len = static_cast<double>(t.length(r));
+      s.sum_len2_full += len * len;
+      feature_max = std::max(feature_max, len);
+    }
+    s.sum_max_len += feature_max;
+  }
+  s.values_unique = s.values_full;
+  s.sum_len2_unique = s.sum_len2_full;
+  return s;
+}
+
+/// Applies the ShapeScale multipliers (rows x, lengths x) to measured
+/// counts so downstream cost formulas operate at paper magnitudes.
+GroupShape Scaled(GroupShape s, const ShapeScale& scale) {
+  s.batch_rows = static_cast<std::size_t>(
+      static_cast<double>(s.batch_rows) * scale.rows);
+  s.unique_rows = static_cast<std::size_t>(
+      static_cast<double>(s.unique_rows) * scale.rows);
+  s.values_full *= scale.rows * scale.length;
+  s.values_unique *= scale.rows * scale.length;
+  s.sum_len2_full *= scale.rows * scale.length * scale.length;
+  s.sum_len2_unique *= scale.rows * scale.length * scale.length;
+  s.sum_max_len *= scale.length;
+  return s;
+}
+
+/// Finds the IKJT carrying `features` (matched on the first key), or
+/// nullptr if the batch holds them as plain KJT entries.
+const tensor::InverseKeyedJaggedTensor* FindGroup(
+    const reader::PreprocessedBatch& batch,
+    const std::vector<std::string>& features) {
+  for (const auto& g : batch.groups) {
+    for (const auto& key : g.keys()) {
+      if (key == features.front()) return &g;
+    }
+  }
+  return nullptr;
+}
+
+double MlpFlops(const std::vector<std::size_t>& dims, double rows) {
+  double f = 0;
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    f += 2.0 * rows * static_cast<double>(dims[i]) *
+         static_cast<double>(dims[i + 1]);
+  }
+  return f;
+}
+
+double MlpParamBytes(const std::vector<std::size_t>& dims) {
+  double bytes = 0;
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    bytes += static_cast<double>(dims[i] * dims[i + 1] + dims[i + 1]) *
+             sizeof(float);
+  }
+  return bytes;
+}
+
+double MlpActivationBytes(const std::vector<std::size_t>& dims,
+                          double rows) {
+  double bytes = 0;
+  for (std::size_t i = 1; i < dims.size(); ++i) {
+    bytes += rows * static_cast<double>(dims[i]) * sizeof(float);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+TrainerSim::TrainerSim(ModelConfig model, ClusterSpec cluster,
+                       TrainerFlags flags, ShapeScale scale)
+    : model_(std::move(model)),
+      cluster_(cluster),
+      flags_(flags),
+      scale_(scale) {
+  if (cluster_.num_gpus == 0) {
+    throw std::invalid_argument("TrainerSim: need at least one GPU");
+  }
+}
+
+double TrainerSim::StaticMemoryBytesPerGpu() const {
+  const double n = static_cast<double>(cluster_.num_gpus);
+  const double table_bytes = static_cast<double>(model_.num_tables()) *
+                             static_cast<double>(model_.emb_hash_size) *
+                             static_cast<double>(model_.emb_dim) *
+                             sizeof(float);
+  // Model-parallel EMB shards; data-parallel MLPs replicated, with
+  // gradient buffers (x2).
+  const double mlp_bytes =
+      2.0 * (MlpParamBytes(model_.BottomMlpDims()) +
+             MlpParamBytes(model_.TopMlpDims()));
+  return table_bytes / n + mlp_bytes;
+}
+
+IterationBreakdown TrainerSim::SimulateIteration(
+    const reader::PreprocessedBatch& batch) const {
+  const double n = static_cast<double>(cluster_.num_gpus);
+  const double batch_rows =
+      static_cast<double>(batch.batch_size) * scale_.rows;
+  const double d = static_cast<double>(model_.emb_dim);
+
+  // ---- Gather shapes for every model input. --------------------------
+  struct InputCost {
+    GroupShape shape;
+    bool deduplicated = false;  // IKJT present in the batch
+    bool attention = false;
+    bool sequence = false;
+  };
+  std::vector<InputCost> inputs;
+  auto add_input = [&](const std::vector<std::string>& features,
+                       bool attention, bool sequence) {
+    InputCost in;
+    if (const auto* ikjt = FindGroup(batch, features)) {
+      in.shape = Scaled(ShapeFromIkjt(*ikjt), scale_);
+      in.deduplicated = true;
+    } else {
+      in.shape = Scaled(ShapeFromKjt(batch.kjt, features), scale_);
+    }
+    in.attention = attention;
+    in.sequence = sequence;
+    inputs.push_back(in);
+  };
+  for (const auto& g : model_.sequence_groups) {
+    add_input(g.features, g.attention, /*sequence=*/true);
+  }
+  for (const auto& f : model_.elementwise_features) {
+    add_input({f}, /*attention=*/false, /*sequence=*/false);
+  }
+  for (const auto& f : model_.plain_features) {
+    add_input({f}, /*attention=*/false, /*sequence=*/false);
+  }
+
+  IterationBreakdown out;
+
+  // ---- SDD all-to-all (sparse input distribution). -------------------
+  // Values + offsets slices travel; inverse_lookup stays local (§5).
+  for (const auto& in : inputs) {
+    const bool dedup = in.deduplicated && flags_.dedup_emb;
+    const double values = dedup ? in.shape.values_unique
+                                : in.shape.values_full;
+    const double offsets = dedup ? static_cast<double>(in.shape.unique_rows)
+                                 : static_cast<double>(in.shape.batch_rows);
+    out.sdd_bytes += (values + offsets) * sizeof(std::int64_t);
+  }
+
+  // ---- Embedding lookups (memory-bandwidth bound). --------------------
+  for (const auto& in : inputs) {
+    const bool dedup = in.deduplicated && flags_.dedup_emb;
+    out.lookups += dedup ? in.shape.values_unique : in.shape.values_full;
+  }
+  // Forward reads table rows + writes activations; backward re-touches
+  // them for the sparse update.
+  const double emb_bytes = out.lookups * d * sizeof(float) * 3.0;
+  out.emb_s = emb_bytes / (cluster_.gpu.mem_bw * n);
+
+  // ---- Pooling / attention / expansion compute. -----------------------
+  double flops = 0;
+  double flops_logical = 0;  // as-if-no-dedup (duplicate work included)
+  double expand_bytes = 0;   // index-select style copies (memory bound)
+  double act_bytes = 0;      // per-job activation memory (split over GPUs)
+  for (const auto& in : inputs) {
+    const bool dedup_emb = in.deduplicated && flags_.dedup_emb;
+    const bool dedup_compute = in.deduplicated && flags_.dedup_compute;
+    // Activations out of the EMB lookup.
+    const double act_values =
+        dedup_emb ? in.shape.values_unique : in.shape.values_full;
+    act_bytes += act_values * d * sizeof(float);
+    if (in.attention) {
+      const double len2 =
+          dedup_compute ? in.shape.sum_len2_unique : in.shape.sum_len2_full;
+      flops += 4.0 * len2 * d + 5.0 * len2;
+      flops_logical += 4.0 * in.shape.sum_len2_full * d +
+                       5.0 * in.shape.sum_len2_full;
+      act_bytes += len2 * sizeof(float);  // score matrices
+      if (dedup_emb && !dedup_compute) {
+        // O5 without O7: the pooling module needs the expanded KJT, so
+        // sequence activations are index-selected out to B rows first.
+        if (flags_.jagged_index_select) {
+          // Jagged gather: read each unique row once, write the expanded
+          // rows once (no padding).
+          expand_bytes += (in.shape.values_unique + in.shape.values_full) *
+                          d * sizeof(float);
+          act_bytes += in.shape.values_full * d * sizeof(float);
+        } else {
+          // Pad-to-dense baseline: per feature, materialize U x Lmax
+          // and B x Lmax dense buffers.
+          const double padded =
+              (static_cast<double>(in.shape.unique_rows) + batch_rows) *
+              in.shape.sum_max_len * d * sizeof(float);
+          expand_bytes += padded;
+          act_bytes += padded;
+        }
+      }
+    } else {
+      const double values =
+          dedup_emb ? in.shape.values_unique : in.shape.values_full;
+      flops += 2.0 * values * d;  // sum pooling fused with lookup
+      flops_logical += 2.0 * in.shape.values_full * d;
+    }
+    if (in.deduplicated &&
+        (flags_.dedup_compute || flags_.dedup_emb)) {
+      // Post-pooling expansion of pooled outputs back to batch rows
+      // (cheap dense index-select through the local inverse_lookup).
+      expand_bytes += batch_rows * d * sizeof(float) * 2.0;
+    }
+    act_bytes += batch_rows * d * sizeof(float);  // pooled output
+  }
+
+  // ---- Dense MLPs + interaction (data parallel). ----------------------
+  const auto bottom = model_.BottomMlpDims();
+  const auto top = model_.TopMlpDims();
+  const double dense_flops =
+      MlpFlops(bottom, batch_rows) + MlpFlops(top, batch_rows);
+  flops += dense_flops;
+  flops_logical += dense_flops;
+  const double f_inputs = static_cast<double>(model_.num_interaction_inputs());
+  const double interaction_flops =
+      2.0 * batch_rows * d * (f_inputs * (f_inputs - 1.0) / 2.0);
+  flops += interaction_flops;
+  flops_logical += interaction_flops;
+  act_bytes += MlpActivationBytes(bottom, batch_rows) +
+               MlpActivationBytes(top, batch_rows);
+  act_bytes += batch_rows * static_cast<double>(top.front()) * sizeof(float);
+
+  // Backward ~= 2x forward compute.
+  out.flops = flops * 3.0;
+  out.flops_logical = flops_logical * 3.0;
+  const double gemm_compute_s = out.flops / (cluster_.gpu.flops * n);
+  const double expand_s = expand_bytes / (cluster_.gpu.mem_bw * n);
+  out.gemm_s = gemm_compute_s + expand_s;
+
+  // ---- Pooled-embedding all-to-alls (fwd + mirrored bwd). -------------
+  for (const auto& in : inputs) {
+    const bool dedup_out = in.deduplicated && flags_.dedup_compute;
+    const double rows = dedup_out ? static_cast<double>(in.shape.unique_rows)
+                                  : batch_rows;
+    out.emb_a2a_bytes += rows * d * sizeof(float);
+  }
+  const double a2a_fwd_s =
+      AllToAllSeconds(cluster_, out.sdd_bytes) +
+      AllToAllSeconds(cluster_, out.emb_a2a_bytes);
+  const double a2a_bwd_s = AllToAllSeconds(cluster_, out.emb_a2a_bytes);
+  out.a2a_raw_s = a2a_fwd_s + a2a_bwd_s;
+
+  // ---- Overlap model. --------------------------------------------------
+  // All-to-all overlaps with compute up to the comm_overlap fraction;
+  // the MLP gradient all-reduce is bucketed DDP-style across the whole
+  // backward, leaving only a residual fraction exposed.
+  const double overlap_budget =
+      cluster_.comm_overlap * (out.gemm_s + out.emb_s);
+  out.a2a_exposed_s = std::max(0.0, out.a2a_raw_s - overlap_budget);
+  const double mlp_bytes = MlpParamBytes(bottom) + MlpParamBytes(top);
+  constexpr double kAllReduceExposedFraction = 0.2;
+  const double exposed_allreduce =
+      kAllReduceExposedFraction * AllReduceSeconds(cluster_, mlp_bytes);
+
+  // ---- Other: exposed all-reduce + optimizer + fixed overhead. ---------
+  out.other_s = exposed_allreduce + cluster_.fixed_overhead_s;
+
+  // ---- Memory. ---------------------------------------------------------
+  out.static_mem_bytes = StaticMemoryBytesPerGpu();
+  out.dynamic_mem_bytes = act_bytes / n;
+  const double peak = out.static_mem_bytes + out.dynamic_mem_bytes;
+  out.mem_util_max = peak / cluster_.gpu.hbm_bytes;
+  // Time-averaged utilization: activations ramp over the iteration; the
+  // 0.65 duty factor reproduces the paper's avg/max relation (Table 2).
+  out.mem_util_avg =
+      (out.static_mem_bytes + 0.65 * out.dynamic_mem_bytes) /
+      cluster_.gpu.hbm_bytes;
+
+  // ---- Throughput. ------------------------------------------------------
+  out.global_batch_rows = batch_rows;
+  out.qps = batch_rows / out.total_s();
+  out.achieved_flops_per_gpu = out.flops / out.total_s() / n;
+  out.logical_flops_per_gpu = out.flops_logical / out.total_s() / n;
+  return out;
+}
+
+}  // namespace recd::train

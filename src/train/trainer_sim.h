@@ -1,0 +1,105 @@
+// Distributed DLRM training-iteration simulator.
+//
+// Executes the paper's Fig 2 / Fig 6 iteration over a *real* batch: every
+// byte, lookup, flop, and activation count is computed from the actual
+// (I)KJT tensors, then converted to time through the ClusterSpec rates
+// and an alpha-beta collective model. The RecD trainer optimizations map
+// to flags:
+//   dedup_emb            O5: lookups/activations on deduplicated values;
+//                            SDD ships values/offsets slices only.
+//   jagged_index_select  O6: jagged expansion without pad-to-dense.
+//   dedup_compute        O7: pooling (incl. attention) on unique rows,
+//                            expansion after pooling (and the pooled-
+//                            output all-to-all ships unique rows).
+// All flags off = the baseline KJT trainer.
+#pragma once
+
+#include "reader/batch.h"
+#include "train/cluster.h"
+#include "train/model.h"
+
+namespace recd::train {
+
+/// Scales the counts extracted from a (bench-scale) batch back to paper
+/// magnitudes: row counts multiply by `rows`, per-row lengths by
+/// `length` (so values scale by rows*length and attention score work by
+/// rows*length^2). Real data supplies the shapes — dedupe factors,
+/// length distributions — and the multipliers restore scale, so the
+/// simulator runs with *unscaled* hardware constants (DESIGN.md §1).
+struct ShapeScale {
+  double rows = 1.0;
+  double length = 1.0;
+};
+
+struct TrainerFlags {
+  bool dedup_emb = true;
+  bool jagged_index_select = true;
+  bool dedup_compute = true;
+
+  [[nodiscard]] static TrainerFlags Baseline() {
+    return TrainerFlags{false, false, false};
+  }
+  [[nodiscard]] static TrainerFlags Recd() {
+    return TrainerFlags{true, true, true};
+  }
+};
+
+/// Exposed-latency breakdown of one iteration (paper Fig 8 categories),
+/// plus the resource counters behind Fig 7/9 and Tables 2/3.
+struct IterationBreakdown {
+  // Modeled times (seconds).
+  double emb_s = 0;           // embedding lookup (memory bound)
+  double gemm_s = 0;          // MLPs + interaction + pooling + expansions
+  double a2a_exposed_s = 0;   // non-overlapped collective time
+  double other_s = 0;         // all-reduce, optimizer, fixed overheads
+  [[nodiscard]] double total_s() const {
+    return emb_s + gemm_s + a2a_exposed_s + other_s;
+  }
+
+  // Raw counters (whole job, per iteration).
+  double a2a_raw_s = 0;          // collective time before overlap
+  double sdd_bytes = 0;          // sparse-input all-to-all payload
+  double emb_a2a_bytes = 0;      // pooled-output all-to-all payload (fwd)
+  double lookups = 0;            // embedding row fetches
+  double flops = 0;              // fwd+bwd compute actually executed
+  double flops_logical = 0;      // fwd+bwd compute incl. duplicate work
+  double static_mem_bytes = 0;   // per-GPU parameters
+  double dynamic_mem_bytes = 0;  // per-GPU peak activations
+  double mem_util_max = 0;       // peak per-GPU memory / HBM
+  double mem_util_avg = 0;
+  double global_batch_rows = 0;  // after ShapeScale
+  double qps = 0;                // global samples/s
+  double achieved_flops_per_gpu = 0;
+  /// Realized FLOP/s per GPU counting logical (pre-dedup) work — the
+  /// paper's Table 2 compute-efficiency metric: RecD does the same
+  /// logical work in less time.
+  double logical_flops_per_gpu = 0;
+};
+
+class TrainerSim {
+ public:
+  TrainerSim(ModelConfig model, ClusterSpec cluster, TrainerFlags flags,
+             ShapeScale scale = {});
+
+  /// Simulates one synchronous iteration over a global batch. The batch
+  /// may carry IKJT groups (RecD reader) or plain KJT features (baseline
+  /// reader); flags choose which savings apply. Throws if a model
+  /// feature is missing from the batch.
+  [[nodiscard]] IterationBreakdown SimulateIteration(
+      const reader::PreprocessedBatch& batch) const;
+
+  [[nodiscard]] const ModelConfig& model() const { return model_; }
+  [[nodiscard]] const ClusterSpec& cluster() const { return cluster_; }
+  [[nodiscard]] const TrainerFlags& flags() const { return flags_; }
+
+  /// Parameter bytes per GPU (EMB shards + replicated MLPs).
+  [[nodiscard]] double StaticMemoryBytesPerGpu() const;
+
+ private:
+  ModelConfig model_;
+  ClusterSpec cluster_;
+  TrainerFlags flags_;
+  ShapeScale scale_;
+};
+
+}  // namespace recd::train

@@ -1,0 +1,173 @@
+// Tests for the ETL stage: log join, O2 session clustering, downsampling
+// (§7), and partition landing.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "datagen/generator.h"
+#include "datagen/presets.h"
+#include "etl/etl.h"
+
+namespace recd::etl {
+namespace {
+
+datagen::TrafficGenerator::Traffic MakeTraffic(std::size_t n,
+                                               double mean_session = 8.0) {
+  auto spec = datagen::RmDataset(datagen::RmKind::kRm1, 0.1);
+  spec.concurrent_sessions = 64;
+  spec.mean_session_size = mean_session;
+  datagen::TrafficGenerator gen(spec);
+  return gen.Generate(n);
+}
+
+TEST(JoinTest, MatchesFeatureAndEventOnRequestId) {
+  const auto traffic = MakeTraffic(300);
+  const auto samples = JoinLogs(traffic.features, traffic.events);
+  ASSERT_EQ(samples.size(), 300u);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].request_id, traffic.features[i].request_id);
+    EXPECT_EQ(samples[i].label, traffic.events[i].label);
+    EXPECT_EQ(samples[i].sparse, traffic.features[i].sparse);
+  }
+}
+
+TEST(JoinTest, DropsUnmatchedLogs) {
+  auto traffic = MakeTraffic(100);
+  auto events = traffic.events;
+  events.resize(60);  // lose 40 events
+  const auto samples = JoinLogs(traffic.features, events);
+  EXPECT_EQ(samples.size(), 60u);
+}
+
+TEST(JoinTest, EmptyInputs) {
+  EXPECT_TRUE(JoinLogs({}, {}).empty());
+}
+
+TEST(ClusterTest, GroupsSessionsContiguously) {
+  const auto traffic = MakeTraffic(1000);
+  auto samples = JoinLogs(traffic.features, traffic.events);
+  ClusterBySession(samples);
+  std::unordered_set<std::int64_t> closed;
+  std::int64_t current = samples.empty() ? 0 : samples[0].session_id;
+  for (const auto& s : samples) {
+    if (s.session_id != current) {
+      EXPECT_TRUE(closed.insert(current).second)
+          << "session " << current << " appears in two runs";
+      current = s.session_id;
+      EXPECT_FALSE(closed.contains(current));
+    }
+  }
+}
+
+TEST(ClusterTest, OrdersByTimestampWithinSession) {
+  const auto traffic = MakeTraffic(1000);
+  auto samples = JoinLogs(traffic.features, traffic.events);
+  ClusterBySession(samples);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i].session_id == samples[i - 1].session_id) {
+      EXPECT_LE(samples[i - 1].timestamp, samples[i].timestamp);
+    }
+  }
+}
+
+TEST(ClusterTest, PreservesSampleMultiset) {
+  const auto traffic = MakeTraffic(500);
+  auto samples = JoinLogs(traffic.features, traffic.events);
+  auto clustered = samples;
+  ClusterBySession(clustered);
+  ASSERT_EQ(clustered.size(), samples.size());
+  std::unordered_set<std::int64_t> in;
+  std::unordered_set<std::int64_t> out;
+  for (const auto& s : samples) in.insert(s.request_id);
+  for (const auto& s : clustered) out.insert(s.request_id);
+  EXPECT_EQ(in, out);
+}
+
+TEST(DownsampleTest, InvalidRateThrows) {
+  EXPECT_THROW((void)Downsample({}, DownsampleMode::kPerSample, 1.5, 1),
+               std::invalid_argument);
+}
+
+TEST(DownsampleTest, NoneKeepsEverything) {
+  const auto traffic = MakeTraffic(200);
+  const auto samples = JoinLogs(traffic.features, traffic.events);
+  EXPECT_EQ(Downsample(samples, DownsampleMode::kNone, 0.1, 7).size(),
+            samples.size());
+}
+
+TEST(DownsampleTest, PerSampleHitsTargetRate) {
+  const auto traffic = MakeTraffic(5000);
+  const auto samples = JoinLogs(traffic.features, traffic.events);
+  const auto kept =
+      Downsample(samples, DownsampleMode::kPerSample, 0.5, 7);
+  const double rate =
+      static_cast<double>(kept.size()) / static_cast<double>(samples.size());
+  EXPECT_NEAR(rate, 0.5, 0.05);
+}
+
+TEST(DownsampleTest, PerSessionKeepsWholeSessions) {
+  const auto traffic = MakeTraffic(3000);
+  const auto samples = JoinLogs(traffic.features, traffic.events);
+  const auto kept =
+      Downsample(samples, DownsampleMode::kPerSession, 0.5, 7);
+  // Sessions are kept or dropped atomically.
+  std::unordered_map<std::int64_t, std::size_t> in_counts;
+  std::unordered_map<std::int64_t, std::size_t> out_counts;
+  for (const auto& s : samples) ++in_counts[s.session_id];
+  for (const auto& s : kept) ++out_counts[s.session_id];
+  for (const auto& [sid, count] : out_counts) {
+    EXPECT_EQ(count, in_counts.at(sid));
+  }
+}
+
+TEST(DownsampleTest, PerSessionPreservesSamplesPerSession) {
+  // §7 "Boosting Dedupe Factors": per-session downsampling preserves S
+  // while per-sample downsampling shrinks it.
+  const auto traffic = MakeTraffic(20'000, 12.0);
+  const auto samples = JoinLogs(traffic.features, traffic.events);
+  const double s_before = MeanSamplesPerSession(samples);
+  const double s_per_sample = MeanSamplesPerSession(
+      Downsample(samples, DownsampleMode::kPerSample, 0.4, 3));
+  const double s_per_session = MeanSamplesPerSession(
+      Downsample(samples, DownsampleMode::kPerSession, 0.4, 3));
+  EXPECT_LT(s_per_sample, 0.75 * s_before);
+  EXPECT_NEAR(s_per_session, s_before, 0.25 * s_before);
+}
+
+TEST(DownsampleTest, DeterministicForSeed) {
+  const auto traffic = MakeTraffic(500);
+  const auto samples = JoinLogs(traffic.features, traffic.events);
+  const auto a = Downsample(samples, DownsampleMode::kPerSession, 0.3, 9);
+  const auto b = Downsample(samples, DownsampleMode::kPerSession, 0.3, 9);
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(PartitionTest, SplitsByCount) {
+  const auto traffic = MakeTraffic(1050);
+  auto samples = JoinLogs(traffic.features, traffic.events);
+  const auto parts = PartitionByCount(std::move(samples), 500);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].size(), 500u);
+  EXPECT_EQ(parts[1].size(), 500u);
+  EXPECT_EQ(parts[2].size(), 50u);
+}
+
+TEST(PartitionTest, ZeroSizeThrows) {
+  EXPECT_THROW((void)PartitionByCount({}, 0), std::invalid_argument);
+}
+
+TEST(MeanSamplesPerSessionTest, ComputesCorrectly) {
+  std::vector<datagen::Sample> samples(6);
+  samples[0].session_id = 1;
+  samples[1].session_id = 1;
+  samples[2].session_id = 1;
+  samples[3].session_id = 2;
+  samples[4].session_id = 2;
+  samples[5].session_id = 3;
+  EXPECT_DOUBLE_EQ(MeanSamplesPerSession(samples), 2.0);
+  EXPECT_DOUBLE_EQ(MeanSamplesPerSession({}), 0.0);
+}
+
+}  // namespace
+}  // namespace recd::etl

@@ -1,0 +1,347 @@
+// Tests for the storage substrate: BlobStore accounting and the columnar
+// file format (round trips, projection, stripes, compression behaviour
+// under clustering — the O2 mechanism).
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "datagen/presets.h"
+#include "etl/etl.h"
+#include "storage/blob_store.h"
+#include "storage/cipher.h"
+#include "storage/column_file.h"
+#include "storage/table.h"
+
+namespace recd::storage {
+namespace {
+
+std::vector<datagen::Sample> MakeSamples(std::size_t n,
+                                         double scale = 0.1) {
+  auto spec = datagen::RmDataset(datagen::RmKind::kRm1, scale);
+  spec.concurrent_sessions = 32;
+  datagen::TrafficGenerator gen(spec);
+  const auto traffic = gen.Generate(n);
+  return etl::JoinLogs(traffic.features, traffic.events);
+}
+
+StorageSchema SchemaFor(const datagen::DatasetSpec& spec) {
+  StorageSchema schema;
+  schema.num_dense = spec.num_dense;
+  for (const auto& f : spec.sparse) schema.sparse_names.push_back(f.name);
+  return schema;
+}
+
+StorageSchema SchemaForSamples() {
+  return SchemaFor(datagen::RmDataset(datagen::RmKind::kRm1, 0.1));
+}
+
+// ------------------------------------------------------------ BlobStore --
+
+TEST(BlobStoreTest, PutGetRoundTrip) {
+  BlobStore store;
+  store.Put("a", {std::byte{1}, std::byte{2}});
+  const auto data = store.Get("a");
+  ASSERT_EQ(data.size(), 2u);
+  EXPECT_EQ(data[1], std::byte{2});
+}
+
+TEST(BlobStoreTest, UnknownObjectThrows) {
+  BlobStore store;
+  EXPECT_THROW((void)store.Get("missing"), std::out_of_range);
+  EXPECT_THROW((void)store.ObjectSize("missing"), std::out_of_range);
+}
+
+TEST(BlobStoreTest, RangeReads) {
+  BlobStore store;
+  std::vector<std::byte> data(100);
+  for (std::size_t i = 0; i < 100; ++i) data[i] = std::byte(i);
+  store.Put("obj", data);
+  const auto range = store.ReadRange("obj", 10, 5);
+  ASSERT_EQ(range.size(), 5u);
+  EXPECT_EQ(range[0], std::byte{10});
+  EXPECT_THROW((void)store.ReadRange("obj", 99, 5), std::out_of_range);
+}
+
+TEST(BlobStoreTest, IoAccounting) {
+  BlobStore store;
+  store.Put("obj", std::vector<std::byte>(64));
+  EXPECT_EQ(store.stats().bytes_written, 64u);
+  EXPECT_EQ(store.stats().write_ops, 1u);
+  (void)store.ReadRange("obj", 0, 16);
+  (void)store.Get("obj");
+  EXPECT_EQ(store.stats().bytes_read, 16u + 64u);
+  EXPECT_EQ(store.stats().read_ops, 2u);
+  store.ResetStats();
+  EXPECT_EQ(store.stats().bytes_read, 0u);
+}
+
+TEST(BlobStoreTest, TotalStoredBytes) {
+  BlobStore store;
+  store.Put("a", std::vector<std::byte>(10));
+  store.Put("b", std::vector<std::byte>(20));
+  store.Put("a", std::vector<std::byte>(5));  // replace
+  EXPECT_EQ(store.TotalStoredBytes(), 25u);
+}
+
+// ----------------------------------------------------------- ColumnFile --
+
+TEST(ColumnFileTest, RoundTripAllColumns) {
+  const auto samples = MakeSamples(300);
+  const auto schema = SchemaForSamples();
+  BlobStore store;
+  WriterOptions opts;
+  opts.rows_per_stripe = 128;
+  const auto result = WriteSamples(store, "f", schema, samples, opts);
+  EXPECT_EQ(result.rows, samples.size());
+  ColumnFileReader reader(store, "f");
+  EXPECT_EQ(reader.num_rows(), samples.size());
+  EXPECT_EQ(reader.num_stripes(), (samples.size() + 127) / 128);
+  std::vector<datagen::Sample> back;
+  for (std::size_t s = 0; s < reader.num_stripes(); ++s) {
+    auto rows = reader.ReadStripe(s, ReadProjection::All(schema));
+    back.insert(back.end(), rows.begin(), rows.end());
+  }
+  ASSERT_EQ(back.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(back[i], samples[i]) << "row " << i;
+  }
+}
+
+TEST(ColumnFileTest, ColumnProjectionSkipsUnrequestedFeatures) {
+  const auto samples = MakeSamples(200);
+  const auto schema = SchemaForSamples();
+  BlobStore store;
+  (void)WriteSamples(store, "f", schema, samples);
+  ColumnFileReader reader(store, "f");
+  ReadProjection proj;
+  proj.dense = false;
+  proj.sparse = {0, 2};
+  const auto rows = reader.ReadStripe(0, proj);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].sparse[0], samples[i].sparse[0]);
+    EXPECT_EQ(rows[i].sparse[2], samples[i].sparse[2]);
+    EXPECT_TRUE(rows[i].sparse[1].empty());  // unprojected
+    EXPECT_TRUE(rows[i].dense.empty());
+    EXPECT_EQ(rows[i].label, samples[i].label);  // meta always read
+    EXPECT_EQ(rows[i].session_id, samples[i].session_id);
+  }
+}
+
+TEST(ColumnFileTest, ProjectionReadsFewerBytes) {
+  const auto samples = MakeSamples(400);
+  const auto schema = SchemaForSamples();
+  BlobStore store;
+  (void)WriteSamples(store, "f", schema, samples);
+
+  store.ResetStats();
+  {
+    ColumnFileReader reader(store, "f");
+    for (std::size_t s = 0; s < reader.num_stripes(); ++s) {
+      (void)reader.ReadStripe(s, ReadProjection::All(schema));
+    }
+  }
+  const auto full_bytes = store.stats().bytes_read;
+
+  store.ResetStats();
+  {
+    ColumnFileReader reader(store, "f");
+    ReadProjection proj;
+    proj.dense = false;
+    proj.sparse = {0};
+    for (std::size_t s = 0; s < reader.num_stripes(); ++s) {
+      (void)reader.ReadStripe(s, proj);
+    }
+  }
+  const auto projected_bytes = store.stats().bytes_read;
+  EXPECT_LT(projected_bytes, full_bytes / 2);
+}
+
+TEST(ColumnFileTest, EmptyFile) {
+  const auto schema = SchemaForSamples();
+  BlobStore store;
+  const auto result = WriteSamples(store, "f", schema, {});
+  EXPECT_EQ(result.rows, 0u);
+  ColumnFileReader reader(store, "f");
+  EXPECT_EQ(reader.num_stripes(), 0u);
+  EXPECT_EQ(reader.num_rows(), 0u);
+}
+
+TEST(ColumnFileTest, ArityMismatchThrows) {
+  const auto schema = SchemaForSamples();
+  BlobStore store;
+  ColumnFileWriter writer(store, "f", schema);
+  datagen::Sample bad;
+  bad.sparse.resize(1);  // wrong arity
+  bad.dense.resize(schema.num_dense);
+  EXPECT_THROW(writer.Append(bad), std::invalid_argument);
+}
+
+TEST(ColumnFileTest, FinishTwiceThrows) {
+  const auto schema = SchemaForSamples();
+  BlobStore store;
+  ColumnFileWriter writer(store, "f", schema);
+  writer.Finish();
+  EXPECT_THROW(writer.Finish(), std::logic_error);
+}
+
+TEST(ColumnFileTest, CorruptMagicDetected) {
+  const auto schema = SchemaForSamples();
+  BlobStore store;
+  (void)WriteSamples(store, "f", schema, MakeSamples(10));
+  auto raw = store.Get("f");
+  std::vector<std::byte> corrupted(raw.begin(), raw.end());
+  ASSERT_FALSE(corrupted.empty());
+  corrupted[corrupted.size() - 1] = std::byte{0x00};
+  store.Put("bad", corrupted);
+  EXPECT_THROW(ColumnFileReader(store, "bad"), std::runtime_error);
+}
+
+TEST(ColumnFileTest, StripeIndexOutOfRangeThrows) {
+  const auto schema = SchemaForSamples();
+  BlobStore store;
+  (void)WriteSamples(store, "f", schema, MakeSamples(10));
+  ColumnFileReader reader(store, "f");
+  EXPECT_THROW((void)reader.ReadStripe(99, ReadProjection::All(schema)),
+               std::out_of_range);
+}
+
+TEST(ColumnFileTest, SchemaRoundTripsThroughFooter) {
+  const auto schema = SchemaForSamples();
+  BlobStore store;
+  (void)WriteSamples(store, "f", schema, MakeSamples(5));
+  ColumnFileReader reader(store, "f");
+  EXPECT_EQ(reader.schema().sparse_names, schema.sparse_names);
+  EXPECT_EQ(reader.schema().num_dense, schema.num_dense);
+}
+
+// The O2 mechanism measured at file level: clustering a session's rows
+// into adjacent positions must improve the real compression ratio.
+TEST(ColumnFileTest, ClusteredTableCompressesBetter) {
+  auto samples = MakeSamples(4000, 0.1);
+  const auto schema = SchemaForSamples();
+  BlobStore store;
+  const auto baseline = WriteSamples(store, "base", schema, samples);
+  etl::ClusterBySession(samples);
+  const auto clustered = WriteSamples(store, "clustered", schema, samples);
+  EXPECT_GT(clustered.compression_ratio(),
+            1.2 * baseline.compression_ratio())
+      << "baseline=" << baseline.compression_ratio()
+      << " clustered=" << clustered.compression_ratio();
+  EXPECT_LT(clustered.stored_bytes, baseline.stored_bytes);
+  // Logical size is order-invariant (same data, different row order).
+  EXPECT_EQ(clustered.logical_bytes, baseline.logical_bytes);
+}
+
+TEST(TableTest, LandTableCreatesPartitions) {
+  auto samples = MakeSamples(900);
+  const auto schema = SchemaForSamples();
+  auto partitions = etl::PartitionByCount(std::move(samples), 400);
+  BlobStore store;
+  const auto landed = LandTable(store, "tbl", schema, partitions);
+  EXPECT_EQ(landed.rows, 900u);
+  ASSERT_EQ(landed.table.partitions.size(), 3u);
+  for (const auto& p : landed.table.partitions) {
+    ASSERT_EQ(p.files.size(), 1u);
+    EXPECT_TRUE(store.Exists(p.files[0]));
+  }
+  EXPECT_GT(landed.compression_ratio(), 1.0);
+}
+
+TEST(CipherTest, InvolutiveForAnyRoundCount) {
+  for (int rounds : {1, 2, 6, 8}) {
+    std::vector<std::byte> data(1000);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = std::byte(i * 7);
+    }
+    auto encrypted = data;
+    XorKeystream(encrypted, 42, rounds);
+    EXPECT_NE(encrypted, data) << rounds;
+    XorKeystream(encrypted, 42, rounds);
+    EXPECT_EQ(encrypted, data) << rounds;
+  }
+}
+
+TEST(CipherTest, SeedChangesKeystream) {
+  std::vector<std::byte> a(64, std::byte{0});
+  std::vector<std::byte> b(64, std::byte{0});
+  XorKeystream(a, 1);
+  XorKeystream(b, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(CipherTest, HandlesUnalignedTail) {
+  std::vector<std::byte> data(13, std::byte{0x5a});
+  auto copy = data;
+  XorKeystream(data, 9);
+  XorKeystream(data, 9);
+  EXPECT_EQ(data, copy);
+  std::vector<std::byte> empty;
+  XorKeystream(empty, 9);  // must not crash
+}
+
+TEST(ColumnFileTest, StoredStreamsAreEncrypted) {
+  // A values stream written to the store must not appear in plaintext.
+  const auto schema = SchemaForSamples();
+  BlobStore store;
+  auto samples = MakeSamples(50);
+  // Plant a recognizable run in the first feature.
+  for (auto& s : samples) s.sparse[0] = {7, 7, 7, 7, 7, 7, 7, 7};
+  (void)WriteSamples(store, "f", schema, samples,
+                     WriterOptions{.rows_per_stripe = 64,
+                                   .codec = compress::CodecKind::kIdentity});
+  const auto blob = store.Get("f");
+  // With the identity codec, an unencrypted file would contain the raw
+  // RLE token for the planted run; scan for a long zero/selfsame run of
+  // the varint-encoded id instead: ensure no 8 consecutive bytes equal
+  // the zigzag varint of 7 (0x0e) appear.
+  int longest = 0;
+  int current = 0;
+  for (const auto byte : blob) {
+    current = byte == std::byte{0x0e} ? current + 1 : 0;
+    longest = std::max(longest, current);
+  }
+  EXPECT_LT(longest, 4);
+  // And the file still reads back fine (decrypt works).
+  ColumnFileReader reader(store, "f");
+  const auto rows = reader.ReadStripe(0, ReadProjection::All(schema));
+  EXPECT_EQ(rows[0].sparse[0], (std::vector<datagen::Id>{7, 7, 7, 7, 7, 7, 7, 7}));
+}
+
+TEST(ColumnFileTest, FetchDecodeSplitMatchesReadStripe) {
+  const auto samples = MakeSamples(100);
+  const auto schema = SchemaForSamples();
+  BlobStore store;
+  (void)WriteSamples(store, "f", schema, samples);
+  ColumnFileReader reader(store, "f");
+  const auto proj = ReadProjection::All(schema);
+  const auto raw = reader.FetchStripe(0, proj);
+  const auto via_split = DecodeRawStripe(schema, raw, proj);
+  const auto direct = reader.ReadStripe(0, proj);
+  EXPECT_EQ(via_split, direct);
+}
+
+class StripeSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StripeSizeSweep, RoundTripAcrossStripeSizes) {
+  const auto samples = MakeSamples(257);
+  const auto schema = SchemaForSamples();
+  BlobStore store;
+  WriterOptions opts;
+  opts.rows_per_stripe = GetParam();
+  (void)WriteSamples(store, "f", schema, samples, opts);
+  ColumnFileReader reader(store, "f");
+  std::vector<datagen::Sample> back;
+  for (std::size_t s = 0; s < reader.num_stripes(); ++s) {
+    auto rows = reader.ReadStripe(s, ReadProjection::All(schema));
+    back.insert(back.end(), rows.begin(), rows.end());
+  }
+  ASSERT_EQ(back.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    ASSERT_EQ(back[i], samples[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StripeSizeSweep,
+                         ::testing::Values(1, 7, 64, 256, 1024));
+
+}  // namespace
+}  // namespace recd::storage

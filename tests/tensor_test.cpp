@@ -1,0 +1,581 @@
+// Tests for the tensor module: JaggedTensor, KJT, IKJT (incl. the paper's
+// Fig 5 worked examples), JaggedIndexSelect, partial IKJTs (§7), and wire
+// serialization. Property suites sweep batch shapes and duplication
+// regimes, asserting the core invariant everywhere: deduplicate-then-
+// expand reproduces the original batch exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/ikjt.h"
+#include "tensor/jagged.h"
+#include "tensor/jagged_ops.h"
+#include "tensor/kjt.h"
+#include "tensor/partial_ikjt.h"
+#include "tensor/serialize.h"
+
+namespace recd::tensor {
+namespace {
+
+using Rows = std::vector<std::vector<Id>>;
+
+template <typename T>
+std::vector<T> ToVec(std::span<const T> s) {
+  return std::vector<T>(s.begin(), s.end());
+}
+
+JaggedTensor FromRows(const Rows& rows) {
+  return JaggedTensor::FromRows(rows);
+}
+
+// -------------------------------------------------------- JaggedTensor --
+
+TEST(JaggedTensorTest, PaperOffsetsConvention) {
+  // Paper Fig 5: feature a over rows {[1,2], [], [1,2]} has
+  // values [1,2,1,2] and offsets [0,2,2].
+  const JaggedTensor jt = FromRows({{1, 2}, {}, {1, 2}});
+  EXPECT_EQ(ToVec(jt.values()), (std::vector<Id>{1, 2, 1, 2}));
+  EXPECT_EQ(ToVec(jt.offsets()), (std::vector<Offset>{0, 2, 2}));
+  EXPECT_EQ(jt.num_rows(), 3u);
+  // length(i) = offsets[i+1] - offsets[i]; last row from |values|.
+  EXPECT_EQ(jt.length(0), 2);
+  EXPECT_EQ(jt.length(1), 0);
+  EXPECT_EQ(jt.length(2), 2);
+}
+
+TEST(JaggedTensorTest, RowViews) {
+  const JaggedTensor jt = FromRows({{7, 8, 9}, {}, {5}});
+  EXPECT_EQ(std::vector<Id>(jt.row(0).begin(), jt.row(0).end()),
+            (std::vector<Id>{7, 8, 9}));
+  EXPECT_TRUE(jt.row(1).empty());
+  EXPECT_EQ(jt.row(2)[0], 5);
+  EXPECT_EQ(jt.total_values(), 4u);
+}
+
+TEST(JaggedTensorTest, EmptyTensor) {
+  const JaggedTensor jt;
+  EXPECT_EQ(jt.num_rows(), 0u);
+  EXPECT_EQ(jt.total_values(), 0u);
+}
+
+TEST(JaggedTensorTest, InvalidOffsetsThrow) {
+  EXPECT_THROW(JaggedTensor({1, 2, 3}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(JaggedTensor({1, 2, 3}, {0, 2, 1}), std::invalid_argument);
+  EXPECT_THROW(JaggedTensor({1, 2}, {0, 5}), std::invalid_argument);
+  EXPECT_THROW(JaggedTensor({1}, {}), std::invalid_argument);
+}
+
+TEST(JaggedTensorTest, RowEquals) {
+  const JaggedTensor jt = FromRows({{1, 2, 3}, {4}});
+  EXPECT_TRUE(jt.RowEquals(0, std::vector<Id>{1, 2, 3}));
+  EXPECT_FALSE(jt.RowEquals(0, std::vector<Id>{1, 2}));
+  EXPECT_FALSE(jt.RowEquals(1, std::vector<Id>{5}));
+}
+
+TEST(JaggedTensorTest, EqualityIsStructural) {
+  EXPECT_EQ(FromRows({{1, 2}, {3}}), FromRows({{1, 2}, {3}}));
+  EXPECT_NE(FromRows({{1, 2}, {3}}), FromRows({{1}, {2, 3}}));
+}
+
+// ----------------------------------------------------------------- KJT --
+
+TEST(KjtTest, AddAndLookup) {
+  KeyedJaggedTensor kjt;
+  kjt.AddFeature("a", FromRows({{1}, {2}}));
+  kjt.AddFeature("b", FromRows({{3, 4}, {}}));
+  EXPECT_EQ(kjt.num_keys(), 2u);
+  EXPECT_EQ(kjt.batch_size(), 2u);
+  EXPECT_TRUE(kjt.Has("a"));
+  EXPECT_FALSE(kjt.Has("z"));
+  EXPECT_EQ(kjt.Get("b").total_values(), 2u);
+  EXPECT_EQ(kjt.total_values(), 4u);
+  EXPECT_THROW((void)kjt.Get("z"), std::out_of_range);
+}
+
+TEST(KjtTest, DuplicateKeyThrows) {
+  KeyedJaggedTensor kjt;
+  kjt.AddFeature("a", FromRows({{1}}));
+  EXPECT_THROW(kjt.AddFeature("a", FromRows({{2}})),
+               std::invalid_argument);
+}
+
+TEST(KjtTest, BatchSizeMismatchThrows) {
+  KeyedJaggedTensor kjt;
+  kjt.AddFeature("a", FromRows({{1}, {2}}));
+  EXPECT_THROW(kjt.AddFeature("b", FromRows({{1}})),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- IKJT (paper Fig 5) --
+
+KeyedJaggedTensor Fig5Batch() {
+  // Row 0: a:[1,2]  b:[3,4,5]  c:[7,8]  d:[9]   label 1
+  // Row 1:          b:[4,5,6]  c:[7,8]  d:[9]   label 0
+  // Row 2: a:[1,2]  b:[3,4,5]  c:[10]   d:[11]  label 1
+  KeyedJaggedTensor kjt;
+  kjt.AddFeature("feature_a", FromRows({{1, 2}, {}, {1, 2}}));
+  kjt.AddFeature("feature_b", FromRows({{3, 4, 5}, {4, 5, 6}, {3, 4, 5}}));
+  kjt.AddFeature("feature_c", FromRows({{7, 8}, {7, 8}, {10}}));
+  kjt.AddFeature("feature_d", FromRows({{9}, {9}, {11}}));
+  return kjt;
+}
+
+TEST(IkjtTest, PaperFig5SingleFeatureB) {
+  const auto kjt = Fig5Batch();
+  DedupStats stats;
+  const std::vector<std::string> group = {"feature_b"};
+  const auto ikjt = DeduplicateGroup(kjt, group, &stats);
+  // Paper: b: {values [3,4,5,4,5,6], offsets [0,3]}, lookup [0,1,0].
+  EXPECT_EQ(ToVec(ikjt.Unique("feature_b").values()),
+            (std::vector<Id>{3, 4, 5, 4, 5, 6}));
+  EXPECT_EQ(ToVec(ikjt.Unique("feature_b").offsets()),
+            (std::vector<Offset>{0, 3}));
+  EXPECT_EQ(std::vector<std::int64_t>(ikjt.inverse_lookup().begin(),
+                                      ikjt.inverse_lookup().end()),
+            (std::vector<std::int64_t>{0, 1, 0}));
+  EXPECT_EQ(stats.batch_size, 3u);
+  EXPECT_EQ(stats.unique_rows, 2u);
+  EXPECT_EQ(stats.values_before, 9u);
+  EXPECT_EQ(stats.values_after, 6u);
+  EXPECT_DOUBLE_EQ(stats.dedupe_factor(), 1.5);
+}
+
+TEST(IkjtTest, PaperFig5GroupedCD) {
+  const auto kjt = Fig5Batch();
+  const std::vector<std::string> group = {"feature_c", "feature_d"};
+  const auto ikjt = DeduplicateGroup(kjt, group);
+  // Paper: c: {values [7,8,10], offsets [0,2]}, d: {values [9,11],
+  // offsets [0,1]}, shared lookup [0,0,1].
+  EXPECT_EQ(ToVec(ikjt.Unique("feature_c").values()),
+            (std::vector<Id>{7, 8, 10}));
+  EXPECT_EQ(ToVec(ikjt.Unique("feature_c").offsets()),
+            (std::vector<Offset>{0, 2}));
+  EXPECT_EQ(ToVec(ikjt.Unique("feature_d").values()),
+            (std::vector<Id>{9, 11}));
+  EXPECT_EQ(ToVec(ikjt.Unique("feature_d").offsets()),
+            (std::vector<Offset>{0, 1}));
+  EXPECT_EQ(std::vector<std::int64_t>(ikjt.inverse_lookup().begin(),
+                                      ikjt.inverse_lookup().end()),
+            (std::vector<std::int64_t>{0, 0, 1}));
+  EXPECT_EQ(ikjt.unique_rows(), 2u);
+}
+
+TEST(IkjtTest, Fig5RowReconstruction) {
+  const auto kjt = Fig5Batch();
+  const std::vector<std::string> group = {"feature_c", "feature_d"};
+  const auto ikjt = DeduplicateGroup(kjt, group);
+  // inverse_lookup[0] maps to [7,8] for c and [9] for d (paper text).
+  EXPECT_EQ(std::vector<Id>(ikjt.Row("feature_c", 0).begin(),
+                            ikjt.Row("feature_c", 0).end()),
+            (std::vector<Id>{7, 8}));
+  EXPECT_EQ(std::vector<Id>(ikjt.Row("feature_d", 0).begin(),
+                            ikjt.Row("feature_d", 0).end()),
+            (std::vector<Id>{9}));
+  EXPECT_EQ(std::vector<Id>(ikjt.Row("feature_c", 2).begin(),
+                            ikjt.Row("feature_c", 2).end()),
+            (std::vector<Id>{10}));
+}
+
+TEST(IkjtTest, UnsynchronizedRowsAreNotDeduplicated) {
+  // c repeats on rows 0/1 but e differs -> the group must keep the rows
+  // as separate unique entries (the paper's invariant-preservation rule).
+  KeyedJaggedTensor kjt;
+  kjt.AddFeature("c", FromRows({{7, 8}, {7, 8}}));
+  kjt.AddFeature("e", FromRows({{1}, {2}}));
+  const std::vector<std::string> group = {"c", "e"};
+  DedupStats stats;
+  const auto ikjt = DeduplicateGroup(kjt, group, &stats);
+  EXPECT_EQ(ikjt.unique_rows(), 2u);
+  EXPECT_EQ(stats.values_before, stats.values_after);
+}
+
+TEST(IkjtTest, ExpandRoundTripsFig5) {
+  const auto kjt = Fig5Batch();
+  for (const auto& group :
+       {std::vector<std::string>{"feature_b"},
+        std::vector<std::string>{"feature_c", "feature_d"}}) {
+    const auto ikjt = DeduplicateGroup(kjt, group);
+    const auto expanded = ExpandToKjt(ikjt);
+    for (const auto& key : group) {
+      EXPECT_EQ(expanded.Get(key), kjt.Get(key)) << key;
+    }
+  }
+}
+
+TEST(IkjtTest, EmptyGroupThrows) {
+  const auto kjt = Fig5Batch();
+  EXPECT_THROW((void)DeduplicateGroup(kjt, {}), std::invalid_argument);
+}
+
+TEST(IkjtTest, UnknownKeyThrows) {
+  const auto kjt = Fig5Batch();
+  const std::vector<std::string> group = {"nope"};
+  EXPECT_THROW((void)DeduplicateGroup(kjt, group), std::out_of_range);
+}
+
+TEST(IkjtTest, InvalidConstructionThrows) {
+  // Mismatched unique row counts across group features.
+  EXPECT_THROW(InverseKeyedJaggedTensor({"a", "b"},
+                                        {FromRows({{1}}), FromRows({{1}, {2}})},
+                                        {0}),
+               std::invalid_argument);
+  // Out-of-range inverse lookup.
+  EXPECT_THROW(InverseKeyedJaggedTensor({"a"}, {FromRows({{1}})}, {1}),
+               std::invalid_argument);
+  EXPECT_THROW(InverseKeyedJaggedTensor({"a"}, {FromRows({{1}})}, {-1}),
+               std::invalid_argument);
+}
+
+TEST(IkjtTest, AllRowsIdenticalCollapseToOne) {
+  KeyedJaggedTensor kjt;
+  Rows rows(100, std::vector<Id>{1, 2, 3, 4});
+  kjt.AddFeature("f", FromRows(rows));
+  DedupStats stats;
+  const std::vector<std::string> group = {"f"};
+  const auto ikjt = DeduplicateGroup(kjt, group, &stats);
+  EXPECT_EQ(ikjt.unique_rows(), 1u);
+  EXPECT_DOUBLE_EQ(stats.dedupe_factor(), 100.0);
+}
+
+TEST(IkjtTest, AllRowsDistinctKeepEverything) {
+  KeyedJaggedTensor kjt;
+  Rows rows;
+  for (Id i = 0; i < 50; ++i) rows.push_back({i, i + 1});
+  kjt.AddFeature("f", FromRows(rows));
+  DedupStats stats;
+  const std::vector<std::string> group = {"f"};
+  const auto ikjt = DeduplicateGroup(kjt, group, &stats);
+  EXPECT_EQ(ikjt.unique_rows(), 50u);
+  EXPECT_DOUBLE_EQ(stats.dedupe_factor(), 1.0);
+}
+
+TEST(IkjtTest, EmptyRowsDeduplicateToo) {
+  KeyedJaggedTensor kjt;
+  kjt.AddFeature("f", FromRows({{}, {}, {1}}));
+  const std::vector<std::string> group = {"f"};
+  const auto ikjt = DeduplicateGroup(kjt, group);
+  EXPECT_EQ(ikjt.unique_rows(), 2u);
+  const auto expanded = ExpandToKjt(ikjt);
+  EXPECT_EQ(expanded.Get("f"), kjt.Get("f"));
+}
+
+// ------------------------------------------------------ JaggedIndexSelect --
+
+TEST(JaggedIndexSelectTest, GathersRows) {
+  const JaggedTensor src = FromRows({{1, 2}, {3}, {4, 5, 6}});
+  const std::vector<std::int64_t> idx = {2, 0, 2, 1};
+  const auto out = JaggedIndexSelect(src, idx);
+  EXPECT_EQ(out, FromRows({{4, 5, 6}, {1, 2}, {4, 5, 6}, {3}}));
+}
+
+TEST(JaggedIndexSelectTest, EmptyIndices) {
+  const JaggedTensor src = FromRows({{1}});
+  const auto out = JaggedIndexSelect(src, {});
+  EXPECT_EQ(out.num_rows(), 0u);
+}
+
+TEST(JaggedIndexSelectTest, OutOfRangeThrows) {
+  const JaggedTensor src = FromRows({{1}});
+  const std::vector<std::int64_t> bad = {1};
+  EXPECT_THROW((void)JaggedIndexSelect(src, bad), std::out_of_range);
+  const std::vector<std::int64_t> neg = {-1};
+  EXPECT_THROW((void)JaggedIndexSelect(src, neg), std::out_of_range);
+}
+
+TEST(PaddedDenseTest, RoundTripMatchesJaggedPath) {
+  // The pre-O6 baseline (pad -> dense index_select -> unpad) must agree
+  // with JaggedIndexSelect, just at higher memory cost.
+  const JaggedTensor src = FromRows({{1, 2, 3, 4}, {5}, {}, {6, 7}});
+  const std::vector<std::int64_t> idx = {3, 3, 0, 2, 1};
+  const auto dense = JaggedToPaddedDense(src);
+  const auto picked = DenseIndexSelect(dense, idx);
+  const auto back = PaddedDenseToJagged(picked);
+  EXPECT_EQ(back, JaggedIndexSelect(src, idx));
+  // Padded bytes exceed jagged bytes whenever lengths are skewed.
+  EXPECT_GT(dense.byte_size(),
+            src.total_values() * sizeof(Id) +
+                src.num_rows() * sizeof(Offset));
+}
+
+TEST(PaddedDenseTest, DenseIndexSelectOutOfRangeThrows) {
+  const auto dense = JaggedToPaddedDense(FromRows({{1}}));
+  const std::vector<std::int64_t> bad = {2};
+  EXPECT_THROW((void)DenseIndexSelect(dense, bad), std::out_of_range);
+}
+
+// -------------------------------------------------------- Partial IKJT --
+
+TEST(PartialIkjtTest, PaperSection7Example) {
+  // Paper §7: feature b = {[3,4,5],[4,5,6],[3,4,5]} partially dedups to
+  // values [3,4,5,6], inverse_lookup [[0,3],[1,3],[0,3]].
+  const JaggedTensor b = FromRows({{3, 4, 5}, {4, 5, 6}, {3, 4, 5}});
+  const auto partial = BuildPartialIkjt("feature_b", b);
+  EXPECT_EQ(std::vector<Id>(partial.values().begin(),
+                            partial.values().end()),
+            (std::vector<Id>{3, 4, 5, 6}));
+  ASSERT_EQ(partial.batch_size(), 3u);
+  EXPECT_EQ(partial.inverse_lookup()[0],
+            (PartialIkjt::RowRef{0, 3}));
+  EXPECT_EQ(partial.inverse_lookup()[1],
+            (PartialIkjt::RowRef{1, 3}));
+  EXPECT_EQ(partial.inverse_lookup()[2],
+            (PartialIkjt::RowRef{0, 3}));
+}
+
+TEST(PartialIkjtTest, ExpandsBackExactly) {
+  const JaggedTensor b = FromRows(
+      {{3, 4, 5}, {4, 5, 6}, {3, 4, 5}, {9, 9}, {4, 5, 6}});
+  const auto partial = BuildPartialIkjt("b", b);
+  EXPECT_EQ(ExpandPartialIkjt(partial), b);
+}
+
+TEST(PartialIkjtTest, LongShiftChainStoresOnlyFreshIds) {
+  // Sliding window of length 8 shifting by 1 for 64 rows: storage should
+  // approach 8 + 63 values instead of 64*8.
+  Rows rows;
+  std::vector<Id> window;
+  for (Id i = 0; i < 8; ++i) window.push_back(i);
+  rows.push_back(window);
+  for (int step = 0; step < 63; ++step) {
+    window.erase(window.begin());
+    window.push_back(100 + step);
+    rows.push_back(window);
+  }
+  const auto partial = BuildPartialIkjt("w", FromRows(rows));
+  EXPECT_EQ(partial.values().size(), 8u + 63u);
+  EXPECT_GT(partial.dedupe_factor(), 6.0);
+  EXPECT_EQ(ExpandPartialIkjt(partial), FromRows(rows));
+}
+
+TEST(PartialIkjtTest, UnrelatedRowsStartFreshBlocks) {
+  const JaggedTensor jt = FromRows({{1, 2, 3}, {9, 8, 7}, {5, 5}});
+  const auto partial = BuildPartialIkjt("x", jt);
+  EXPECT_EQ(partial.values().size(), 8u);
+  EXPECT_DOUBLE_EQ(partial.dedupe_factor(), 1.0);
+  EXPECT_EQ(ExpandPartialIkjt(partial), jt);
+}
+
+TEST(PartialIkjtTest, InvalidRowRefThrows) {
+  EXPECT_THROW(PartialIkjt("x", {1, 2}, {{0, 3}}), std::invalid_argument);
+  EXPECT_THROW(PartialIkjt("x", {1, 2}, {{-1, 1}}), std::invalid_argument);
+}
+
+// ------------------------------------------------------- serialization --
+
+TEST(SerializeTest, KjtRoundTrip) {
+  const auto kjt = Fig5Batch();
+  common::ByteWriter w;
+  SerializeKjt(kjt, w);
+  common::ByteReader r(w.bytes());
+  const auto back = DeserializeKjt(r);
+  EXPECT_EQ(back, kjt);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, IkjtRoundTrip) {
+  const auto kjt = Fig5Batch();
+  const std::vector<std::string> group = {"feature_c", "feature_d"};
+  const auto ikjt = DeduplicateGroup(kjt, group);
+  common::ByteWriter w;
+  SerializeIkjt(ikjt, w);
+  common::ByteReader r(w.bytes());
+  const auto back = DeserializeIkjt(r);
+  EXPECT_EQ(back.keys(), ikjt.keys());
+  EXPECT_EQ(back.unique(0), ikjt.unique(0));
+  EXPECT_EQ(back.unique(1), ikjt.unique(1));
+  EXPECT_EQ(std::vector<std::int64_t>(back.inverse_lookup().begin(),
+                                      back.inverse_lookup().end()),
+            std::vector<std::int64_t>(ikjt.inverse_lookup().begin(),
+                                      ikjt.inverse_lookup().end()));
+}
+
+TEST(SerializeTest, IkjtWireBytesSmallerUnderDuplication) {
+  // Paper §4.2: IKJTs strictly decrease over-the-network tensor sizes
+  // (values/offsets only; inverse_lookup is kept local for SDD).
+  KeyedJaggedTensor kjt;
+  Rows rows(64, std::vector<Id>{1, 2, 3, 4, 5, 6, 7, 8});
+  kjt.AddFeature("f", FromRows(rows));
+  const std::vector<std::string> group = {"f"};
+  const auto ikjt = DeduplicateGroup(kjt, group);
+  EXPECT_LT(IkjtWireBytes(ikjt, /*include_inverse_lookup=*/false),
+            KjtWireBytes(kjt));
+  EXPECT_LT(IkjtWireBytes(ikjt, /*include_inverse_lookup=*/true),
+            KjtWireBytes(kjt));
+}
+
+TEST(SerializeTest, WireBytesCountRawTensorPayload) {
+  KeyedJaggedTensor kjt;
+  kjt.AddFeature("f", FromRows({{1, 2}, {3}}));
+  // 3 values + 2 offsets, 8 bytes each.
+  EXPECT_EQ(KjtWireBytes(kjt), 5u * 8u);
+}
+
+TEST(IkjtTest, DeduplicateRowsMatchesGroupPath) {
+  // The row-major builder (used during feature conversion) must produce
+  // exactly what the KJT-based path produces.
+  const auto kjt = Fig5Batch();
+  const std::vector<std::string> group = {"feature_c", "feature_d"};
+  tensor::DedupStats group_stats;
+  const auto via_group = DeduplicateGroup(kjt, group, &group_stats);
+  const std::vector<const JaggedTensor*> features = {
+      &kjt.Get("feature_c"), &kjt.Get("feature_d")};
+  tensor::DedupStats row_stats;
+  const auto via_rows = DeduplicateRows(
+      {"feature_c", "feature_d"}, kjt.batch_size(),
+      [&](std::size_t row, std::size_t k) { return features[k]->row(row); },
+      &row_stats);
+  EXPECT_EQ(via_rows.unique(0), via_group.unique(0));
+  EXPECT_EQ(via_rows.unique(1), via_group.unique(1));
+  EXPECT_EQ(std::vector<std::int64_t>(via_rows.inverse_lookup().begin(),
+                                      via_rows.inverse_lookup().end()),
+            std::vector<std::int64_t>(via_group.inverse_lookup().begin(),
+                                      via_group.inverse_lookup().end()));
+  EXPECT_EQ(row_stats.values_before, group_stats.values_before);
+  EXPECT_EQ(row_stats.values_after, group_stats.values_after);
+}
+
+TEST(IkjtTest, DeduplicateRowsEmptyBatch) {
+  const auto ikjt = DeduplicateRows(
+      {"f"}, 0,
+      [](std::size_t, std::size_t) { return std::span<const Id>(); });
+  EXPECT_EQ(ikjt.batch_size(), 0u);
+  EXPECT_EQ(ikjt.unique_rows(), 0u);
+}
+
+TEST(IkjtTest, DeduplicateRowsEmptyGroupThrows) {
+  EXPECT_THROW(
+      (void)DeduplicateRows({}, 3,
+                            [](std::size_t, std::size_t) {
+                              return std::span<const Id>();
+                            }),
+      std::invalid_argument);
+}
+
+TEST(PartialIkjtTest, WireBytesSmallerThanExpandedForShiftChains) {
+  Rows rows;
+  std::vector<Id> window;
+  for (Id i = 0; i < 32; ++i) window.push_back(i);
+  for (int r = 0; r < 128; ++r) {
+    window.erase(window.begin());
+    window.push_back(1000 + r);
+    rows.push_back(window);
+  }
+  const auto jt = FromRows(rows);
+  const auto partial = BuildPartialIkjt("w", jt);
+  const std::size_t expanded_bytes =
+      (jt.total_values() + jt.num_rows()) * sizeof(Id);
+  EXPECT_LT(partial.WireBytes(), expanded_bytes);
+}
+
+// --------------------------------------------- property sweeps (TEST_P) --
+
+struct DedupSweepParam {
+  std::size_t batch_size;
+  std::size_t group_features;
+  double duplication;  // probability a row repeats the previous one
+  std::size_t mean_len;
+};
+
+class DedupPropertyTest
+    : public ::testing::TestWithParam<DedupSweepParam> {};
+
+TEST_P(DedupPropertyTest, DedupExpandRoundTripsAndShrinks) {
+  const auto p = GetParam();
+  common::Rng rng(p.batch_size * 7919 + p.group_features);
+  KeyedJaggedTensor kjt;
+  std::vector<std::string> group;
+  // Build synchronized features: all features repeat (or change) on the
+  // same rows, mimicking grouped session features.
+  std::vector<Rows> feature_rows(p.group_features);
+  Rows prev(p.group_features);
+  for (std::size_t r = 0; r < p.batch_size; ++r) {
+    const bool repeat = r > 0 && rng.Bernoulli(p.duplication);
+    for (std::size_t f = 0; f < p.group_features; ++f) {
+      if (!repeat) {
+        const auto len = static_cast<std::size_t>(
+            rng.Uniform(0, static_cast<std::int64_t>(2 * p.mean_len)));
+        prev[f].clear();
+        for (std::size_t k = 0; k < len; ++k) {
+          prev[f].push_back(rng.Uniform(0, 1'000'000));
+        }
+      }
+      feature_rows[f].push_back(prev[f]);
+    }
+  }
+  for (std::size_t f = 0; f < p.group_features; ++f) {
+    group.push_back("f" + std::to_string(f));
+    kjt.AddFeature(group.back(), FromRows(feature_rows[f]));
+  }
+
+  DedupStats stats;
+  const auto ikjt = DeduplicateGroup(kjt, group, &stats);
+  // Invariants.
+  EXPECT_EQ(ikjt.batch_size(), p.batch_size);
+  EXPECT_LE(ikjt.unique_rows(), p.batch_size);
+  for (const auto idx : ikjt.inverse_lookup()) {
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(static_cast<std::size_t>(idx), ikjt.unique_rows());
+  }
+  // Lossless round trip.
+  const auto expanded = ExpandToKjt(ikjt);
+  for (const auto& key : group) {
+    ASSERT_EQ(expanded.Get(key), kjt.Get(key));
+  }
+  // Compression under duplication.
+  if (p.duplication >= 0.5 && p.batch_size >= 64) {
+    EXPECT_LT(stats.unique_rows, p.batch_size);
+    EXPECT_GE(stats.dedupe_factor(), 1.0);
+  }
+  // Serialization survives too.
+  common::ByteWriter w;
+  SerializeIkjt(ikjt, w);
+  common::ByteReader r(w.bytes());
+  const auto back = DeserializeIkjt(r);
+  EXPECT_EQ(back.unique(0), ikjt.unique(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DedupPropertyTest,
+    ::testing::Values(
+        DedupSweepParam{1, 1, 0.0, 4}, DedupSweepParam{2, 1, 1.0, 4},
+        DedupSweepParam{64, 1, 0.0, 8}, DedupSweepParam{64, 1, 0.9, 8},
+        DedupSweepParam{128, 2, 0.5, 4}, DedupSweepParam{128, 3, 0.9, 16},
+        DedupSweepParam{256, 4, 0.95, 2}, DedupSweepParam{512, 2, 0.8, 1},
+        DedupSweepParam{1024, 1, 0.99, 4},
+        DedupSweepParam{333, 5, 0.7, 3}));
+
+class PartialSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartialSweepTest, PartialIkjtAlwaysRoundTrips) {
+  common::Rng rng(GetParam());
+  Rows rows;
+  std::vector<Id> window;
+  const std::size_t len = 4 + static_cast<std::size_t>(GetParam()) % 12;
+  for (std::size_t i = 0; i < len; ++i) {
+    window.push_back(rng.Uniform(0, 1000));
+  }
+  for (int r = 0; r < 200; ++r) {
+    const double u = rng.UniformReal();
+    if (u < 0.5) {
+      // shift
+      window.erase(window.begin());
+      window.push_back(rng.Uniform(0, 1000));
+    } else if (u < 0.6) {
+      // full redraw
+      for (auto& v : window) v = rng.Uniform(0, 1000);
+    }  // else: repeat unchanged
+    rows.push_back(window);
+  }
+  const auto jt = FromRows(rows);
+  const auto partial = BuildPartialIkjt("f", jt);
+  EXPECT_EQ(ExpandPartialIkjt(partial), jt);
+  EXPECT_LE(partial.values().size(), jt.total_values());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartialSweepTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace recd::tensor

@@ -9,7 +9,7 @@
 //
 // Calibration: the paper states the baseline batch "required the
 // entirety of GPU memory", so per-GPU HBM is calibrated such that the
-// baseline peak sits at 99.9% (DESIGN.md §1 substitution note).
+// baseline peak sits at 99.9% (docs/ARCHITECTURE.md §1 substitution note).
 #include <cstdio>
 
 #include "bench_util.h"

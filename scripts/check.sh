@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Tier-1 verify: the exact command sequence from ROADMAP.md, run by CI
+# and humans alike (documented in README.md). Exits non-zero on any
+# configure, build, or test failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+cd build
+ctest --output-on-failure -j

@@ -1,6 +1,6 @@
 // LZ77 block codec with a hash-chain match finder.
 //
-// This is the repository's zstd stand-in (see DESIGN.md §1). The format:
+// This is the repository's zstd stand-in (see docs/ARCHITECTURE.md §1). The format:
 //   [varint raw_size] then a token stream; each token is
 //   [varint literal_len][literal bytes][varint match_len][varint distance]
 // A match_len of 0 terminates (trailing literals only). Minimum match is

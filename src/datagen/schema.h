@@ -1,7 +1,7 @@
 // Dataset schema for the synthetic session-centric workload.
 //
 // This is the substitution for the paper's O(100 PB) production dataset
-// (DESIGN.md §1): duplication is *generated* by the same process that
+// (docs/ARCHITECTURE.md §1): duplication is *generated* by the same process that
 // causes it in production — user features that rarely change within a
 // session — rather than being injected artificially. Every quantity the
 // paper's analytical model uses (S, l(f), d(f)) is an explicit knob.

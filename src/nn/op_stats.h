@@ -2,7 +2,7 @@
 //
 // The distributed trainer simulation converts these counters — computed
 // from *real* tensor math on real batches — into modeled GPU time
-// (DESIGN.md §1). Keeping them exact is what makes the iteration
+// (docs/ARCHITECTURE.md §1). Keeping them exact is what makes the iteration
 // breakdown (Fig 8) a measurement of work, not a guess.
 #pragma once
 

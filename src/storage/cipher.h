@@ -6,7 +6,7 @@
 // decrypt stand-in: real per-byte work proportional to the *compressed*
 // bytes read, which is exactly the cost clustering (O2) shrinks. It is
 // not cryptographically secure and is documented as a simulation
-// substitute (DESIGN.md §1).
+// substitute (docs/ARCHITECTURE.md §1).
 #pragma once
 
 #include <cstddef>

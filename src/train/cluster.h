@@ -2,7 +2,7 @@
 //
 // The simulator converts exact operation/byte counters into time through
 // these rates. Absolute numbers differ from A100 silicon — the paper's
-// shapes (ratios, crossovers) are the reproduction target (DESIGN.md §1).
+// shapes (ratios, crossovers) are the reproduction target (docs/ARCHITECTURE.md §1).
 #pragma once
 
 #include <cstddef>
@@ -43,7 +43,7 @@ struct ClusterSpec {
 /// sizes and ~1/4 its sequence lengths, so scaling the hardware down by
 /// the same ~32x keeps the *fractional* iteration breakdown (Fig 8)
 /// comparable — the simulator reproduces shapes, not absolute seconds
-/// (DESIGN.md §1).
+/// (docs/ARCHITECTURE.md §1).
 [[nodiscard]] inline ClusterSpec ZionEx(std::size_t num_gpus,
                                         double work_scale = 1.0) {
   ClusterSpec spec;

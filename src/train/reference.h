@@ -1,6 +1,6 @@
 // Reference DLRM with real math on a single device.
 //
-// Two purposes (DESIGN.md §4): (1) prove the paper's claim that "IKJTs
+// Two purposes (docs/ARCHITECTURE.md §4): (1) prove the paper's claim that "IKJTs
 // encode the exact same logical data as KJTs" — the RecD forward path
 // (pool unique rows, expand through inverse_lookup) must produce results
 // identical to the baseline path (expand first, pool everything); and

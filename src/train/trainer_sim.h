@@ -25,7 +25,7 @@ namespace recd::train {
 /// `length` (so values scale by rows*length and attention score work by
 /// rows*length^2). Real data supplies the shapes — dedupe factors,
 /// length distributions — and the multipliers restore scale, so the
-/// simulator runs with *unscaled* hardware constants (DESIGN.md §1).
+/// simulator runs with *unscaled* hardware constants (docs/ARCHITECTURE.md §1).
 struct ShapeScale {
   double rows = 1.0;
   double length = 1.0;

@@ -505,7 +505,11 @@ TEST_P(DedupPropertyTest, DedupExpandRoundTripsAndShrinks) {
     }
   }
   for (std::size_t f = 0; f < p.group_features; ++f) {
-    group.push_back("f" + std::to_string(f));
+    // Built as append rather than operator+ to dodge a GCC 12 -Wrestrict
+    // false positive (GCC bug 105329) on "f" + std::to_string(f) at -O3.
+    std::string name("f");
+    name += std::to_string(f);
+    group.push_back(std::move(name));
     kjt.AddFeature(group.back(), FromRows(feature_rows[f]));
   }
 

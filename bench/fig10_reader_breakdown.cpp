@@ -8,8 +8,10 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/stopwatch.h"
 #include "etl/etl.h"
 #include "reader/reader.h"
+#include "reader/reader_pool.h"
 #include "storage/table.h"
 
 namespace {
@@ -46,8 +48,9 @@ Breakdown RunReader(recd::storage::BlobStore& store,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace recd;
+  bench::JsonReport report("bench_fig10_reader_breakdown");
   bench::PrintHeader("Figure 10: reader CPU time breakdown per sample");
   std::printf("%-4s %-10s %8s %9s %9s %8s\n", "RM", "config", "fill",
               "convert", "process", "total");
@@ -94,6 +97,65 @@ int main() {
         100 * (recd.convert / base.convert - 1),
         100 * (recd.process / base.process - 1));
     bench::PrintRule();
+
+    const double paper_fill[3] = {-50, -33, -46};
+    const double paper_convert[3] = {21, 37, 11};
+    const double paper_process[3] = {-13, -11, 3};
+    const std::string rm = "rm" + std::to_string(i + 1);
+    report.Add(rm + "_fill_delta", 100 * (recd.fill / base.fill - 1),
+               paper_fill[i], "%");
+    report.Add(rm + "_convert_delta",
+               100 * (recd.convert / base.convert - 1), paper_convert[i],
+               "%");
+    report.Add(rm + "_process_delta",
+               100 * (recd.process / base.process - 1), paper_process[i],
+               "%");
   }
-  return 0;
+
+  // ---- ReaderPool scaling: DPP-style reader fleet on one host. -------
+  // The paper's readers scale out as a tier (§2.1); here N workers scan
+  // the RM1 RecD table and wall-clock rows/s is measured per N. The
+  // batch stream is byte-identical for every N (ordered reassembly), so
+  // this isolates pure parallel speedup.
+  bench::PrintHeader("ReaderPool scaling (RM1, RecD table, wall clock)");
+  std::printf("%-8s %14s %10s\n", "workers", "rows/s", "speedup");
+  bench::PrintRule();
+  {
+    auto b = bench::RmBench::Make(datagen::RmKind::kRm1, 8);
+    datagen::TrafficGenerator gen(b.spec);
+    const auto traffic = gen.Generate(16'000);
+    auto samples = etl::JoinLogs(traffic.features, traffic.events);
+    etl::ClusterBySession(samples);
+    storage::StorageSchema schema;
+    schema.num_dense = b.spec.num_dense;
+    for (const auto& f : b.spec.sparse) {
+      schema.sparse_names.push_back(f.name);
+    }
+    storage::BlobStore store;
+    const auto landed =
+        storage::LandTable(store, "scale", schema, {samples});
+
+    double base_rate = 0;
+    for (const std::size_t workers : {1, 2, 4, 8}) {
+      auto loader = train::MakeDataLoaderConfig(b.model, 512, true);
+      loader.num_workers = workers;
+      reader::ReaderPool pool(store, landed.table, loader,
+                              reader::ReaderOptions{.use_ikjt = true});
+      common::Stopwatch wall;
+      wall.Start();
+      std::size_t rows = 0;
+      while (auto batch = pool.NextBatch()) rows += batch->batch_size;
+      wall.Stop();
+      const double rate = static_cast<double>(rows) / wall.seconds();
+      if (workers == 1) base_rate = rate;
+      std::printf("%-8zu %14.0f %9.2fx\n", workers, rate,
+                  rate / base_rate);
+      report.Add("reader_pool_rows_per_s_w" + std::to_string(workers),
+                 rate, std::nullopt, "rows/s");
+      report.Add("reader_pool_speedup_w" + std::to_string(workers),
+                 rate / base_rate, std::nullopt, "x");
+    }
+  }
+  bench::PrintRule();
+  return report.WriteIfRequested(argc, argv) ? 0 : 1;
 }

@@ -8,8 +8,9 @@
 #include "bench_util.h"
 #include "reader/reader_tier.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace recd;
+  bench::JsonReport report("bench_fig7_end_to_end");
   bench::PrintHeader(
       "Figure 7: end-to-end RecD gains, normalized to baseline");
   std::printf("%-4s %-22s %10s %12s\n", "RM", "metric", "measured",
@@ -45,6 +46,12 @@ int main() {
                 "reader throughput", reader_gain, paper[i].reader);
     std::printf("%-4s %-22s %9.2fx %11.2fx\n", bench::RmName(kinds[i]),
                 "storage compression", storage_gain, paper[i].storage);
+    const std::string rm = "rm" + std::to_string(i + 1);
+    report.Add(rm + "_trainer_speedup", trainer_gain, paper[i].trainer,
+               "x");
+    report.Add(rm + "_reader_speedup", reader_gain, paper[i].reader, "x");
+    report.Add(rm + "_storage_compression_gain", storage_gain,
+               paper[i].storage, "x");
     std::printf("%-4s   (dedupe factor %.1f, S=%.1f, batch %zu -> %zu)\n",
                 bench::RmName(kinds[i]), recd.mean_dedupe_factor,
                 recd.samples_per_session, b.baseline_batch, b.recd_batch);
@@ -62,5 +69,5 @@ int main() {
                 recd_prov.readers_needed);
     bench::PrintRule();
   }
-  return 0;
+  return report.WriteIfRequested(argc, argv) ? 0 : 1;
 }

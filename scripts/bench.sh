@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Benchmark runner: builds the release preset, runs the end-to-end and
+# reader-breakdown harnesses, and records BENCH_fig7_end_to_end.json /
+# BENCH_fig10_reader_breakdown.json at the repository root per the
+# docs/BENCHMARKS.md convention. Full-pipeline benches take minutes.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake --preset release
+cmake --build build -j --target bench_fig7_end_to_end \
+  bench_fig10_reader_breakdown
+
+# Context recorded into the JSON reports (see bench::JsonReport).
+RECD_BENCH_COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+RECD_BENCH_DATE=$(date +%Y-%m-%d)
+RECD_BENCH_CORES=$(nproc 2>/dev/null || echo 0)
+RECD_BENCH_CPU=$(sed -n 's/^model name[^:]*: //p' /proc/cpuinfo 2>/dev/null \
+  | head -n 1)
+[ -n "${RECD_BENCH_CPU}" ] || RECD_BENCH_CPU=$(uname -m)
+RECD_BENCH_BUILD_TYPE=Release
+export RECD_BENCH_COMMIT RECD_BENCH_DATE RECD_BENCH_CORES \
+  RECD_BENCH_CPU RECD_BENCH_BUILD_TYPE
+
+./build/bench_fig7_end_to_end --json BENCH_fig7_end_to_end.json
+./build/bench_fig10_reader_breakdown --json BENCH_fig10_reader_breakdown.json
+
+echo "bench.sh: wrote BENCH_fig7_end_to_end.json and" \
+  "BENCH_fig10_reader_breakdown.json"

@@ -2,9 +2,23 @@
 # Tier-1 verify: the exact command sequence from ROADMAP.md, run by CI
 # and humans alike (documented in README.md). Exits non-zero on any
 # configure, build, or test failure.
+#
+# `check.sh --tsan` instead builds the `tsan` preset (ThreadSanitizer,
+# see CMakePresets.json) and runs the concurrency-touching suites —
+# ThreadPool/Channel, ReaderPool, the pipeline round trip, and the
+# stages that flush/land in parallel — under the race detector.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--tsan" ]; then
+  cmake --preset tsan
+  cmake --build build-tsan -j
+  cd build-tsan
+  ctest --output-on-failure -j 2 \
+    -R 'ThreadPool|Channel|ReaderPool|PipelineRoundTrip|Scribe|Storage|ColumnFile'
+  exit 0
+fi
 
 cmake -B build -S .
 cmake --build build -j

@@ -1,0 +1,135 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+
+namespace recd::common {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    throw std::invalid_argument("ThreadPool: need at least one thread");
+  }
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::RunOne() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& body,
+                             std::size_t grain) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const std::size_t n = end - begin;
+
+  struct State {
+    std::atomic<std::size_t> cursor;
+    std::atomic<bool> failed{false};
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t live = 0;  // helper tasks still running
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+  state->cursor = begin;
+  state->end = end;
+  state->grain = grain;
+
+  // The claim loop every participant runs: grab the next run of `grain`
+  // indices until the range is exhausted or a body threw.
+  const auto drain = [&body](State& s) {
+    while (!s.failed.load(std::memory_order_relaxed)) {
+      const std::size_t lo =
+          s.cursor.fetch_add(s.grain, std::memory_order_relaxed);
+      if (lo >= s.end) break;
+      const std::size_t hi = std::min(s.end, lo + s.grain);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        if (!s.error) s.error = std::current_exception();
+        s.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  // One helper task per worker, capped by the number of index runs
+  // beyond the one the caller will claim itself.
+  const std::size_t runs = (n + grain - 1) / grain;
+  const std::size_t helpers =
+      std::min(threads_.size(), runs > 0 ? runs - 1 : 0);
+  state->live = helpers;
+  for (std::size_t h = 0; h < helpers; ++h) {
+    // `body` outlives the loop because the caller blocks below until
+    // every helper has finished, so capturing its address is safe.
+    Post([state, drain] {
+      drain(*state);
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (--state->live == 0) state->done_cv.notify_all();
+    });
+  }
+
+  drain(*state);
+
+  // Wait for helpers, lending a hand to whatever sits in the queue —
+  // including nested ParallelFor helpers — so waiting never deadlocks.
+  std::unique_lock<std::mutex> lock(state->mutex);
+  while (state->live > 0) {
+    lock.unlock();
+    const bool ran = RunOne();
+    lock.lock();
+    if (!ran && state->live > 0) {
+      state->done_cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace recd::common

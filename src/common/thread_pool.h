@@ -1,0 +1,81 @@
+// ThreadPool: the shared execution engine behind every parallel stage
+// (storage stripe encode/decode, Scribe shard flush, ETL clustering, and
+// the DPP-style reader workers).
+//
+// A fixed set of worker threads drains one FIFO task queue. Two usage
+// patterns are supported:
+//
+//  - Submit(f): run `f` on a worker, observe the result (or exception)
+//    through the returned std::future.
+//  - ParallelFor(begin, end, body): index-parallel loop. Indices are
+//    claimed from a shared atomic cursor so load self-balances across
+//    workers (work-stealing-friendly: fast workers simply claim more),
+//    and the *calling* thread participates too. While waiting for
+//    stragglers the caller helps drain the task queue, which makes
+//    nested ParallelFor calls (e.g. LandTable over partitions, each
+//    partition encoding stripes in parallel) deadlock-free.
+//
+// Exceptions thrown by ParallelFor bodies cancel the remaining indices
+// and the first one is rethrown on the calling thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace recd::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Finishes every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+
+  /// Enqueues a fire-and-forget task.
+  void Post(std::function<void()> task);
+
+  /// Enqueues `f` and returns a future for its result; exceptions
+  /// propagate through the future.
+  template <typename F, typename R = std::invoke_result_t<F&>>
+  [[nodiscard]] std::future<R> Submit(F f) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
+    auto future = task->get_future();
+    Post([task] { (*task)(); });
+    return future;
+  }
+
+  /// Runs body(i) for every i in [begin, end), distributing `grain`-sized
+  /// index runs across the workers and the calling thread. Returns when
+  /// every index has completed; rethrows the first body exception.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& body,
+                   std::size_t grain = 1);
+
+ private:
+  void WorkerLoop();
+  /// Pops and runs one queued task; false if the queue was empty.
+  bool RunOne();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace recd::common

@@ -1,7 +1,10 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "common/thread_pool.h"
+#include "reader/reader_pool.h"
 #include "train/model.h"
 
 namespace recd::core {
@@ -22,6 +25,15 @@ PipelineRunner::PipelineRunner(datagen::DatasetSpec dataset,
 PipelineResult PipelineRunner::Run(const RecdConfig& config) {
   PipelineResult result;
 
+  // One pool drives every parallel stage; absent (num_threads <= 1) the
+  // stages take their original single-threaded paths.
+  std::optional<common::ThreadPool> pool_storage;
+  common::ThreadPool* pool = nullptr;
+  if (options_.num_threads > 1) {
+    pool_storage.emplace(options_.num_threads);
+    pool = &*pool_storage;
+  }
+
   // ---- O1: Scribe sharding + compression. ----------------------------
   scribe::ScribeCluster scribe_cluster(
       options_.num_scribe_shards,
@@ -31,7 +43,7 @@ PipelineResult PipelineRunner::Run(const RecdConfig& config) {
     scribe_cluster.LogFeature(log);
   }
   for (const auto& log : traffic_.events) scribe_cluster.LogEvent(log);
-  scribe_cluster.Flush();
+  scribe_cluster.Flush(pool);
   result.scribe_compression_ratio =
       scribe_cluster.totals().compression_ratio();
 
@@ -40,9 +52,10 @@ PipelineResult PipelineRunner::Run(const RecdConfig& config) {
   std::vector<datagen::Sample> samples = samples_;
   if (config.downsample != etl::DownsampleMode::kNone) {
     samples = etl::Downsample(samples, config.downsample,
-                              config.downsample_keep_rate, dataset_.seed);
+                              config.downsample_keep_rate, dataset_.seed,
+                              pool);
   }
-  if (config.cluster_by_session) etl::ClusterBySession(samples);
+  if (config.cluster_by_session) etl::ClusterBySession(samples, pool);
   result.samples_per_session = etl::MeanSamplesPerSession(samples);
   auto partitions =
       etl::PartitionByCount(std::move(samples), options_.samples_per_partition);
@@ -53,8 +66,9 @@ PipelineResult PipelineRunner::Run(const RecdConfig& config) {
   storage::BlobStore store;
   storage::WriterOptions wopts;
   wopts.rows_per_stripe = options_.rows_per_stripe;
+  wopts.pool = pool;
   const auto landed =
-      storage::LandTable(store, "table", schema, partitions, wopts);
+      storage::LandTable(store, "table", schema, partitions, wopts, pool);
   result.storage_compression_ratio = landed.compression_ratio();
   result.stored_bytes = landed.stored_bytes;
 
@@ -80,9 +94,16 @@ PipelineResult PipelineRunner::Run(const RecdConfig& config) {
   loader.transforms.push_back(
       {reader::TransformKind::kDenseNormalize, "", 0.0, 1.0});
 
+  // The land is the pool's last job; release its threads before the
+  // reader spawns its own workers so the host is not oversubscribed
+  // with idle ThreadPool threads during the read/train phase.
+  pool = nullptr;
+  pool_storage.reset();
+
+  loader.num_workers = options_.num_threads;
   reader::ReaderOptions ropts;
   ropts.use_ikjt = config.use_ikjt;
-  reader::Reader rdr(store, landed.table, loader, ropts);
+  reader::ReaderPool rdr(store, landed.table, loader, ropts);
 
   train::TrainerSim trainer(model, cluster_, config.trainer,
                             options_.trainer_scale);
@@ -128,7 +149,17 @@ PipelineResult PipelineRunner::Run(const RecdConfig& config) {
       values_after == 0 ? 1.0 : values_before / values_after;
   result.reader_times = rdr.times();
   result.reader_io = rdr.io();
-  const double reader_s = rdr.times().total_s();
+  // The pool reports wall_s (its stage sums are CPU seconds across
+  // overlapping workers); the single-threaded path's total_s is already
+  // wall time. Caveat: wall_s spans construction to exhaustion, so the
+  // few iterations the trainer sim runs between NextBatch calls are
+  // included — the reader keeps prefetching through them, but the
+  // metric is pipeline-as-consumed throughput, not isolated reader
+  // speed. Compare rows/s across num_threads values with
+  // bench_fig10_reader_breakdown's scaling section (a tight drain
+  // loop), not across differently-shaped Run() configs.
+  const double reader_s = rdr.times().wall_s > 0 ? rdr.times().wall_s
+                                                 : rdr.times().total_s();
   result.reader_rows_per_second =
       reader_s == 0 ? 0.0
                     : static_cast<double>(rdr.io().rows_read) / reader_s;

@@ -61,6 +61,13 @@ struct PipelineOptions {
   std::size_t samples_per_partition = 10'000;
   std::size_t rows_per_stripe = 1024;
   std::size_t max_trainer_batches = 4;  // iterations averaged for QPS
+  /// Worker threads for every parallel stage: Scribe flush, ETL
+  /// clustering/downsampling, storage stripe encode, and the reader
+  /// pool (reader::ReaderPool with this many workers). 1 = the original
+  /// single-threaded pipeline. Any value yields byte-identical sample
+  /// data and identical non-timing PipelineResult counters — stages
+  /// reassemble their outputs in scan order (docs/ARCHITECTURE.md §7).
+  std::size_t num_threads = 1;
 };
 
 /// Everything the benchmarks report, measured in one pass.

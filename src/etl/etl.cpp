@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/hash.h"
+#include "common/thread_pool.h"
 
 namespace recd::etl {
 
@@ -33,19 +34,66 @@ std::vector<datagen::Sample> JoinLogs(
   return out;
 }
 
-void ClusterBySession(std::vector<datagen::Sample>& samples) {
-  std::stable_sort(samples.begin(), samples.end(),
-                   [](const datagen::Sample& a, const datagen::Sample& b) {
-                     if (a.session_id != b.session_id) {
-                       return a.session_id < b.session_id;
-                     }
-                     return a.timestamp < b.timestamp;
-                   });
+namespace {
+
+bool SessionOrder(const datagen::Sample& a, const datagen::Sample& b) {
+  if (a.session_id != b.session_id) {
+    return a.session_id < b.session_id;
+  }
+  return a.timestamp < b.timestamp;
+}
+
+/// Chunk bounds that split [0, n) into `chunks` near-equal ranges.
+std::vector<std::size_t> ChunkBounds(std::size_t n, std::size_t chunks) {
+  std::vector<std::size_t> bounds;
+  bounds.reserve(chunks + 1);
+  for (std::size_t c = 0; c <= chunks; ++c) {
+    bounds.push_back(n * c / chunks);
+  }
+  return bounds;
+}
+
+}  // namespace
+
+void ClusterBySession(std::vector<datagen::Sample>& samples,
+                      common::ThreadPool* pool) {
+  constexpr std::size_t kParallelCutoff = 4096;
+  if (pool == nullptr || pool->size() < 2 ||
+      samples.size() < kParallelCutoff) {
+    std::stable_sort(samples.begin(), samples.end(), SessionOrder);
+    return;
+  }
+  // Parallel merge sort: stable-sort near-equal chunks concurrently,
+  // then stable-merge adjacent runs. std::inplace_merge takes from the
+  // left run on ties and chunks are in original order, so the result is
+  // exactly the sequential stable_sort order.
+  const std::size_t chunks = pool->size();
+  const auto bounds = ChunkBounds(samples.size(), chunks);
+  pool->ParallelFor(0, chunks, [&](std::size_t c) {
+    std::stable_sort(
+        samples.begin() + static_cast<std::ptrdiff_t>(bounds[c]),
+        samples.begin() + static_cast<std::ptrdiff_t>(bounds[c + 1]),
+        SessionOrder);
+  });
+  for (std::size_t width = 1; width < chunks; width *= 2) {
+    const std::size_t pairs = chunks / (2 * width) + 1;
+    pool->ParallelFor(0, pairs, [&](std::size_t p) {
+      const std::size_t lo = 2 * width * p;
+      const std::size_t mid = lo + width;
+      const std::size_t hi = std::min(chunks, lo + 2 * width);
+      if (mid >= hi) return;
+      std::inplace_merge(
+          samples.begin() + static_cast<std::ptrdiff_t>(bounds[lo]),
+          samples.begin() + static_cast<std::ptrdiff_t>(bounds[mid]),
+          samples.begin() + static_cast<std::ptrdiff_t>(bounds[hi]),
+          SessionOrder);
+    });
+  }
 }
 
 std::vector<datagen::Sample> Downsample(
     const std::vector<datagen::Sample>& samples, DownsampleMode mode,
-    double keep_rate, std::uint64_t seed) {
+    double keep_rate, std::uint64_t seed, common::ThreadPool* pool) {
   if (keep_rate < 0.0 || keep_rate > 1.0) {
     throw std::invalid_argument("Downsample: keep_rate must be in [0,1]");
   }
@@ -59,12 +107,39 @@ std::vector<datagen::Sample> Downsample(
                static_cast<double>(1ULL << 53) <
            keep_rate;
   };
+  const auto key_of = [&](const datagen::Sample& s) {
+    return mode == DownsampleMode::kPerSample ? s.request_id : s.session_id;
+  };
+
+  constexpr std::size_t kParallelCutoff = 4096;
+  if (pool != nullptr && pool->size() >= 2 &&
+      samples.size() >= kParallelCutoff) {
+    // Filter chunks concurrently, concatenate in chunk order: same
+    // survivors, same order as the sequential loop.
+    const std::size_t chunks = pool->size();
+    const auto bounds = ChunkBounds(samples.size(), chunks);
+    std::vector<std::vector<datagen::Sample>> parts(chunks);
+    pool->ParallelFor(0, chunks, [&](std::size_t c) {
+      auto& part = parts[c];
+      part.reserve(bounds[c + 1] - bounds[c]);
+      for (std::size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+        if (keep(key_of(samples[i]))) part.push_back(samples[i]);
+      }
+    });
+    std::size_t total = 0;
+    for (const auto& part : parts) total += part.size();
+    std::vector<datagen::Sample> out;
+    out.reserve(total);
+    for (auto& part : parts) {
+      for (auto& s : part) out.push_back(std::move(s));
+    }
+    return out;
+  }
+
   std::vector<datagen::Sample> out;
   out.reserve(samples.size());
   for (const auto& s : samples) {
-    const std::int64_t key =
-        mode == DownsampleMode::kPerSample ? s.request_id : s.session_id;
-    if (keep(key)) out.push_back(s);
+    if (keep(key_of(s))) out.push_back(s);
   }
   return out;
 }

@@ -13,6 +13,10 @@
 
 #include "datagen/sample.h"
 
+namespace recd::common {
+class ThreadPool;
+}  // namespace recd::common
+
 namespace recd::etl {
 
 /// Hash-joins feature logs and event logs on request_id, producing one
@@ -24,8 +28,11 @@ namespace recd::etl {
     const std::vector<datagen::EventLog>& events);
 
 /// O2: clusters samples by session id, ordering each session's samples by
-/// timestamp. Stable so equal keys keep their relative order.
-void ClusterBySession(std::vector<datagen::Sample>& samples);
+/// timestamp. Stable so equal keys keep their relative order. With
+/// `pool`, runs as a parallel merge sort (sorted chunks + stable merges)
+/// that produces exactly the sequential stable-sort order.
+void ClusterBySession(std::vector<datagen::Sample>& samples,
+                      common::ThreadPool* pool = nullptr);
 
 /// §7 "Boosting Dedupe Factors": how the dataset is thinned.
 enum class DownsampleMode {
@@ -34,10 +41,14 @@ enum class DownsampleMode {
   kPerSession,  // RecD proposal: coin flip per session (preserves S)
 };
 
-/// Keeps roughly `keep_rate` of samples under the given policy.
+/// Keeps roughly `keep_rate` of samples under the given policy. The
+/// per-key coin flips are pure functions of (seed, key), so the
+/// pool-parallel path (chunked filter + in-order concatenation) keeps
+/// exactly the same samples in the same order as the sequential one.
 [[nodiscard]] std::vector<datagen::Sample> Downsample(
     const std::vector<datagen::Sample>& samples, DownsampleMode mode,
-    double keep_rate, std::uint64_t seed);
+    double keep_rate, std::uint64_t seed,
+    common::ThreadPool* pool = nullptr);
 
 /// Splits a sample stream into fixed-size "hourly" partitions in arrival
 /// order (the time-partitioned Hive landing from Fig 1).

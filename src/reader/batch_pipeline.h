@@ -1,0 +1,46 @@
+// BatchPipeline: the Convert and Process stages of a reader (paper
+// Fig 5), factored out of the scan loop so the single-threaded Reader
+// and the parallel ReaderPool run the *same* code on a batch's rows —
+// which is what makes "N workers produce byte-identical batches" a
+// structural property instead of a test-enforced coincidence.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "datagen/sample.h"
+#include "reader/batch.h"
+#include "reader/dataloader.h"
+#include "storage/column_file.h"
+
+namespace recd::reader {
+
+class BatchPipeline {
+ public:
+  /// Holds references: `schema` and `config` must outlive the pipeline
+  /// (both owners — Reader and ReaderPool — keep them as members).
+  BatchPipeline(const storage::StorageSchema& schema,
+                const DataLoaderConfig& config, bool use_ikjt);
+
+  /// Convert stage (O3): rows become KJTs / IKJTs / dense tensors.
+  /// Pure: depends only on `rows`, so any thread may convert any batch.
+  [[nodiscard]] PreprocessedBatch Convert(
+      std::vector<datagen::Sample> rows) const;
+
+  /// Process stage (O4): preprocessing transforms, run over
+  /// deduplicated slices where an IKJT carries the feature. Returns the
+  /// number of sparse elements the transforms touched.
+  std::size_t Process(PreprocessedBatch& batch) const;
+
+  /// The storage projection covering every feature the config consumes.
+  /// Throws std::out_of_range if the config names an unknown feature.
+  [[nodiscard]] static storage::ReadProjection BuildProjection(
+      const storage::StorageSchema& schema, const DataLoaderConfig& config);
+
+ private:
+  const storage::StorageSchema* schema_;
+  const DataLoaderConfig* config_;
+  bool use_ikjt_;
+};
+
+}  // namespace recd::reader

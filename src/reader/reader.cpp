@@ -1,32 +1,11 @@
 #include "reader/reader.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/stopwatch.h"
 
 namespace recd::reader {
-
-namespace {
-
-storage::ReadProjection BuildProjection(const storage::StorageSchema& schema,
-                                        const DataLoaderConfig& config) {
-  storage::ReadProjection p;
-  p.dense = config.dense;
-  for (const auto& name : config.sparse_features) {
-    p.sparse.push_back(schema.FeatureIndex(name));
-  }
-  for (const auto& group : config.dedup_sparse_features) {
-    for (const auto& name : group) {
-      p.sparse.push_back(schema.FeatureIndex(name));
-    }
-  }
-  for (const auto& name : config.partial_dedup_features) {
-    p.sparse.push_back(schema.FeatureIndex(name));
-  }
-  return p;
-}
-
-}  // namespace
 
 Reader::Reader(storage::BlobStore& store, const storage::Table& table,
                DataLoaderConfig config, ReaderOptions options)
@@ -34,7 +13,8 @@ Reader::Reader(storage::BlobStore& store, const storage::Table& table,
       table_(&table),
       config_(std::move(config)),
       options_(options),
-      projection_(BuildProjection(table.schema, config_)) {
+      projection_(BatchPipeline::BuildProjection(table.schema, config_)),
+      pipeline_(table_->schema, config_, options_.use_ikjt) {
   if (config_.batch_size == 0) {
     throw std::invalid_argument("Reader: batch_size must be positive");
   }
@@ -94,117 +74,6 @@ void Reader::DecodePending() {
   times_.fill_s += sw.seconds();
 }
 
-PreprocessedBatch Reader::Convert(std::vector<datagen::Sample> rows) const {
-  common::Stopwatch sw;
-  sw.Start();
-  PreprocessedBatch batch;
-  batch.batch_size = rows.size();
-
-  const auto& schema = table_->schema;
-  auto column = [&](const std::string& name) {
-    const std::size_t f = schema.FeatureIndex(name);
-    tensor::JaggedTensor jt;
-    for (const auto& row : rows) jt.AppendRow(row.sparse[f]);
-    return jt;
-  };
-
-  for (const auto& name : config_.sparse_features) {
-    batch.kjt.AddFeature(name, column(name));
-  }
-  for (const auto& group : config_.dedup_sparse_features) {
-    if (options_.use_ikjt) {
-      // Feature conversion with duplicate detection (O3): rows feed the
-      // dedup builder directly, so duplicate values are never copied
-      // into a staging column (paper: "detecting and avoiding duplicate
-      // copies during feature conversion").
-      std::vector<std::size_t> feature_idx;
-      feature_idx.reserve(group.size());
-      for (const auto& name : group) {
-        feature_idx.push_back(schema.FeatureIndex(name));
-      }
-      tensor::DedupStats stats;
-      batch.groups.push_back(tensor::DeduplicateRows(
-          group, rows.size(),
-          [&](std::size_t row, std::size_t k) {
-            return std::span<const tensor::Id>(
-                rows[row].sparse[feature_idx[k]]);
-          },
-          &stats));
-      batch.group_stats.push_back(stats);
-    } else {
-      for (const auto& name : group) {
-        batch.kjt.AddFeature(name, column(name));
-      }
-    }
-  }
-
-  for (const auto& name : config_.partial_dedup_features) {
-    if (options_.use_ikjt) {
-      batch.partials.push_back(
-          tensor::BuildPartialIkjt(name, column(name)));
-    } else {
-      batch.kjt.AddFeature(name, column(name));
-    }
-  }
-
-  if (config_.dense) {
-    batch.dense_dim = schema.num_dense;
-    batch.dense.reserve(rows.size() * schema.num_dense);
-    for (const auto& row : rows) {
-      batch.dense.insert(batch.dense.end(), row.dense.begin(),
-                         row.dense.end());
-    }
-  }
-  batch.labels.reserve(rows.size());
-  batch.session_ids.reserve(rows.size());
-  for (const auto& row : rows) {
-    batch.labels.push_back(row.label);
-    batch.session_ids.push_back(row.session_id);
-  }
-  sw.Stop();
-  times_.convert_s += sw.seconds();
-  return batch;
-}
-
-void Reader::Process(PreprocessedBatch& batch) const {
-  common::Stopwatch sw;
-  sw.Start();
-  for (const auto& spec : config_.transforms) {
-    switch (spec.kind) {
-      case TransformKind::kDenseNormalize:
-      case TransformKind::kDenseClamp:
-        ApplyDenseTransform(spec, batch.dense);
-        break;
-      case TransformKind::kSparseHash:
-      case TransformKind::kSparseModShift: {
-        // O4: if the feature was deduplicated, transform its unique
-        // slice; the wrapper makes this transparent to the transform.
-        bool applied = false;
-        for (auto& group : batch.groups) {
-          for (const auto& key : group.keys()) {
-            if (key == spec.feature) {
-              auto& unique = group.MutableUnique(key);
-              ApplySparseTransform(spec, unique.mutable_values());
-              io_.sparse_elements_processed += unique.total_values();
-              applied = true;
-              break;
-            }
-          }
-          if (applied) break;
-        }
-        if (!applied && batch.kjt.Has(spec.feature)) {
-          auto& jt = batch.kjt.MutableGet(spec.feature);
-          ApplySparseTransform(spec, jt.mutable_values());
-          io_.sparse_elements_processed += jt.total_values();
-        }
-        break;
-      }
-    }
-  }
-  sw.Stop();
-  times_.process_s += sw.seconds();
-}
-
 std::optional<PreprocessedBatch> Reader::NextBatch() {
   if (buffer_.size() + raw_rows_ < config_.batch_size) {
     (void)FillRaw();
@@ -218,8 +87,18 @@ std::optional<PreprocessedBatch> Reader::NextBatch() {
     rows.push_back(std::move(buffer_.front()));
     buffer_.pop_front();
   }
-  PreprocessedBatch batch = Convert(std::move(rows));
-  Process(batch);
+  common::Stopwatch convert_sw;
+  convert_sw.Start();
+  PreprocessedBatch batch = pipeline_.Convert(std::move(rows));
+  convert_sw.Stop();
+  times_.convert_s += convert_sw.seconds();
+
+  common::Stopwatch process_sw;
+  process_sw.Start();
+  io_.sparse_elements_processed += pipeline_.Process(batch);
+  process_sw.Stop();
+  times_.process_s += process_sw.seconds();
+
   io_.bytes_sent += batch.WireBytes();
   io_.batches_produced += 1;
   return batch;

@@ -5,6 +5,10 @@
 // DataLoader config, and runs preprocessing transforms. Per-stage wall
 // time and ingest/egress bytes are recorded — these are the measured
 // quantities behind Fig 10 and Table 3.
+//
+// This class is the single-threaded scan; reader::ReaderPool runs the
+// same stages (via the shared BatchPipeline) across N workers with
+// ordered reassembly.
 #pragma once
 
 #include <deque>
@@ -12,6 +16,7 @@
 
 #include "datagen/sample.h"
 #include "reader/batch.h"
+#include "reader/batch_pipeline.h"
 #include "reader/dataloader.h"
 #include "storage/blob_store.h"
 #include "storage/table.h"
@@ -22,12 +27,20 @@ struct ReaderOptions {
   /// RecD on: dedup groups convert to IKJTs (O3) and transforms run over
   /// deduplicated slices (O4). Off: every feature converts to plain KJT.
   bool use_ikjt = true;
+  /// ReaderPool only: batches buffered ahead of the consumer in the
+  /// prefetch queue. 0 picks 2 x num_workers.
+  std::size_t prefetch_batches = 0;
 };
 
 struct StageTimes {
   double fill_s = 0;
   double convert_s = 0;
   double process_s = 0;
+  /// Wall-clock seconds of the scan as the consumer saw it. For the
+  /// single-threaded Reader this stays 0 (total_s() is already wall
+  /// time); ReaderPool sets it, since its per-stage sums count CPU
+  /// seconds across workers that overlap in real time.
+  double wall_s = 0;
   [[nodiscard]] double total_s() const {
     return fill_s + convert_s + process_s;
   }
@@ -49,6 +62,11 @@ class Reader {
   Reader(storage::BlobStore& store, const storage::Table& table,
          DataLoaderConfig config, ReaderOptions options = {});
 
+  // Not copyable or movable: pipeline_ points into this object's own
+  // config_, so a relocated Reader would dangle into the source.
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
   /// Produces the next batch, or nullopt at end of dataset. The final
   /// partial batch (fewer than batch_size rows) is emitted.
   [[nodiscard]] std::optional<PreprocessedBatch> NextBatch();
@@ -63,15 +81,13 @@ class Reader {
  private:
   [[nodiscard]] bool FillRaw();
   void DecodePending();
-  [[nodiscard]] PreprocessedBatch Convert(
-      std::vector<datagen::Sample> rows) const;
-  void Process(PreprocessedBatch& batch) const;
 
   storage::BlobStore* store_;
   const storage::Table* table_;
   DataLoaderConfig config_;
   ReaderOptions options_;
   storage::ReadProjection projection_;
+  BatchPipeline pipeline_;
 
   // Scan cursor.
   std::size_t partition_ = 0;

@@ -1,0 +1,237 @@
+#include "reader/reader_pool.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "storage/column_file.h"
+
+namespace recd::reader {
+
+ReaderPool::ReaderPool(storage::BlobStore& store,
+                       const storage::Table& table, DataLoaderConfig config,
+                       ReaderOptions options)
+    : store_(&store),
+      table_(&table),
+      config_(std::move(config)),
+      options_(options),
+      workers_(std::max<std::size_t>(1, config_.num_workers)) {
+  if (config_.batch_size == 0) {
+    throw std::invalid_argument("ReaderPool: batch_size must be positive");
+  }
+  if (workers_ <= 1) {
+    single_.emplace(store, table, std::move(config_), options_);
+    return;
+  }
+
+  projection_ = BatchPipeline::BuildProjection(table_->schema, config_);
+  pipeline_.emplace(table_->schema, config_, options_.use_ikjt);
+
+  // Scan plan: open every file up front (footers only) and list stripes
+  // in scan order. Ticket seq == position in this plan.
+  for (const auto& partition : table_->partitions) {
+    for (const auto& name : partition.files) {
+      files_.emplace_back(*store_, name);
+      const std::size_t f = files_.size() - 1;
+      io_.bytes_read += files_[f].open_bytes();
+      for (std::size_t s = 0; s < files_[f].num_stripes(); ++s) {
+        plan_.push_back({f, s});
+      }
+    }
+  }
+
+  stripe_channel_.emplace(std::max<std::size_t>(2, workers_));
+  task_channel_.emplace(2 * workers_);
+  batch_channel_.emplace(options_.prefetch_batches > 0
+                             ? options_.prefetch_batches
+                             : 2 * workers_);
+
+  fill_live_.store(workers_);
+  convert_live_.store(workers_);
+  wall_.Start();
+  threads_.reserve(2 * workers_ + 1);
+  for (std::size_t w = 0; w < workers_; ++w) {
+    threads_.emplace_back([this] { FillWorker(); });
+  }
+  threads_.emplace_back([this] { AssemblerLoop(); });
+  for (std::size_t w = 0; w < workers_; ++w) {
+    threads_.emplace_back([this] { ConvertWorker(); });
+  }
+}
+
+ReaderPool::~ReaderPool() {
+  if (single_.has_value()) return;
+  // Unblock every stage; workers observe the closed channels and exit.
+  stripe_channel_->Close();
+  task_channel_->Close();
+  batch_channel_->Close();
+  for (auto& t : threads_) t.join();
+}
+
+void ReaderPool::Fail(std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!error_) error_ = std::move(error);
+  }
+  stripe_channel_->Close();
+  task_channel_->Close();
+  batch_channel_->Close();
+}
+
+void ReaderPool::FillWorker() {
+  common::Stopwatch sw;
+  ReaderIoStats local;
+  try {
+    for (;;) {
+      const std::size_t seq =
+          next_stripe_.fetch_add(1, std::memory_order_relaxed);
+      if (seq >= plan_.size()) break;
+      const auto& ref = plan_[seq];
+      // Fill (paper Fig 5): fetch + decrypt + decompress + decode. The
+      // stopwatch brackets the work, not the channel wait, so fill_s
+      // counts CPU seconds the way the single-threaded Reader does.
+      sw.Start();
+      const auto& file = files_[ref.file];
+      local.bytes_read += file.StripeBytes(ref.stripe, projection_);
+      auto raw = file.FetchStripe(ref.stripe, projection_);
+      local.rows_read += raw.num_rows;
+      auto rows =
+          storage::DecodeRawStripe(table_->schema, raw, projection_);
+      sw.Stop();
+      StripeRows out;
+      out.seq = seq;
+      out.rows = std::move(rows);
+      if (!stripe_channel_->Push(std::move(out))) break;  // shutdown
+    }
+  } catch (...) {
+    Fail(std::current_exception());
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    times_.fill_s += sw.seconds();
+    io_.bytes_read += local.bytes_read;
+    io_.rows_read += local.rows_read;
+  }
+  if (fill_live_.fetch_sub(1) == 1) stripe_channel_->Close();
+}
+
+void ReaderPool::AssemblerLoop() {
+  // Reassemble stripes in ticket order, accumulate rows, and cut
+  // batch_size runs — exactly the batch boundaries the single-threaded
+  // Reader produces. Cheap (moves only), so one thread suffices.
+  std::map<std::size_t, std::vector<datagen::Sample>> pending;
+  std::size_t next_seq = 0;
+  std::deque<datagen::Sample> buffer;
+  std::size_t batch_seq = 0;
+  bool aborted = false;
+
+  const auto emit = [&](std::size_t take) {
+    BatchTask task;
+    task.seq = batch_seq++;
+    task.rows.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      task.rows.push_back(std::move(buffer.front()));
+      buffer.pop_front();
+    }
+    if (!task_channel_->Push(std::move(task))) aborted = true;
+  };
+
+  while (!aborted) {
+    auto item = stripe_channel_->Pop();
+    if (!item.has_value()) break;
+    pending.emplace(item->seq, std::move(item->rows));
+    while (!pending.empty() && pending.begin()->first == next_seq) {
+      for (auto& row : pending.begin()->second) {
+        buffer.push_back(std::move(row));
+      }
+      pending.erase(pending.begin());
+      ++next_seq;
+      while (!aborted && buffer.size() >= config_.batch_size) {
+        emit(config_.batch_size);
+      }
+    }
+  }
+  // Final partial batch (same as Reader: emitted once the scan ends).
+  if (!aborted && !buffer.empty()) emit(buffer.size());
+  task_channel_->Close();
+}
+
+void ReaderPool::ConvertWorker() {
+  common::Stopwatch convert_sw;
+  common::Stopwatch process_sw;
+  ReaderIoStats local;
+  try {
+    for (;;) {
+      auto task = task_channel_->Pop();
+      if (!task.has_value()) break;
+      convert_sw.Start();
+      PreprocessedBatch batch = pipeline_->Convert(std::move(task->rows));
+      convert_sw.Stop();
+      process_sw.Start();
+      local.sparse_elements_processed += pipeline_->Process(batch);
+      process_sw.Stop();
+      local.bytes_sent += batch.WireBytes();
+      local.batches_produced += 1;
+      BatchOut out;
+      out.seq = task->seq;
+      out.batch = std::move(batch);
+      if (!batch_channel_->Push(std::move(out))) break;  // shutdown
+    }
+  } catch (...) {
+    Fail(std::current_exception());
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    times_.convert_s += convert_sw.seconds();
+    times_.process_s += process_sw.seconds();
+    io_.sparse_elements_processed += local.sparse_elements_processed;
+    io_.bytes_sent += local.bytes_sent;
+    io_.batches_produced += local.batches_produced;
+  }
+  if (convert_live_.fetch_sub(1) == 1) batch_channel_->Close();
+}
+
+std::optional<PreprocessedBatch> ReaderPool::NextBatch() {
+  if (single_.has_value()) return single_->NextBatch();
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (error_) {
+        auto error = error_;
+        std::rethrow_exception(error);
+      }
+    }
+    // Hand out the next in-order batch if it already arrived.
+    const auto it = reorder_.find(next_batch_seq_);
+    if (it != reorder_.end()) {
+      PreprocessedBatch batch = std::move(it->second);
+      reorder_.erase(it);
+      ++next_batch_seq_;
+      return batch;
+    }
+    auto out = batch_channel_->Pop();
+    if (!out.has_value()) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (error_) std::rethrow_exception(error_);
+      if (!exhausted_) {
+        exhausted_ = true;
+        wall_.Stop();
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        times_.wall_s = wall_.seconds();
+      }
+      return std::nullopt;
+    }
+    reorder_.emplace(out->seq, std::move(out->batch));
+  }
+}
+
+const StageTimes& ReaderPool::times() const {
+  return single_.has_value() ? single_->times() : times_;
+}
+
+const ReaderIoStats& ReaderPool::io() const {
+  return single_.has_value() ? single_->io() : io_;
+}
+
+}  // namespace recd::reader

@@ -1,0 +1,137 @@
+// ReaderPool: DPP-style parallel reader fleet (Zhao et al.'s
+// distributed preprocessing tier, scaled down to one node).
+//
+// The single-threaded Reader walks stripes, cuts batches, converts, and
+// processes — one stage at a time. ReaderPool runs the same Fig-5
+// stages as a pipeline over `DataLoaderConfig::num_workers` workers:
+//
+//   fill workers (xN)      assembler (x1)        convert workers (xN)
+//   claim stripe tickets → reassemble stripes  → Convert + Process
+//   fetch/decrypt/        in scan order, cut     per batch, push into
+//   decompress/decode     batch_size row runs    the prefetch queue
+//
+// Every hand-off is a bounded common::Channel, so a fast stage blocks
+// instead of buffering unboundedly (backpressure), and the queue ahead
+// of the consumer prefetches `prefetch_batches` batches.
+//
+// Determinism is the hard invariant: stripes are claimed by globally
+// ordered ticket and reassembled in ticket order before batch cutting,
+// and batches are re-ordered by sequence number before NextBatch hands
+// them out. A run with N workers therefore yields the byte-identical
+// batch stream — and identical io() counters — of the single-threaded
+// Reader; only wall-clock timings differ. With num_workers <= 1 the
+// pool simply wraps a Reader (no threads).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/channel.h"
+#include "common/stopwatch.h"
+#include "datagen/sample.h"
+#include "reader/batch.h"
+#include "reader/batch_pipeline.h"
+#include "reader/dataloader.h"
+#include "reader/reader.h"
+#include "storage/blob_store.h"
+#include "storage/table.h"
+
+namespace recd::reader {
+
+class ReaderPool {
+ public:
+  /// Opens every table file (footers are scanned up front to build the
+  /// stripe plan) and starts the workers; prefetching begins
+  /// immediately. Throws std::out_of_range if the config names a
+  /// feature missing from the table schema.
+  ReaderPool(storage::BlobStore& store, const storage::Table& table,
+             DataLoaderConfig config, ReaderOptions options = {});
+
+  /// Joins all workers; safe to call with batches still in flight.
+  ~ReaderPool();
+
+  ReaderPool(const ReaderPool&) = delete;
+  ReaderPool& operator=(const ReaderPool&) = delete;
+
+  /// Next batch in scan order, or nullopt at end of dataset. Rethrows
+  /// the first worker exception, if any.
+  [[nodiscard]] std::optional<PreprocessedBatch> NextBatch();
+
+  [[nodiscard]] std::size_t num_workers() const { return workers_; }
+
+  /// Aggregated stage times. fill/convert/process are CPU seconds
+  /// summed across workers; wall_s is real elapsed time of the scan.
+  /// Stable once NextBatch has returned nullopt.
+  [[nodiscard]] const StageTimes& times() const;
+  [[nodiscard]] const ReaderIoStats& io() const;
+
+ private:
+  struct StripeRef {
+    std::size_t file = 0;
+    std::size_t stripe = 0;
+  };
+  struct StripeRows {
+    std::size_t seq = 0;
+    std::vector<datagen::Sample> rows;
+  };
+  struct BatchTask {
+    std::size_t seq = 0;
+    std::vector<datagen::Sample> rows;
+  };
+  struct BatchOut {
+    std::size_t seq = 0;
+    PreprocessedBatch batch;
+  };
+
+  void FillWorker();
+  void AssemblerLoop();
+  void ConvertWorker();
+  void Fail(std::exception_ptr error);
+
+  storage::BlobStore* store_;
+  const storage::Table* table_;
+  DataLoaderConfig config_;
+  ReaderOptions options_;
+  std::size_t workers_ = 1;
+
+  // ---- Single-threaded fallback (num_workers <= 1). -----------------
+  std::optional<Reader> single_;
+
+  // ---- Parallel pipeline state. -------------------------------------
+  storage::ReadProjection projection_;
+  std::optional<BatchPipeline> pipeline_;
+  std::vector<storage::ColumnFileReader> files_;
+  std::vector<StripeRef> plan_;  // stripes in scan order
+
+  std::atomic<std::size_t> next_stripe_{0};
+  std::atomic<std::size_t> fill_live_{0};
+  std::atomic<std::size_t> convert_live_{0};
+
+  std::optional<common::Channel<StripeRows>> stripe_channel_;
+  std::optional<common::Channel<BatchTask>> task_channel_;
+  std::optional<common::Channel<BatchOut>> batch_channel_;
+
+  std::vector<std::thread> threads_;
+
+  // Consumer-side reorder buffer: batches completed out of order wait
+  // here until their sequence number comes up.
+  std::map<std::size_t, PreprocessedBatch> reorder_;
+  std::size_t next_batch_seq_ = 0;
+  bool exhausted_ = false;
+
+  std::mutex stats_mutex_;  // guards times_/io_ merges from workers
+  StageTimes times_;
+  ReaderIoStats io_;
+  common::Stopwatch wall_;
+
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+};
+
+}  // namespace recd::reader

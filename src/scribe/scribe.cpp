@@ -4,6 +4,7 @@
 
 #include "common/bytes.h"
 #include "common/hash.h"
+#include "common/thread_pool.h"
 
 namespace recd::scribe {
 
@@ -28,20 +29,24 @@ std::size_t ScribeCluster::Route(std::int64_t request_id,
   return static_cast<std::size_t>(common::Mix64(key) % shards_.size());
 }
 
-void ScribeCluster::MaybeCompress(Shard& shard) {
-  // Compress the buffer tail once a full block has accumulated. Blocks
-  // are independent (as a log store's chunks are), so the compressor's
-  // window only sees co-located messages — which is what makes the shard
-  // key choice matter.
-  while (shard.feature_buffer.size() - shard.feature_compress_watermark >=
-         block_bytes_) {
+void ScribeCluster::FlushShard(Shard& shard) {
+  // Compress everything above the watermark in `block_bytes_` chunks
+  // plus a final partial block. Blocks are independent (as a log
+  // store's chunks are), so the compressor's window only sees
+  // co-located messages — which is what makes the shard key choice
+  // matter — and shards can flush concurrently without affecting the
+  // compressed output.
+  while (shard.feature_compress_watermark < shard.feature_buffer.size()) {
+    const std::size_t len =
+        std::min(block_bytes_, shard.feature_buffer.size() -
+                                   shard.feature_compress_watermark);
     const std::span<const std::byte> block(
         shard.feature_buffer.data() + shard.feature_compress_watermark,
-        block_bytes_);
+        len);
     auto compressed = codec_->Compress(block);
     shard.stats.compressed_bytes += compressed.size();
     shard.compressed_blocks.push_back(std::move(compressed));
-    shard.feature_compress_watermark += block_bytes_;
+    shard.feature_compress_watermark += len;
   }
 }
 
@@ -58,7 +63,9 @@ void ScribeCluster::LogFeature(const datagen::FeatureLog& log) {
   const auto bytes = framed.bytes();
   shard.feature_buffer.insert(shard.feature_buffer.end(), bytes.begin(),
                               bytes.end());
-  MaybeCompress(shard);
+  // Compression is deferred to Flush(): the logging hot path stays a
+  // cheap append, and the codec work — the bulk of the Scribe stage —
+  // parallelizes across shards.
 }
 
 void ScribeCluster::LogEvent(const datagen::EventLog& log) {
@@ -77,21 +84,17 @@ void ScribeCluster::LogEvent(const datagen::EventLog& log) {
   // rx bytes but the compression experiment (O1) concerns feature logs.
 }
 
-void ScribeCluster::Flush() {
-  for (auto& shard : shards_) {
-    if (shard.feature_compress_watermark < shard.feature_buffer.size()) {
-      const std::span<const std::byte> tail(
-          shard.feature_buffer.data() + shard.feature_compress_watermark,
-          shard.feature_buffer.size() - shard.feature_compress_watermark);
-      auto compressed = codec_->Compress(tail);
-      shard.stats.compressed_bytes += compressed.size();
-      shard.compressed_blocks.push_back(std::move(compressed));
-      shard.feature_compress_watermark = shard.feature_buffer.size();
-    }
+void ScribeCluster::Flush(common::ThreadPool* pool) {
+  if (pool != nullptr && shards_.size() > 1) {
+    pool->ParallelFor(0, shards_.size(),
+                      [this](std::size_t i) { FlushShard(shards_[i]); });
+  } else {
+    for (auto& shard : shards_) FlushShard(shard);
   }
 }
 
-ScribeCluster::Totals ScribeCluster::totals() const {
+ScribeCluster::Totals ScribeCluster::totals() {
+  Flush();
   Totals t;
   for (const auto& shard : shards_) {
     t.messages += shard.stats.messages;

@@ -16,6 +16,10 @@
 #include "compress/codec.h"
 #include "datagen/sample.h"
 
+namespace recd::common {
+class ThreadPool;
+}  // namespace recd::common
+
 namespace recd::scribe {
 
 /// O1: how messages are routed to shards.
@@ -42,12 +46,18 @@ class ScribeCluster {
   void LogFeature(const datagen::FeatureLog& log);
   void LogEvent(const datagen::EventLog& log);
 
-  /// Compresses any still-uncompressed buffered tail. Call before reading
-  /// stats or draining.
-  void Flush();
+  /// Compresses every still-uncompressed buffered block. Safe to call
+  /// any number of times (later calls only see new bytes). With `pool`,
+  /// shards compress concurrently — block boundaries are fixed by
+  /// `block_bytes`, so the compressed output is identical either way.
+  /// Calling Flush explicitly is optional: the stats accessors flush the
+  /// uncompressed tail themselves before reporting.
+  void Flush(common::ThreadPool* pool = nullptr);
 
   [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
-  [[nodiscard]] const ShardStats& shard_stats(std::size_t i) const {
+  /// Per-shard stats; flushes first so compressed_bytes is never stale.
+  [[nodiscard]] const ShardStats& shard_stats(std::size_t i) {
+    Flush();
     return shards_[i].stats;
   }
 
@@ -60,7 +70,9 @@ class ScribeCluster {
       return compress::CompressionRatio(buffered_bytes, compressed_bytes);
     }
   };
-  [[nodiscard]] Totals totals() const;
+  /// Cluster-wide stats; flushes first so compressed_bytes is never
+  /// stale.
+  [[nodiscard]] Totals totals();
 
   /// Drains all feature logs, shard by shard (ETL ingestion order:
   /// per-shard network reads). Decompresses and deserializes, verifying
@@ -80,7 +92,7 @@ class ScribeCluster {
 
   [[nodiscard]] std::size_t Route(std::int64_t request_id,
                                   std::int64_t session_id) const;
-  void MaybeCompress(Shard& shard);
+  void FlushShard(Shard& shard);
 
   std::vector<Shard> shards_;
   ShardKeyPolicy policy_;

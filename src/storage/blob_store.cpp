@@ -4,13 +4,31 @@
 
 namespace recd::storage {
 
+BlobStore::BlobStore(BlobStore&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  objects_ = std::move(other.objects_);
+  stats_ = other.stats_;
+  other.stats_ = {};
+}
+
+BlobStore& BlobStore::operator=(BlobStore&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mutex_, other.mutex_);
+  objects_ = std::move(other.objects_);
+  stats_ = other.stats_;
+  other.stats_ = {};
+  return *this;
+}
+
 void BlobStore::Put(const std::string& name, std::vector<std::byte> data) {
+  std::lock_guard<std::mutex> lock(mutex_);
   stats_.bytes_written += data.size();
   stats_.write_ops += 1;
   objects_[name] = std::move(data);
 }
 
 std::span<const std::byte> BlobStore::Get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = objects_.find(name);
   if (it == objects_.end()) {
     throw std::out_of_range("BlobStore: unknown object " + name);
@@ -23,6 +41,7 @@ std::span<const std::byte> BlobStore::Get(const std::string& name) {
 std::span<const std::byte> BlobStore::ReadRange(const std::string& name,
                                                 std::size_t offset,
                                                 std::size_t length) {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = objects_.find(name);
   if (it == objects_.end()) {
     throw std::out_of_range("BlobStore: unknown object " + name);
@@ -36,10 +55,12 @@ std::span<const std::byte> BlobStore::ReadRange(const std::string& name,
 }
 
 bool BlobStore::Exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return objects_.contains(name);
 }
 
 std::size_t BlobStore::ObjectSize(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = objects_.find(name);
   if (it == objects_.end()) {
     throw std::out_of_range("BlobStore: unknown object " + name);
@@ -48,12 +69,24 @@ std::size_t BlobStore::ObjectSize(const std::string& name) const {
 }
 
 std::size_t BlobStore::TotalStoredBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t total = 0;
   for (const auto& [name, data] : objects_) total += data.size();
   return total;
 }
 
+IoStats BlobStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void BlobStore::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = {};
+}
+
 std::vector<std::string> BlobStore::ListObjects() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(objects_.size());
   for (const auto& [name, data] : objects_) names.push_back(name);

@@ -5,9 +5,16 @@
 // efficiency), so the stand-in is an in-memory object store with exact
 // accounting on every access. Range reads model positioned reads of
 // stripe streams.
+//
+// Thread safety: every member is internally synchronized, so parallel
+// land and reader workers may hit one store concurrently. The spans
+// returned by Get/ReadRange point into the stored object — they stay
+// valid only while no concurrent Put replaces that object (the pipeline
+// lands a table fully before any reader opens it).
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -24,6 +31,12 @@ struct IoStats {
 
 class BlobStore {
  public:
+  BlobStore() = default;
+  /// Movable for fixture setup; moving while other threads access
+  /// either store is undefined, like any container.
+  BlobStore(BlobStore&& other) noexcept;
+  BlobStore& operator=(BlobStore&& other) noexcept;
+
   /// Stores (replaces) an object.
   void Put(const std::string& name, std::vector<std::byte> data);
 
@@ -42,12 +55,15 @@ class BlobStore {
   /// Total stored bytes across all objects (storage-footprint metric).
   [[nodiscard]] std::size_t TotalStoredBytes() const;
 
-  [[nodiscard]] const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = {}; }
+  /// Snapshot of the accounting counters (by value: the counters mutate
+  /// under the store's lock on every access).
+  [[nodiscard]] IoStats stats() const;
+  void ResetStats();
 
   [[nodiscard]] std::vector<std::string> ListObjects() const;
 
  private:
+  mutable std::mutex mutex_;
   std::unordered_map<std::string, std::vector<std::byte>> objects_;
   IoStats stats_;
 };

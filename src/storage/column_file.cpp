@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/thread_pool.h"
 #include "compress/int_codec.h"
 #include "storage/cipher.h"
 
@@ -78,13 +79,24 @@ void ColumnFileWriter::Append(const datagen::Sample& sample) {
   }
   pending_.push_back(sample);
   ++rows_written_;
-  if (pending_.size() >= options_.rows_per_stripe) FlushStripe();
+  if (pending_.size() >= options_.rows_per_stripe) {
+    if (options_.pool != nullptr) {
+      // Stage rows and encode in Finish, where stripes compress in
+      // parallel; a stripe's bytes depend only on its own rows.
+      stripe_rows_.push_back(std::move(pending_));
+    } else {
+      // Without a pool, encode incrementally so peak memory stays one
+      // stripe of rows, not the whole file.
+      encoded_.push_back(EncodeStripe(pending_));
+    }
+    pending_.clear();
+  }
 }
 
-void ColumnFileWriter::FlushStripe() {
-  if (pending_.empty()) return;
-  StripeInfo stripe;
-  stripe.num_rows = pending_.size();
+ColumnFileWriter::EncodedStripe ColumnFileWriter::EncodeStripe(
+    const std::vector<datagen::Sample>& rows) const {
+  EncodedStripe stripe;
+  stripe.num_rows = rows.size();
   stripe.streams.reserve(StreamCount(schema_));
 
   // `logical` is the order-invariant in-memory size of the column data
@@ -92,23 +104,18 @@ void ColumnFileWriter::FlushStripe() {
   // same numerator regardless of row order or chosen encoding.
   auto add_stream = [&](const common::ByteWriter& raw,
                         std::size_t logical) {
-    auto compressed = codec_->Compress(raw.bytes());
-    StreamInfo info;
-    info.offset = file_.size();
-    info.compressed_len = compressed.size();
-    info.raw_len = raw.size();
-    logical_bytes_ += logical;
-    // Encrypt at rest; the stream offset seeds the keystream.
-    XorKeystream(compressed, info.offset, kCipherRounds);
-    file_.PutBytes(compressed);
-    stripe.streams.push_back(info);
+    EncodedStream stream;
+    stream.compressed = codec_->Compress(raw.bytes());
+    stream.raw_len = raw.size();
+    stripe.logical_bytes += logical;
+    stripe.streams.push_back(std::move(stream));
   };
 
   // Meta streams (always present).
-  std::vector<std::int64_t> ints(pending_.size());
+  std::vector<std::int64_t> ints(rows.size());
   for (std::size_t s = 0; s < 3; ++s) {
-    for (std::size_t i = 0; i < pending_.size(); ++i) {
-      const auto& row = pending_[i];
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& row = rows[i];
       ints[i] = s == 0 ? row.request_id
                        : (s == 1 ? row.session_id : row.timestamp);
     }
@@ -118,23 +125,23 @@ void ColumnFileWriter::FlushStripe() {
   }
   {
     common::ByteWriter raw;
-    for (const auto& row : pending_) raw.PutF32(row.label);
-    add_stream(raw, pending_.size() * sizeof(float));
+    for (const auto& row : rows) raw.PutF32(row.label);
+    add_stream(raw, rows.size() * sizeof(float));
   }
   if (schema_.num_dense > 0) {
     common::ByteWriter raw;
-    for (const auto& row : pending_) {
+    for (const auto& row : rows) {
       for (const float v : row.dense) raw.PutF32(v);
     }
-    add_stream(raw, pending_.size() * schema_.num_dense * sizeof(float));
+    add_stream(raw, rows.size() * schema_.num_dense * sizeof(float));
   }
   // Flattened sparse feature streams.
-  std::vector<std::int64_t> lengths(pending_.size());
+  std::vector<std::int64_t> lengths(rows.size());
   std::vector<std::int64_t> values;
   for (std::size_t f = 0; f < schema_.sparse_names.size(); ++f) {
     values.clear();
-    for (std::size_t i = 0; i < pending_.size(); ++i) {
-      const auto& list = pending_[i].sparse[f];
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& list = rows[i].sparse[f];
       lengths[i] = static_cast<std::int64_t>(list.size());
       values.insert(values.end(), list.begin(), list.end());
     }
@@ -145,17 +152,58 @@ void ColumnFileWriter::FlushStripe() {
     compress::EncodeIntsAuto(values, raw_values);
     add_stream(raw_values, values.size() * sizeof(std::int64_t));
   }
-
-  stripes_.push_back(std::move(stripe));
-  pending_.clear();
+  return stripe;
 }
 
 void ColumnFileWriter::Finish() {
   if (finished_) {
     throw std::logic_error("ColumnFileWriter: Finish called twice");
   }
-  FlushStripe();
+  if (!pending_.empty()) {
+    stripe_rows_.push_back(std::move(pending_));
+    pending_.clear();
+  }
   finished_ = true;
+
+  // Encode the staged stripes (the compression-heavy part) in parallel.
+  // Results land in per-stripe slots, so the encode order does not
+  // affect the file. Without a pool, Append already encoded everything
+  // but the tail incrementally.
+  const std::size_t base = encoded_.size();
+  encoded_.resize(base + stripe_rows_.size());
+  if (options_.pool != nullptr && stripe_rows_.size() > 1) {
+    options_.pool->ParallelFor(0, stripe_rows_.size(), [&](std::size_t i) {
+      encoded_[base + i] = EncodeStripe(stripe_rows_[i]);
+    });
+  } else {
+    for (std::size_t i = 0; i < stripe_rows_.size(); ++i) {
+      encoded_[base + i] = EncodeStripe(stripe_rows_[i]);
+    }
+  }
+  stripe_rows_.clear();
+
+  // Serialize sequentially: offsets accumulate in stripe order and the
+  // at-rest encryption keystream is seeded by each stream's offset, so
+  // these steps stay on one thread. Byte-identical to a fully
+  // sequential write.
+  stripes_.reserve(encoded_.size());
+  for (auto& es : encoded_) {
+    StripeInfo stripe;
+    stripe.num_rows = es.num_rows;
+    stripe.streams.reserve(es.streams.size());
+    logical_bytes_ += es.logical_bytes;
+    for (auto& stream : es.streams) {
+      StreamInfo info;
+      info.offset = file_.size();
+      info.compressed_len = stream.compressed.size();
+      info.raw_len = stream.raw_len;
+      XorKeystream(stream.compressed, info.offset, kCipherRounds);
+      file_.PutBytes(stream.compressed);
+      stripe.streams.push_back(info);
+    }
+    stripes_.push_back(std::move(stripe));
+  }
+  encoded_.clear();
 
   common::ByteWriter footer;
   footer.PutU8(static_cast<std::uint8_t>(options_.codec));
@@ -199,6 +247,7 @@ ColumnFileReader::ColumnFileReader(BlobStore& store, std::string name)
   }
   const auto footer_bytes =
       store_->ReadRange(name_, file_size - 12 - footer_len, footer_len);
+  open_bytes_ = 12 + footer_len;
   common::ByteReader footer(footer_bytes);
   codec_kind_ = static_cast<compress::CodecKind>(footer.GetU8());
   const std::uint64_t num_sparse = footer.GetVarint();
@@ -231,7 +280,8 @@ std::size_t ColumnFileReader::num_rows() const {
   return n;
 }
 
-std::vector<std::byte> ColumnFileReader::ReadStream(const StreamInfo& info) {
+std::vector<std::byte> ColumnFileReader::ReadStream(
+    const StreamInfo& info) const {
   // Fill-stage work per compressed byte: fetch (copy), decrypt, then
   // decompress — the §6.3 fill pipeline.
   const auto stored =
@@ -241,8 +291,25 @@ std::vector<std::byte> ColumnFileReader::ReadStream(const StreamInfo& info) {
   return compress::GetCodec(codec_kind_).Decompress(compressed);
 }
 
+template <typename Fn>
+void ColumnFileReader::VisitProjectedStreams(const ReadProjection& projection,
+                                             const Fn& fn) const {
+  for (std::size_t s = 0; s < kMetaStreams; ++s) fn(s);
+  if (projection.dense && schema_.num_dense > 0) {
+    fn(DenseStreamIndex());
+  }
+  for (const std::size_t f : projection.sparse) {
+    if (f >= schema_.sparse_names.size()) {
+      throw std::out_of_range("ColumnFileReader: projected feature index");
+    }
+    const std::size_t ls = LengthsStreamIndex(schema_, f);
+    fn(ls);
+    fn(ls + 1);
+  }
+}
+
 RawStripe ColumnFileReader::FetchStripe(
-    std::size_t i, const ReadProjection& projection) {
+    std::size_t i, const ReadProjection& projection) const {
   if (i >= stripes_.size()) {
     throw std::out_of_range("ColumnFileReader: stripe index out of range");
   }
@@ -250,22 +317,23 @@ RawStripe ColumnFileReader::FetchStripe(
   RawStripe raw;
   raw.num_rows = stripe.num_rows;
   raw.streams.resize(stripe.streams.size());
-  auto fetch = [&](std::size_t stream) {
+  VisitProjectedStreams(projection, [&](std::size_t stream) {
     raw.streams[stream] = ReadStream(stripe.streams[stream]);
-  };
-  for (std::size_t s = 0; s < kMetaStreams; ++s) fetch(s);
-  if (projection.dense && schema_.num_dense > 0) {
-    fetch(DenseStreamIndex());
-  }
-  for (const std::size_t f : projection.sparse) {
-    if (f >= schema_.sparse_names.size()) {
-      throw std::out_of_range("ColumnFileReader: projected feature index");
-    }
-    const std::size_t ls = LengthsStreamIndex(schema_, f);
-    fetch(ls);
-    fetch(ls + 1);
-  }
+  });
   return raw;
+}
+
+std::size_t ColumnFileReader::StripeBytes(
+    std::size_t i, const ReadProjection& projection) const {
+  if (i >= stripes_.size()) {
+    throw std::out_of_range("ColumnFileReader: stripe index out of range");
+  }
+  const auto& stripe = stripes_[i];
+  std::size_t bytes = 0;
+  VisitProjectedStreams(projection, [&](std::size_t stream) {
+    bytes += stripe.streams[stream].compressed_len;
+  });
+  return bytes;
 }
 
 std::vector<datagen::Sample> ColumnFileReader::DecodeStripe(
@@ -329,7 +397,7 @@ std::vector<datagen::Sample> DecodeRawStripe(
 }
 
 std::vector<datagen::Sample> ColumnFileReader::ReadStripe(
-    std::size_t i, const ReadProjection& projection) {
+    std::size_t i, const ReadProjection& projection) const {
   return DecodeStripe(FetchStripe(i, projection), projection);
 }
 

@@ -21,6 +21,10 @@
 #include "datagen/sample.h"
 #include "storage/blob_store.h"
 
+namespace recd::common {
+class ThreadPool;
+}  // namespace recd::common
+
 namespace recd::storage {
 
 /// Column layout of a dataset (shared by writer and readers).
@@ -34,6 +38,11 @@ struct StorageSchema {
 struct WriterOptions {
   std::size_t rows_per_stripe = 1024;
   compress::CodecKind codec = compress::CodecKind::kLz77;
+  /// When set, Finish() encodes stripes on this pool. The file bytes are
+  /// identical to a sequential encode: stripes compress independently
+  /// and are serialized (offsets assigned, streams encrypted) in stripe
+  /// order afterwards.
+  common::ThreadPool* pool = nullptr;
 };
 
 /// Which columns a read touches. Row identity (request/session/timestamp/
@@ -67,7 +76,21 @@ class ColumnFileWriter {
   [[nodiscard]] std::size_t logical_bytes() const { return logical_bytes_; }
 
  private:
-  void FlushStripe();
+  /// A stripe's streams after encode + compress but before the
+  /// offset-dependent steps (encryption, serialization), so stripes can
+  /// encode in parallel and serialize sequentially.
+  struct EncodedStream {
+    std::vector<std::byte> compressed;
+    std::uint64_t raw_len = 0;
+  };
+  struct EncodedStripe {
+    std::uint64_t num_rows = 0;
+    std::vector<EncodedStream> streams;
+    std::size_t logical_bytes = 0;
+  };
+
+  [[nodiscard]] EncodedStripe EncodeStripe(
+      const std::vector<datagen::Sample>& rows) const;
 
   BlobStore* store_;
   std::string name_;
@@ -75,7 +98,12 @@ class ColumnFileWriter {
   WriterOptions options_;
   const compress::Codec* codec_;
 
-  std::vector<datagen::Sample> pending_;
+  std::vector<datagen::Sample> pending_;  // rows of the open tail stripe
+  // Full stripes staged for parallel encode in Finish (pool mode only).
+  std::vector<std::vector<datagen::Sample>> stripe_rows_;
+  // Encoded-but-unserialized stripes (filled incrementally when no pool
+  // is set, in Finish otherwise).
+  std::vector<EncodedStripe> encoded_;
   common::ByteWriter file_;
   struct StreamInfo {
     std::uint64_t offset = 0;
@@ -104,6 +132,11 @@ struct RawStripe {
 };
 
 /// Reads stripes back with column projection.
+///
+/// Thread safety: after construction the reader is immutable, so any
+/// number of threads may FetchStripe/DecodeStripe different (or the
+/// same) stripes concurrently — the parallel fill stage in
+/// reader::ReaderPool decodes stripes of one file this way.
 class ColumnFileReader {
  public:
   /// Opens the file: reads magic + footer (accounted as IO).
@@ -112,11 +145,22 @@ class ColumnFileReader {
   [[nodiscard]] const StorageSchema& schema() const { return schema_; }
   [[nodiscard]] std::size_t num_stripes() const { return stripes_.size(); }
   [[nodiscard]] std::size_t num_rows() const;
+  [[nodiscard]] std::size_t stripe_rows(std::size_t i) const {
+    return stripes_.at(i).num_rows;
+  }
+
+  /// Bytes the constructor read to open the file (footer + trailer).
+  [[nodiscard]] std::size_t open_bytes() const { return open_bytes_; }
+
+  /// Compressed bytes FetchStripe(i, projection) fetches from storage —
+  /// the deterministic per-stripe read size, summable in any order.
+  [[nodiscard]] std::size_t StripeBytes(
+      std::size_t i, const ReadProjection& projection) const;
 
   /// Fill-stage work: fetches, decrypts, and decompresses the projected
   /// streams of stripe `i` (IO accounted against the BlobStore).
   [[nodiscard]] RawStripe FetchStripe(std::size_t i,
-                                      const ReadProjection& projection);
+                                      const ReadProjection& projection) const;
 
   /// Convert-stage work: decodes fetched streams into samples.
   /// Unprojected sparse features are empty lists; dense is empty if not
@@ -127,7 +171,7 @@ class ColumnFileReader {
 
   /// FetchStripe + DecodeStripe in one call.
   [[nodiscard]] std::vector<datagen::Sample> ReadStripe(
-      std::size_t i, const ReadProjection& projection);
+      std::size_t i, const ReadProjection& projection) const;
 
  private:
   struct StreamInfo {
@@ -140,13 +184,22 @@ class ColumnFileReader {
     std::vector<StreamInfo> streams;
   };
 
-  [[nodiscard]] std::vector<std::byte> ReadStream(const StreamInfo& info);
+  /// Calls fn(stream_index) for every stream the projection selects —
+  /// the single source of truth for what FetchStripe reads and what
+  /// StripeBytes accounts.
+  template <typename Fn>
+  void VisitProjectedStreams(const ReadProjection& projection,
+                             const Fn& fn) const;
+
+  [[nodiscard]] std::vector<std::byte> ReadStream(
+      const StreamInfo& info) const;
 
   BlobStore* store_;
   std::string name_;
   StorageSchema schema_;
   compress::CodecKind codec_kind_ = compress::CodecKind::kLz77;
   std::vector<StripeInfo> stripes_;
+  std::size_t open_bytes_ = 0;
 };
 
 /// Convenience: writes all samples into `name` and returns compressed

@@ -1,24 +1,37 @@
 #include "storage/table.h"
 
+#include "common/thread_pool.h"
+
 namespace recd::storage {
 
 LandResult LandTable(
     BlobStore& store, const std::string& table_name,
     const StorageSchema& schema,
     const std::vector<std::vector<datagen::Sample>>& partitions,
-    WriterOptions options) {
+    WriterOptions options, common::ThreadPool* pool) {
   LandResult result;
   result.table.name = table_name;
   result.table.schema = schema;
+
+  std::vector<WriteResult> writes(partitions.size());
+  const auto land_one = [&](std::size_t p) {
+    const std::string file =
+        table_name + "/part_" + std::to_string(p) + "/file_0";
+    writes[p] = WriteSamples(store, file, schema, partitions[p], options);
+  };
+  if (pool != nullptr && partitions.size() > 1) {
+    pool->ParallelFor(0, partitions.size(), land_one);
+  } else {
+    for (std::size_t p = 0; p < partitions.size(); ++p) land_one(p);
+  }
+
   for (std::size_t p = 0; p < partitions.size(); ++p) {
     Partition partition;
     partition.name = table_name + "/part_" + std::to_string(p);
-    const std::string file = partition.name + "/file_0";
-    const auto wr = WriteSamples(store, file, schema, partitions[p], options);
-    result.rows += wr.rows;
-    result.stored_bytes += wr.stored_bytes;
-    result.logical_bytes += wr.logical_bytes;
-    partition.files.push_back(file);
+    partition.files.push_back(partition.name + "/file_0");
+    result.rows += writes[p].rows;
+    result.stored_bytes += writes[p].stored_bytes;
+    result.logical_bytes += writes[p].logical_bytes;
     result.table.partitions.push_back(std::move(partition));
   }
   return result;

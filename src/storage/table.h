@@ -33,10 +33,14 @@ struct LandResult {
     return compress::CompressionRatio(logical_bytes, stored_bytes);
   }
 };
+/// With `pool`, partitions encode concurrently (and each file's stripes
+/// encode in parallel when `options.pool` is also set). The landed bytes
+/// and accounting are identical to a sequential land: every partition
+/// file is self-contained and totals are summed in partition order.
 [[nodiscard]] LandResult LandTable(
     BlobStore& store, const std::string& table_name,
     const StorageSchema& schema,
     const std::vector<std::vector<datagen::Sample>>& partitions,
-    WriterOptions options = {});
+    WriterOptions options = {}, common::ThreadPool* pool = nullptr);
 
 }  // namespace recd::storage

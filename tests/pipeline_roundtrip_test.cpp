@@ -19,6 +19,7 @@
 #include "core/pipeline.h"
 #include "datagen/presets.h"
 #include "etl/etl.h"
+#include "reader/reader_pool.h"
 #include "storage/blob_store.h"
 #include "storage/table.h"
 #include "tensor/ikjt.h"
@@ -68,8 +69,10 @@ struct RoundTripResult {
 /// landing, and the reader under `config`, expanding every IKJT and
 /// partial IKJT back to per-row values. Mirrors PipelineRunner::Run's
 /// stages minus preprocessing transforms, which would rewrite values.
+/// `num_workers` > 1 reads through the parallel ReaderPool.
 RoundTripResult RoundTrip(const PipelineRunner& runner,
-                          const RecdConfig& config) {
+                          const RecdConfig& config,
+                          std::size_t num_workers = 1) {
   auto samples = runner.raw_samples();
   if (config.cluster_by_session) etl::ClusterBySession(samples);
   auto partitions = etl::PartitionByCount(std::move(samples), 4096);
@@ -85,9 +88,10 @@ RoundTripResult RoundTrip(const PipelineRunner& runner,
 
   auto loader = train::MakeDataLoaderConfig(runner.model(), kBatchSize,
                                             config.use_ikjt);
+  loader.num_workers = num_workers;
   reader::ReaderOptions ropts;
   ropts.use_ikjt = config.use_ikjt;
-  reader::Reader rdr(store, landed.table, loader, ropts);
+  reader::ReaderPool rdr(store, landed.table, loader, ropts);
 
   RoundTripResult result;
   while (auto batch = rdr.NextBatch()) {
@@ -164,6 +168,68 @@ TEST(PipelineRoundTripTest, RoundTripPreservesTheGeneratedSamples) {
   const auto runner = MakeRunner();
   const auto recd = RoundTrip(runner, RecdConfig::Full(kBatchSize));
   EXPECT_EQ(recd.rows.size(), runner.raw_samples().size());
+}
+
+TEST(PipelineRoundTripTest, ParallelReadersDeliverIdenticalSampleData) {
+  // The §7-concurrency determinism rule: worker count must never change
+  // the delivered sample bytes. Fingerprints are compared *unsorted* —
+  // same rows in the same order.
+  const auto runner = MakeRunner();
+  const auto config = RecdConfig::Full(kBatchSize);
+  const auto one = RoundTrip(runner, config, /*num_workers=*/1);
+  const auto eight = RoundTrip(runner, config, /*num_workers=*/8);
+  ASSERT_FALSE(one.rows.empty());
+  EXPECT_GT(eight.batches_with_ikjts, 0u);
+  EXPECT_EQ(one.rows, eight.rows);
+}
+
+TEST(PipelineRoundTripTest, ParallelRunMatchesSingleThreadedCounters) {
+  // PipelineRunner::Run with num_threads = 8 must report identical
+  // non-timing counters to num_threads = 1: every parallel stage
+  // (Scribe flush, ETL cluster/downsample, stripe encode, reader pool)
+  // reassembles its output in scan order, so only wall-clock fields may
+  // differ. Exact floating-point equality is intentional — both runs
+  // accumulate the same values in the same order.
+  auto spec = datagen::RmDataset(datagen::RmKind::kRm1, 0.08);
+  spec.concurrent_sessions = 256;
+  spec.mean_session_size = 10.0;
+  auto model = train::RmModel(datagen::RmKind::kRm1, spec);
+  model.emb_hash_size = 10'000;
+  PipelineOptions opts;
+  opts.num_samples = 3000;
+  opts.samples_per_partition = 1000;  // several partitions land in parallel
+  opts.rows_per_stripe = 256;
+
+  opts.num_threads = 1;
+  PipelineRunner single(spec, model, train::ZionEx(8), opts);
+  opts.num_threads = 8;
+  PipelineRunner parallel(spec, model, train::ZionEx(8), opts);
+
+  auto config = RecdConfig::Full(kBatchSize);
+  config.downsample = etl::DownsampleMode::kPerSession;
+  config.downsample_keep_rate = 0.8;
+  const auto a = single.Run(config);
+  const auto b = parallel.Run(config);
+
+  EXPECT_EQ(a.scribe_compression_ratio, b.scribe_compression_ratio);
+  EXPECT_EQ(a.storage_compression_ratio, b.storage_compression_ratio);
+  EXPECT_EQ(a.stored_bytes, b.stored_bytes);
+  EXPECT_EQ(a.samples_per_session, b.samples_per_session);
+  EXPECT_EQ(a.batch_samples_per_session, b.batch_samples_per_session);
+  EXPECT_EQ(a.mean_dedupe_factor, b.mean_dedupe_factor);
+  EXPECT_EQ(a.reader_io.bytes_read, b.reader_io.bytes_read);
+  EXPECT_EQ(a.reader_io.bytes_sent, b.reader_io.bytes_sent);
+  EXPECT_EQ(a.reader_io.rows_read, b.reader_io.rows_read);
+  EXPECT_EQ(a.reader_io.batches_produced, b.reader_io.batches_produced);
+  EXPECT_EQ(a.reader_io.sparse_elements_processed,
+            b.reader_io.sparse_elements_processed);
+  // The trainer model is analytic, so even its simulated seconds and
+  // derived QPS are deterministic counters, not wall-clock samples.
+  EXPECT_EQ(a.trainer.lookups, b.trainer.lookups);
+  EXPECT_EQ(a.trainer.flops, b.trainer.flops);
+  EXPECT_EQ(a.trainer.sdd_bytes, b.trainer.sdd_bytes);
+  EXPECT_EQ(a.trainer.emb_a2a_bytes, b.trainer.emb_a2a_bytes);
+  EXPECT_EQ(a.trainer_qps, b.trainer_qps);
 }
 
 }  // namespace

@@ -51,6 +51,9 @@ Breakdown RunReader(recd::storage::BlobStore& store,
 int main(int argc, char** argv) {
   using namespace recd;
   bench::JsonReport report("bench_fig10_reader_breakdown");
+  // The breakdown section reads single-threaded; the scaling section
+  // sweeps num_workers 1..8 (keys carry the worker count).
+  report.SetHostField("num_threads", 1);
   bench::PrintHeader("Figure 10: reader CPU time breakdown per sample");
   std::printf("%-4s %-10s %8s %9s %9s %8s\n", "RM", "config", "fill",
               "convert", "process", "total");

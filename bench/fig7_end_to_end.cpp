@@ -11,6 +11,8 @@
 int main(int argc, char** argv) {
   using namespace recd;
   bench::JsonReport report("bench_fig7_end_to_end");
+  // RmBench::MakeRunner leaves PipelineOptions::num_threads at 1.
+  report.SetHostField("num_threads", 1);
   bench::PrintHeader(
       "Figure 7: end-to-end RecD gains, normalized to baseline");
   std::printf("%-4s %-22s %10s %12s\n", "RM", "metric", "measured",

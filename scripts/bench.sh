@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Benchmark runner: builds the release preset, runs the end-to-end and
-# reader-breakdown harnesses, and records BENCH_fig7_end_to_end.json /
-# BENCH_fig10_reader_breakdown.json at the repository root per the
+# Benchmark runner: builds the release preset, runs the end-to-end,
+# reader-breakdown, and streaming window-sweep harnesses, and records
+# BENCH_fig7_end_to_end.json / BENCH_fig10_reader_breakdown.json /
+# BENCH_stream_window_sweep.json at the repository root per the
 # docs/BENCHMARKS.md convention. Full-pipeline benches take minutes.
 set -eu
 
@@ -9,7 +10,7 @@ cd "$(dirname "$0")/.."
 
 cmake --preset release
 cmake --build build -j --target bench_fig7_end_to_end \
-  bench_fig10_reader_breakdown
+  bench_fig10_reader_breakdown bench_stream_window_sweep
 
 # Context recorded into the JSON reports (see bench::JsonReport).
 RECD_BENCH_COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
@@ -24,6 +25,7 @@ export RECD_BENCH_COMMIT RECD_BENCH_DATE RECD_BENCH_CORES \
 
 ./build/bench_fig7_end_to_end --json BENCH_fig7_end_to_end.json
 ./build/bench_fig10_reader_breakdown --json BENCH_fig10_reader_breakdown.json
+./build/bench_stream_window_sweep --json BENCH_stream_window_sweep.json
 
-echo "bench.sh: wrote BENCH_fig7_end_to_end.json and" \
-  "BENCH_fig10_reader_breakdown.json"
+echo "bench.sh: wrote BENCH_fig7_end_to_end.json," \
+  "BENCH_fig10_reader_breakdown.json, and BENCH_stream_window_sweep.json"

@@ -5,8 +5,12 @@
 #
 # `check.sh --tsan` instead builds the `tsan` preset (ThreadSanitizer,
 # see CMakePresets.json) and runs the concurrency-touching suites —
-# ThreadPool/Channel, ReaderPool, the pipeline round trip, and the
-# stages that flush/land in parallel — under the race detector.
+# ThreadPool/Channel, ReaderPool, the pipeline round trip, the streaming
+# pipeline, and the stages that flush/land in parallel — under the race
+# detector.
+#
+# `check.sh --asan` builds the `asan` preset (AddressSanitizer) and runs
+# the *full* test suite under the memory-error detector.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,7 +20,15 @@ if [ "${1:-}" = "--tsan" ]; then
   cmake --build build-tsan -j
   cd build-tsan
   ctest --output-on-failure -j 2 \
-    -R 'ThreadPool|Channel|ReaderPool|PipelineRoundTrip|Scribe|Storage|ColumnFile'
+    -R 'ThreadPool|Channel|ReaderPool|PipelineRoundTrip|Scribe|Storage|ColumnFile|Stream|WindowedEtl|TrafficSource'
+  exit 0
+fi
+
+if [ "${1:-}" = "--asan" ]; then
+  cmake --preset asan
+  cmake --build build-asan -j
+  cd build-asan
+  ctest --output-on-failure -j 2
   exit 0
 fi
 

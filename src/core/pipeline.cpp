@@ -2,12 +2,145 @@
 
 #include <algorithm>
 #include <optional>
+#include <stdexcept>
 
 #include "common/thread_pool.h"
 #include "reader/reader_pool.h"
 #include "train/model.h"
 
 namespace recd::core {
+
+void ValidatePipelineOptions(const PipelineOptions& options) {
+  if (options.num_scribe_shards == 0) {
+    throw std::invalid_argument(
+        "PipelineOptions: num_scribe_shards must be >= 1");
+  }
+  if (options.samples_per_partition == 0) {
+    throw std::invalid_argument(
+        "PipelineOptions: samples_per_partition must be >= 1");
+  }
+  if (options.rows_per_stripe == 0) {
+    throw std::invalid_argument(
+        "PipelineOptions: rows_per_stripe must be >= 1");
+  }
+}
+
+reader::DataLoaderConfig MakePipelineLoader(const train::ModelConfig& model,
+                                            const RecdConfig& config) {
+  auto loader =
+      train::MakeDataLoaderConfig(model, config.batch_size, config.use_ikjt);
+  // A representative preprocessing pipeline: hash the first dedup-able
+  // feature group and normalize dense inputs.
+  if (!model.elementwise_features.empty()) {
+    loader.transforms.push_back({reader::TransformKind::kSparseHash,
+                                 model.elementwise_features.front(),
+                                 1'000'003, 0});
+  }
+  for (const auto& group : model.sequence_groups) {
+    loader.transforms.push_back(
+        {reader::TransformKind::kSparseHash, group.features.front(),
+         1'000'003, 0});
+  }
+  loader.transforms.push_back(
+      {reader::TransformKind::kDenseNormalize, "", 0.0, 1.0});
+  return loader;
+}
+
+storage::StorageSchema MakePipelineSchema(
+    const datagen::DatasetSpec& dataset) {
+  storage::StorageSchema schema;
+  schema.num_dense = dataset.num_dense;
+  for (const auto& f : dataset.sparse) schema.sparse_names.push_back(f.name);
+  return schema;
+}
+
+BatchConsumer::BatchConsumer(const train::ModelConfig& model,
+                             const train::ClusterSpec& cluster,
+                             const RecdConfig& config,
+                             const train::ShapeScale& scale,
+                             std::size_t max_trainer_batches)
+    : trainer_(model, cluster, config.trainer, scale),
+      batch_size_(config.batch_size),
+      max_batches_(max_trainer_batches),
+      num_gpus_(cluster.num_gpus) {}
+
+void BatchConsumer::Consume(const reader::PreprocessedBatch& batch) {
+  spc_sum_ += batch.SamplesPerSession();
+  for (const auto& stats : batch.group_stats) {
+    values_before_ += static_cast<double>(stats.values_before);
+    values_after_ += static_cast<double>(stats.values_after);
+  }
+  if (iterations_ < max_batches_ && batch.batch_size == batch_size_) {
+    const auto it = trainer_.SimulateIteration(batch);
+    if (iterations_ == 0) {
+      accum_ = it;
+    } else {
+      accum_.emb_s += it.emb_s;
+      accum_.gemm_s += it.gemm_s;
+      accum_.a2a_exposed_s += it.a2a_exposed_s;
+      accum_.other_s += it.other_s;
+      accum_.a2a_raw_s += it.a2a_raw_s;
+      accum_.sdd_bytes += it.sdd_bytes;
+      accum_.emb_a2a_bytes += it.emb_a2a_bytes;
+      accum_.lookups += it.lookups;
+      accum_.flops += it.flops;
+      accum_.flops_logical += it.flops_logical;
+      accum_.mem_util_max = std::max(accum_.mem_util_max, it.mem_util_max);
+      accum_.mem_util_avg += it.mem_util_avg;
+      accum_.dynamic_mem_bytes =
+          std::max(accum_.dynamic_mem_bytes, it.dynamic_mem_bytes);
+    }
+    ++iterations_;
+  }
+}
+
+void BatchConsumer::Finalize(const reader::StageTimes& times,
+                             const reader::ReaderIoStats& io,
+                             PipelineResult& result) const {
+  const std::size_t batches = io.batches_produced;
+  result.batch_samples_per_session =
+      batches == 0 ? 0.0 : spc_sum_ / static_cast<double>(batches);
+  result.mean_dedupe_factor =
+      values_after_ == 0 ? 1.0 : values_before_ / values_after_;
+  result.reader_times = times;
+  result.reader_io = io;
+  // The pool reports wall_s (its stage sums are CPU seconds across
+  // overlapping workers); the single-threaded path's total_s is already
+  // wall time. Caveat: wall_s spans construction to exhaustion, so the
+  // few iterations the trainer sim runs between batches are included —
+  // the reader keeps prefetching through them, but the metric is
+  // pipeline-as-consumed throughput, not isolated reader speed. Compare
+  // rows/s across num_threads values with
+  // bench_fig10_reader_breakdown's scaling section (a tight drain
+  // loop), not across differently-shaped Run() configs.
+  const double reader_s = times.wall_s > 0 ? times.wall_s : times.total_s();
+  result.reader_rows_per_second =
+      reader_s == 0 ? 0.0 : static_cast<double>(io.rows_read) / reader_s;
+
+  if (iterations_ > 0) {
+    auto accum = accum_;
+    const double inv = 1.0 / static_cast<double>(iterations_);
+    accum.emb_s *= inv;
+    accum.gemm_s *= inv;
+    accum.a2a_exposed_s *= inv;
+    accum.other_s *= inv;
+    accum.a2a_raw_s *= inv;
+    accum.sdd_bytes *= inv;
+    accum.emb_a2a_bytes *= inv;
+    accum.lookups *= inv;
+    accum.flops *= inv;
+    accum.flops_logical *= inv;
+    accum.mem_util_avg *= iterations_ > 1 ? inv : 1.0;
+    accum.qps = accum.global_batch_rows / accum.total_s();
+    accum.achieved_flops_per_gpu =
+        accum.flops / accum.total_s() / static_cast<double>(num_gpus_);
+    accum.logical_flops_per_gpu =
+        accum.flops_logical / accum.total_s() /
+        static_cast<double>(num_gpus_);
+    result.trainer = accum;
+    result.trainer_qps = accum.qps;
+  }
+}
 
 PipelineRunner::PipelineRunner(datagen::DatasetSpec dataset,
                                train::ModelConfig model,
@@ -17,6 +150,7 @@ PipelineRunner::PipelineRunner(datagen::DatasetSpec dataset,
       model_(std::move(model)),
       cluster_(cluster),
       options_(options) {
+  ValidatePipelineOptions(options_);
   datagen::TrafficGenerator generator(dataset_);
   traffic_ = generator.Generate(options_.num_samples);
   samples_ = etl::JoinLogs(traffic_.features, traffic_.events);
@@ -60,9 +194,7 @@ PipelineResult PipelineRunner::Run(const RecdConfig& config) {
   auto partitions =
       etl::PartitionByCount(std::move(samples), options_.samples_per_partition);
 
-  storage::StorageSchema schema;
-  schema.num_dense = dataset_.num_dense;
-  for (const auto& f : dataset_.sparse) schema.sparse_names.push_back(f.name);
+  const auto schema = MakePipelineSchema(dataset_);
   storage::BlobStore store;
   storage::WriterOptions wopts;
   wopts.rows_per_stripe = options_.rows_per_stripe;
@@ -77,22 +209,7 @@ PipelineResult PipelineRunner::Run(const RecdConfig& config) {
   if (config.emb_dim_override.has_value()) {
     model.emb_dim = *config.emb_dim_override;
   }
-  auto loader =
-      train::MakeDataLoaderConfig(model, config.batch_size, config.use_ikjt);
-  // A representative preprocessing pipeline: hash the first dedup-able
-  // feature group and normalize dense inputs.
-  if (!model.elementwise_features.empty()) {
-    loader.transforms.push_back({reader::TransformKind::kSparseHash,
-                                 model.elementwise_features.front(),
-                                 1'000'003, 0});
-  }
-  for (const auto& group : model.sequence_groups) {
-    loader.transforms.push_back(
-        {reader::TransformKind::kSparseHash, group.features.front(),
-         1'000'003, 0});
-  }
-  loader.transforms.push_back(
-      {reader::TransformKind::kDenseNormalize, "", 0.0, 1.0});
+  auto loader = MakePipelineLoader(model, config);
 
   // The land is the pool's last job; release its threads before the
   // reader spawns its own workers so the host is not oversubscribed
@@ -105,88 +222,10 @@ PipelineResult PipelineRunner::Run(const RecdConfig& config) {
   ropts.use_ikjt = config.use_ikjt;
   reader::ReaderPool rdr(store, landed.table, loader, ropts);
 
-  train::TrainerSim trainer(model, cluster_, config.trainer,
-                            options_.trainer_scale);
-  double spc_sum = 0;
-  double values_before = 0;
-  double values_after = 0;
-  std::size_t iterations = 0;
-  train::IterationBreakdown accum;
-  while (auto batch = rdr.NextBatch()) {
-    spc_sum += batch->SamplesPerSession();
-    for (const auto& stats : batch->group_stats) {
-      values_before += static_cast<double>(stats.values_before);
-      values_after += static_cast<double>(stats.values_after);
-    }
-    if (iterations < options_.max_trainer_batches &&
-        batch->batch_size == config.batch_size) {
-      const auto it = trainer.SimulateIteration(*batch);
-      if (iterations == 0) {
-        accum = it;
-      } else {
-        accum.emb_s += it.emb_s;
-        accum.gemm_s += it.gemm_s;
-        accum.a2a_exposed_s += it.a2a_exposed_s;
-        accum.other_s += it.other_s;
-        accum.a2a_raw_s += it.a2a_raw_s;
-        accum.sdd_bytes += it.sdd_bytes;
-        accum.emb_a2a_bytes += it.emb_a2a_bytes;
-        accum.lookups += it.lookups;
-        accum.flops += it.flops;
-        accum.flops_logical += it.flops_logical;
-        accum.mem_util_max = std::max(accum.mem_util_max, it.mem_util_max);
-        accum.mem_util_avg += it.mem_util_avg;
-        accum.dynamic_mem_bytes =
-            std::max(accum.dynamic_mem_bytes, it.dynamic_mem_bytes);
-      }
-      ++iterations;
-    }
-  }
-  const std::size_t batches = rdr.io().batches_produced;
-  result.batch_samples_per_session =
-      batches == 0 ? 0.0 : spc_sum / static_cast<double>(batches);
-  result.mean_dedupe_factor =
-      values_after == 0 ? 1.0 : values_before / values_after;
-  result.reader_times = rdr.times();
-  result.reader_io = rdr.io();
-  // The pool reports wall_s (its stage sums are CPU seconds across
-  // overlapping workers); the single-threaded path's total_s is already
-  // wall time. Caveat: wall_s spans construction to exhaustion, so the
-  // few iterations the trainer sim runs between NextBatch calls are
-  // included — the reader keeps prefetching through them, but the
-  // metric is pipeline-as-consumed throughput, not isolated reader
-  // speed. Compare rows/s across num_threads values with
-  // bench_fig10_reader_breakdown's scaling section (a tight drain
-  // loop), not across differently-shaped Run() configs.
-  const double reader_s = rdr.times().wall_s > 0 ? rdr.times().wall_s
-                                                 : rdr.times().total_s();
-  result.reader_rows_per_second =
-      reader_s == 0 ? 0.0
-                    : static_cast<double>(rdr.io().rows_read) / reader_s;
-
-  if (iterations > 0) {
-    const double inv = 1.0 / static_cast<double>(iterations);
-    accum.emb_s *= inv;
-    accum.gemm_s *= inv;
-    accum.a2a_exposed_s *= inv;
-    accum.other_s *= inv;
-    accum.a2a_raw_s *= inv;
-    accum.sdd_bytes *= inv;
-    accum.emb_a2a_bytes *= inv;
-    accum.lookups *= inv;
-    accum.flops *= inv;
-    accum.flops_logical *= inv;
-    accum.mem_util_avg *= iterations > 1 ? inv : 1.0;
-    accum.qps = accum.global_batch_rows / accum.total_s();
-    accum.achieved_flops_per_gpu =
-        accum.flops / accum.total_s() /
-        static_cast<double>(cluster_.num_gpus);
-    accum.logical_flops_per_gpu =
-        accum.flops_logical / accum.total_s() /
-        static_cast<double>(cluster_.num_gpus);
-    result.trainer = accum;
-    result.trainer_qps = accum.qps;
-  }
+  BatchConsumer consumer(model, cluster_, config, options_.trainer_scale,
+                         options_.max_trainer_batches);
+  while (auto batch = rdr.NextBatch()) consumer.Consume(*batch);
+  consumer.Finalize(rdr.times(), rdr.io(), result);
   return result;
 }
 

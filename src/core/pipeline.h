@@ -52,6 +52,12 @@ struct RecdConfig {
   }
 };
 
+/// Invariants (checked by ValidatePipelineOptions, enforced at
+/// construction by PipelineRunner and stream::StreamPipelineRunner):
+/// `num_scribe_shards`, `samples_per_partition`, and `rows_per_stripe`
+/// must all be >= 1. Zero used to surface as a throw deep inside Run()
+/// (or, for a would-be zero-row stripe cut, silent misbehavior);
+/// validating up front names the offending knob instead.
 struct PipelineOptions {
   std::size_t num_samples = 20'000;
   /// Trainer shape multipliers (see train::ShapeScale); benches use
@@ -90,8 +96,67 @@ struct PipelineResult {
   double trainer_qps = 0;
 };
 
+/// Throws std::invalid_argument naming the first violated PipelineOptions
+/// invariant (see the struct comment). Shared by the batch and streaming
+/// runners so both reject bad knobs at construction.
+void ValidatePipelineOptions(const PipelineOptions& options);
+
+/// Accumulates the trainer-side measurements of PipelineResult from a
+/// stream of preprocessed batches: samples/session within batches,
+/// measured dedupe factor, and the simulated training iterations.
+/// Factored out of PipelineRunner::Run so the streaming runner consumes
+/// batches through the *same* code — identical batch streams then yield
+/// identical counters by construction, not by parallel maintenance.
+class BatchConsumer {
+ public:
+  /// `model` must already carry any emb_dim_override.
+  BatchConsumer(const train::ModelConfig& model,
+                const train::ClusterSpec& cluster, const RecdConfig& config,
+                const train::ShapeScale& scale,
+                std::size_t max_trainer_batches);
+
+  void Consume(const reader::PreprocessedBatch& batch);
+
+  /// Writes the consumed measurements plus the reader's final stats
+  /// into `result` (batch_samples_per_session, mean_dedupe_factor,
+  /// reader_times/io/rows-per-second, trainer breakdown and QPS).
+  void Finalize(const reader::StageTimes& times,
+                const reader::ReaderIoStats& io,
+                PipelineResult& result) const;
+
+ private:
+  train::TrainerSim trainer_;
+  std::size_t batch_size_;
+  std::size_t max_batches_;
+  std::size_t num_gpus_;
+  double spc_sum_ = 0;
+  double values_before_ = 0;
+  double values_after_ = 0;
+  std::size_t iterations_ = 0;
+  train::IterationBreakdown accum_;
+};
+
+/// The DataLoader configuration PipelineRunner::Run derives from a model
+/// + RecdConfig: batch size, IKJT groups, and the representative
+/// preprocessing transforms (hash the first feature of every dedup-able
+/// group, normalize dense). Factored out so the streaming runner feeds
+/// its tailing readers the exact same loader — a precondition for the
+/// streaming-equals-batch contract. `model` must already carry any
+/// emb_dim_override.
+[[nodiscard]] reader::DataLoaderConfig MakePipelineLoader(
+    const train::ModelConfig& model, const RecdConfig& config);
+
+/// The storage schema the pipeline lands a dataset under (dense width +
+/// every sparse feature, in spec order). Shared by both runners for the
+/// same reason as MakePipelineLoader: the streaming table must be
+/// shaped exactly like the batch table by construction.
+[[nodiscard]] storage::StorageSchema MakePipelineSchema(
+    const datagen::DatasetSpec& dataset);
+
 class PipelineRunner {
  public:
+  /// Throws std::invalid_argument if `options` violates an invariant
+  /// (ValidatePipelineOptions).
   PipelineRunner(datagen::DatasetSpec dataset, train::ModelConfig model,
                  train::ClusterSpec cluster, PipelineOptions options = {});
 

@@ -161,7 +161,7 @@ TrafficGenerator::Traffic TrafficGenerator::Generate(
     elog.request_id = request_id;
     elog.session_id = flog.session_id;
     // Outcomes land slightly after the impression.
-    elog.timestamp = ts + rng_.Uniform(1, 50);
+    elog.timestamp = ts + rng_.Uniform(1, kMaxEventDelayTicks);
     elog.label = rng_.Bernoulli(ClickProbability(flog)) ? 1.0f : 0.0f;
 
     out.features.push_back(std::move(flog));

@@ -54,6 +54,12 @@ class SessionState {
 
 class TrafficGenerator {
  public:
+  /// Upper bound on how long after an impression its outcome event is
+  /// logged (ticks). Streaming watermarks add this horizon before
+  /// closing a window so every on-time event has joined
+  /// (src/stream/windowed_etl.h).
+  static constexpr std::int64_t kMaxEventDelayTicks = 50;
+
   explicit TrafficGenerator(DatasetSpec spec);
 
   struct Traffic {

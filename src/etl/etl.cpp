@@ -10,6 +10,18 @@
 
 namespace recd::etl {
 
+datagen::Sample JoinPair(const datagen::FeatureLog& feature,
+                         const datagen::EventLog& event) {
+  datagen::Sample s;
+  s.request_id = feature.request_id;
+  s.session_id = feature.session_id;
+  s.timestamp = feature.timestamp;
+  s.label = event.label;
+  s.dense = feature.dense;
+  s.sparse = feature.sparse;
+  return s;
+}
+
 std::vector<datagen::Sample> JoinLogs(
     const std::vector<datagen::FeatureLog>& features,
     const std::vector<datagen::EventLog>& events) {
@@ -22,14 +34,7 @@ std::vector<datagen::Sample> JoinLogs(
   for (const auto& f : features) {
     const auto it = by_request.find(f.request_id);
     if (it == by_request.end()) continue;
-    datagen::Sample s;
-    s.request_id = f.request_id;
-    s.session_id = f.session_id;
-    s.timestamp = f.timestamp;
-    s.label = it->second->label;
-    s.dense = f.dense;
-    s.sparse = f.sparse;
-    out.push_back(std::move(s));
+    out.push_back(JoinPair(f, *it->second));
   }
   return out;
 }

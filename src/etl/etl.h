@@ -19,6 +19,13 @@ class ThreadPool;
 
 namespace recd::etl {
 
+/// Joins one matched feature/event pair into a labeled sample — the
+/// single definition of how Sample fields derive from the two logs,
+/// shared by the batch JoinLogs and the streaming stream::WindowedEtl
+/// (so both joins produce identical samples by construction).
+[[nodiscard]] datagen::Sample JoinPair(const datagen::FeatureLog& feature,
+                                       const datagen::EventLog& event);
+
 /// Hash-joins feature logs and event logs on request_id, producing one
 /// labeled sample per matched pair, ordered by feature-log time (the
 /// production default: inference order, sessions interleaved). Unmatched

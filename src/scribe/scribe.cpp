@@ -29,17 +29,19 @@ std::size_t ScribeCluster::Route(std::int64_t request_id,
   return static_cast<std::size_t>(common::Mix64(key) % shards_.size());
 }
 
-void ScribeCluster::FlushShard(Shard& shard) {
+void ScribeCluster::FlushShard(Shard& shard, bool include_tail) {
   // Compress everything above the watermark in `block_bytes_` chunks
-  // plus a final partial block. Blocks are independent (as a log
-  // store's chunks are), so the compressor's window only sees
-  // co-located messages — which is what makes the shard key choice
-  // matter — and shards can flush concurrently without affecting the
-  // compressed output.
+  // plus a final partial block (skipped when `include_tail` is false, so
+  // incremental flushes keep block boundaries at block_bytes_ multiples).
+  // Blocks are independent (as a log store's chunks are), so the
+  // compressor's window only sees co-located messages — which is what
+  // makes the shard key choice matter — and shards can flush
+  // concurrently without affecting the compressed output.
   while (shard.feature_compress_watermark < shard.feature_buffer.size()) {
-    const std::size_t len =
-        std::min(block_bytes_, shard.feature_buffer.size() -
-                                   shard.feature_compress_watermark);
+    const std::size_t remaining =
+        shard.feature_buffer.size() - shard.feature_compress_watermark;
+    if (!include_tail && remaining < block_bytes_) break;
+    const std::size_t len = std::min(block_bytes_, remaining);
     const std::span<const std::byte> block(
         shard.feature_buffer.data() + shard.feature_compress_watermark,
         len);
@@ -84,12 +86,13 @@ void ScribeCluster::LogEvent(const datagen::EventLog& log) {
   // rx bytes but the compression experiment (O1) concerns feature logs.
 }
 
-void ScribeCluster::Flush(common::ThreadPool* pool) {
+void ScribeCluster::Flush(common::ThreadPool* pool, bool include_tail) {
   if (pool != nullptr && shards_.size() > 1) {
-    pool->ParallelFor(0, shards_.size(),
-                      [this](std::size_t i) { FlushShard(shards_[i]); });
+    pool->ParallelFor(0, shards_.size(), [this, include_tail](std::size_t i) {
+      FlushShard(shards_[i], include_tail);
+    });
   } else {
-    for (auto& shard : shards_) FlushShard(shard);
+    for (auto& shard : shards_) FlushShard(shard, include_tail);
   }
 }
 

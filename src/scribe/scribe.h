@@ -52,7 +52,16 @@ class ScribeCluster {
   /// `block_bytes`, so the compressed output is identical either way.
   /// Calling Flush explicitly is optional: the stats accessors flush the
   /// uncompressed tail themselves before reporting.
-  void Flush(common::ThreadPool* pool = nullptr);
+  ///
+  /// `include_tail = false` compresses only *complete* `block_bytes`
+  /// blocks, leaving the partial tail buffered. This is the incremental
+  /// streaming mode (stream::StreamScribe flushes periodically while
+  /// traffic keeps arriving): because block boundaries stay at exact
+  /// multiples of `block_bytes` no matter how often it is called, any
+  /// sequence of incremental flushes followed by one final full Flush
+  /// produces byte-identical compressed blocks — and identical stats —
+  /// to a single batch Flush.
+  void Flush(common::ThreadPool* pool = nullptr, bool include_tail = true);
 
   [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
   /// Per-shard stats; flushes first so compressed_bytes is never stale.
@@ -92,7 +101,7 @@ class ScribeCluster {
 
   [[nodiscard]] std::size_t Route(std::int64_t request_id,
                                   std::int64_t session_id) const;
-  void FlushShard(Shard& shard);
+  void FlushShard(Shard& shard, bool include_tail);
 
   std::vector<Shard> shards_;
   ShardKeyPolicy policy_;

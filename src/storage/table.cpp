@@ -4,20 +4,19 @@
 
 namespace recd::storage {
 
-LandResult LandTable(
-    BlobStore& store, const std::string& table_name,
-    const StorageSchema& schema,
+AppendResult AppendPartitions(
+    BlobStore& store, Table& table,
     const std::vector<std::vector<datagen::Sample>>& partitions,
     WriterOptions options, common::ThreadPool* pool) {
-  LandResult result;
-  result.table.name = table_name;
-  result.table.schema = schema;
+  AppendResult result;
+  const std::size_t base = table.partitions.size();
 
   std::vector<WriteResult> writes(partitions.size());
   const auto land_one = [&](std::size_t p) {
-    const std::string file =
-        table_name + "/part_" + std::to_string(p) + "/file_0";
-    writes[p] = WriteSamples(store, file, schema, partitions[p], options);
+    const std::string file = table.name + "/part_" +
+                             std::to_string(base + p) + "/file_0";
+    writes[p] = WriteSamples(store, file, table.schema, partitions[p],
+                             options);
   };
   if (pool != nullptr && partitions.size() > 1) {
     pool->ParallelFor(0, partitions.size(), land_one);
@@ -27,13 +26,29 @@ LandResult LandTable(
 
   for (std::size_t p = 0; p < partitions.size(); ++p) {
     Partition partition;
-    partition.name = table_name + "/part_" + std::to_string(p);
+    partition.name = table.name + "/part_" + std::to_string(base + p);
     partition.files.push_back(partition.name + "/file_0");
     result.rows += writes[p].rows;
     result.stored_bytes += writes[p].stored_bytes;
     result.logical_bytes += writes[p].logical_bytes;
-    result.table.partitions.push_back(std::move(partition));
+    table.partitions.push_back(std::move(partition));
   }
+  return result;
+}
+
+LandResult LandTable(
+    BlobStore& store, const std::string& table_name,
+    const StorageSchema& schema,
+    const std::vector<std::vector<datagen::Sample>>& partitions,
+    WriterOptions options, common::ThreadPool* pool) {
+  LandResult result;
+  result.table.name = table_name;
+  result.table.schema = schema;
+  const auto appended =
+      AppendPartitions(store, result.table, partitions, options, pool);
+  result.rows = appended.rows;
+  result.stored_bytes = appended.stored_bytes;
+  result.logical_bytes = appended.logical_bytes;
   return result;
 }
 

@@ -43,4 +43,24 @@ struct LandResult {
     const std::vector<std::vector<datagen::Sample>>& partitions,
     WriterOptions options = {}, common::ThreadPool* pool = nullptr);
 
+/// Size accounting for one incremental append (the per-append slice of
+/// what LandResult accumulates for a whole table).
+struct AppendResult {
+  std::size_t rows = 0;
+  std::size_t stored_bytes = 0;
+  std::size_t logical_bytes = 0;
+};
+
+/// Appends `partitions` to a *live* table: new partitions are named by
+/// their index past the current `table.partitions.size()`, so a
+/// streaming ETL can land window after window into one growing table
+/// while readers tail previously landed partitions (existing objects
+/// are never replaced, so concurrent reads of earlier partitions stay
+/// valid — see BlobStore's span-validity note). Appending all
+/// partitions in one call is exactly LandTable.
+AppendResult AppendPartitions(
+    BlobStore& store, Table& table,
+    const std::vector<std::vector<datagen::Sample>>& partitions,
+    WriterOptions options = {}, common::ThreadPool* pool = nullptr);
+
 }  // namespace recd::storage

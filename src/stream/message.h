@@ -1,0 +1,27 @@
+// The unit flowing through the streaming ingestion pipeline
+// (src/stream/): one raw log message plus the virtual tick at which it
+// arrived at the ingestion tier.
+//
+// Event time vs arrival time: the payload's `timestamp` is when the
+// impression (or outcome) happened; `arrival_tick` is when the message
+// reached the bus, which bounded network reordering can push later
+// (stream::TrafficSource). Watermarks — and therefore window closes —
+// are driven by arrival ticks only, so every stage's behavior is a pure
+// function of the message sequence, never of wall-clock timing.
+#pragma once
+
+#include <cstdint>
+
+#include "datagen/sample.h"
+
+namespace recd::stream {
+
+struct StreamMessage {
+  enum class Kind : std::uint8_t { kFeature, kEvent };
+  Kind kind = Kind::kFeature;
+  std::int64_t arrival_tick = 0;
+  datagen::FeatureLog feature;  // valid when kind == kFeature
+  datagen::EventLog event;      // valid when kind == kEvent
+};
+
+}  // namespace recd::stream

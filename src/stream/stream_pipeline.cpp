@@ -1,0 +1,239 @@
+#include "stream/stream_pipeline.h"
+
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/channel.h"
+#include "common/thread_pool.h"
+#include "etl/etl.h"
+#include "stream/stream_scribe.h"
+#include "stream/tailing_reader.h"
+#include "stream/traffic_source.h"
+#include "train/model.h"
+
+namespace recd::stream {
+
+StreamPipelineRunner::StreamPipelineRunner(datagen::DatasetSpec dataset,
+                                           train::ModelConfig model,
+                                           train::ClusterSpec cluster,
+                                           core::PipelineOptions options,
+                                           StreamOptions stream_options)
+    : dataset_(std::move(dataset)),
+      model_(std::move(model)),
+      cluster_(cluster),
+      options_(options),
+      stream_options_(std::move(stream_options)) {
+  core::ValidatePipelineOptions(options_);
+  if (stream_options_.window_ticks < 1) {
+    throw std::invalid_argument(
+        "StreamOptions: window_ticks must be >= 1");
+  }
+  if (stream_options_.reorder_ticks < 0) {
+    throw std::invalid_argument(
+        "StreamOptions: reorder_ticks must be >= 0");
+  }
+  datagen::TrafficGenerator generator(dataset_);
+  traffic_ = generator.Generate(options_.num_samples);
+}
+
+StreamResult StreamPipelineRunner::Run(const core::RecdConfig& config) {
+  StreamResult result;
+
+  // One pool drives the data-parallel work inside every stage; absent
+  // (num_threads <= 1) the stages take their sequential paths. The
+  // stage threads below are structural, not part of this budget.
+  std::optional<common::ThreadPool> pool_storage;
+  common::ThreadPool* pool = nullptr;
+  if (options_.num_threads > 1) {
+    pool_storage.emplace(options_.num_threads);
+    pool = &*pool_storage;
+  }
+
+  TrafficSource source(traffic_, stream_options_.reorder_ticks,
+                       dataset_.seed);
+  const std::int64_t final_tick = source.final_tick();
+
+  const auto schema = core::MakePipelineSchema(dataset_);
+
+  train::ModelConfig model = model_;
+  if (config.emb_dim_override.has_value()) {
+    model.emb_dim = *config.emb_dim_override;
+  }
+  auto loader = core::MakePipelineLoader(model, config);
+
+  WindowedEtlOptions eopts;
+  eopts.window_ticks = stream_options_.window_ticks;
+  eopts.allowed_lateness = stream_options_.allowed_lateness < 0
+                               ? stream_options_.reorder_ticks
+                               : stream_options_.allowed_lateness;
+  eopts.cluster_by_session = config.cluster_by_session;
+  eopts.downsample = config.downsample;
+  eopts.downsample_keep_rate = config.downsample_keep_rate;
+  eopts.downsample_seed = dataset_.seed;
+  eopts.samples_per_partition = options_.samples_per_partition;
+  // Captured-dedupe stats always count over the model's IKJT groups
+  // (independent of config.use_ikjt) so the metric stays comparable
+  // between baseline and RecD runs of the same model.
+  const auto dedup_loader =
+      train::MakeDataLoaderConfig(model, config.batch_size,
+                                  /*recd_enabled=*/true);
+  for (const auto& group : dedup_loader.dedup_sparse_features) {
+    std::vector<std::size_t> indices;
+    indices.reserve(group.size());
+    for (const auto& name : group) {
+      indices.push_back(schema.FeatureIndex(name));
+    }
+    eopts.dedup_groups.push_back(std::move(indices));
+  }
+
+  storage::BlobStore store;
+  storage::WriterOptions wopts;
+  wopts.rows_per_stripe = options_.rows_per_stripe;
+  wopts.pool = pool;
+
+  common::Channel<StreamMessage> scribe_in(
+      std::max<std::size_t>(1, stream_options_.message_channel_capacity));
+  common::Channel<StreamMessage> etl_in(
+      std::max<std::size_t>(1, stream_options_.message_channel_capacity));
+  common::Channel<LandedWindow> landed(
+      std::max<std::size_t>(1, stream_options_.window_channel_capacity));
+  common::Channel<reader::PreprocessedBatch> batches(
+      stream_options_.prefetch_batches > 0 ? stream_options_.prefetch_batches
+                                           : 4);
+
+  StreamScribe scribe(options_.num_scribe_shards,
+                      config.shard_by_session
+                          ? scribe::ShardKeyPolicy::kSessionId
+                          : scribe::ShardKeyPolicy::kRandomHash,
+                      stream_options_.scribe_flush_every, pool);
+  WindowedEtl etl(eopts, store, "table", schema, wopts, pool,
+                  [&landed](LandedWindow w) {
+                    return landed.Push(std::move(w));
+                  });
+  reader::ReaderOptions ropts;
+  ropts.use_ikjt = config.use_ikjt;
+  TailingReader tail(store, schema, loader, ropts, pool,
+                     [&batches](reader::PreprocessedBatch b) {
+                       return batches.Push(std::move(b));
+                     });
+
+  // First stage exception wins; closing every channel unblocks the rest.
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  const auto fail = [&](std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) error = std::move(e);
+    }
+    scribe_in.Close();
+    etl_in.Close();
+    landed.Close();
+    batches.Close();
+  };
+
+  std::thread source_thread([&] {
+    try {
+      source.PumpTo(scribe_in);
+    } catch (...) {
+      fail(std::current_exception());
+    }
+  });
+  std::thread scribe_thread([&] {
+    try {
+      while (auto message = scribe_in.Pop()) {
+        scribe.Offer(*message);
+        if (!etl_in.Push(std::move(*message))) break;
+      }
+      scribe.Finish();
+    } catch (...) {
+      fail(std::current_exception());
+    }
+    etl_in.Close();
+  });
+  std::thread etl_thread([&] {
+    try {
+      while (auto message = etl_in.Pop()) {
+        if (!etl.Offer(*message)) break;
+      }
+      etl.Finish(final_tick);
+    } catch (...) {
+      fail(std::current_exception());
+    }
+    landed.Close();
+  });
+  std::thread reader_thread([&] {
+    try {
+      while (auto window = landed.Pop()) {
+        if (!tail.Offer(*window)) break;
+      }
+      tail.Finish();
+    } catch (...) {
+      fail(std::current_exception());
+    }
+    batches.Close();
+  });
+
+  core::BatchConsumer consumer(model, cluster_, config,
+                               options_.trainer_scale,
+                               options_.max_trainer_batches);
+  try {
+    while (auto batch = batches.Pop()) {
+      if (stream_options_.batch_observer) {
+        stream_options_.batch_observer(*batch);
+      }
+      consumer.Consume(*batch);
+    }
+  } catch (...) {
+    fail(std::current_exception());
+  }
+  source_thread.join();
+  scribe_thread.join();
+  etl_thread.join();
+  reader_thread.join();
+  {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (error) std::rethrow_exception(error);
+  }
+
+  // ---- Assemble the batch-compatible counters. -----------------------
+  result.pipeline.scribe_compression_ratio =
+      scribe.cluster().totals().compression_ratio();
+  result.pipeline.storage_compression_ratio =
+      compress::CompressionRatio(etl.logical_bytes(), etl.stored_bytes());
+  result.pipeline.stored_bytes = etl.stored_bytes();
+  result.pipeline.samples_per_session =
+      etl.distinct_sessions() == 0
+          ? 0.0
+          : static_cast<double>(etl.total_samples()) /
+                static_cast<double>(etl.distinct_sessions());
+  consumer.Finalize(tail.times(), tail.io(), result.pipeline);
+
+  // ---- Streaming counters. -------------------------------------------
+  result.windows_landed = etl.windows().size();
+  result.late_features = etl.late_features();
+  result.late_events = etl.late_events();
+  result.unjoined_features = etl.unjoined_features();
+  result.scribe_incremental_flushes = scribe.incremental_flushes();
+  result.freshness_lag_mean =
+      etl.total_samples() == 0
+          ? 0.0
+          : etl.freshness_lag_sum() /
+                static_cast<double>(etl.total_samples());
+  std::size_t before = 0;
+  std::size_t after = 0;
+  for (const auto& w : etl.windows()) {
+    before += w.dedup_values_before;
+    after += w.dedup_values_after;
+  }
+  result.captured_dedupe_factor =
+      after == 0 ? 1.0
+                 : static_cast<double>(before) / static_cast<double>(after);
+  result.windows = etl.windows();
+  return result;
+}
+
+}  // namespace recd::stream

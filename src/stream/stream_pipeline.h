@@ -1,0 +1,112 @@
+// StreamPipelineRunner: the Fig-1 pipeline as a long-lived streaming
+// flow instead of one batch pass.
+//
+//   TrafficSource ─► StreamScribe ─► WindowedEtl ─► TailingReader ─► trainer
+//        (pump)        (log bus)      (windowed       (tailing         (main
+//                                      land)           batches)        thread)
+//
+// Stages run on their own threads, connected by bounded
+// common::Channel hand-offs (backpressure end to end: a slow trainer
+// stalls the reader, a slow land stalls the ETL buffer, all the way
+// back to the source). A shared common::ThreadPool of
+// PipelineOptions::num_threads workers drives the data-parallel work
+// *inside* stages — Scribe block compression, per-window
+// cluster/downsample/stripe-encode, stripe fetch+decode — exactly as in
+// the batch runner; the stage threads themselves are structural, like
+// reader::ReaderPool's workers.
+//
+// The determinism contract extends to streaming
+// (docs/ARCHITECTURE.md §8): every stage is a pure function of its
+// input sequence, so a given (dataset, options, config) produces
+// identical results for any num_threads. And with one window covering
+// the whole dataset plus zero reordering, the stream delivers the
+// byte-identical batch stream and identical non-timing counters of
+// core::PipelineRunner::Run — enforced by tests/stream_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "stream/windowed_etl.h"
+
+namespace recd::stream {
+
+struct StreamOptions {
+  /// Event-time ticks per ETL window (>= the dataset's total ticks
+  /// reproduces the batch pipeline).
+  std::int64_t window_ticks = 4096;
+  /// Bound on source arrival reordering (0 = replay generation order).
+  std::int64_t reorder_ticks = 0;
+  /// Watermark slack; < 0 means "match reorder_ticks" (no late drops).
+  /// Setting it below reorder_ticks trades deterministic, counted late
+  /// drops for earlier window closes (fresher data).
+  std::int64_t allowed_lateness = -1;
+  /// Messages between incremental full-block Scribe flushes (0 = flush
+  /// only at end of stream).
+  std::size_t scribe_flush_every = 4096;
+  /// Capacity of the source→scribe→etl message channels.
+  std::size_t message_channel_capacity = 1024;
+  /// Capacity of the landed-window channel (etl→reader).
+  std::size_t window_channel_capacity = 4;
+  /// Batches buffered ahead of the trainer (0 picks 4).
+  std::size_t prefetch_batches = 0;
+  /// Diagnostic/test hook: observes every delivered batch on the
+  /// consumer thread, in order, before the trainer sim sees it.
+  std::function<void(const reader::PreprocessedBatch&)> batch_observer;
+};
+
+/// Everything the batch pipeline reports, plus the streaming counters.
+struct StreamResult {
+  /// Counter-compatible with PipelineRunner::Run (identical values in
+  /// the one-whole-window, zero-reordering configuration).
+  core::PipelineResult pipeline;
+
+  std::size_t windows_landed = 0;
+  std::size_t late_features = 0;     // arrived after their window closed
+  std::size_t late_events = 0;       // outcome could no longer join
+  std::size_t unjoined_features = 0;  // window closed before the outcome
+  std::size_t scribe_incremental_flushes = 0;
+  /// Mean ticks between a sample's event time and its window landing —
+  /// the end-to-end freshness the window size buys (smaller = fresher).
+  double freshness_lag_mean = 0;
+  /// Value-weighted dedupe factor the windowed clustering made
+  /// capturable (duplicates only count within a window — the
+  /// window-size ↔ dedupe trade-off the sweep bench measures).
+  double captured_dedupe_factor = 1.0;
+  std::vector<WindowStats> windows;
+};
+
+class StreamPipelineRunner {
+ public:
+  /// Mirrors core::PipelineRunner: generates traffic once (and builds
+  /// the arrival schedule); each Run replays it under a different
+  /// RecdConfig over identical data. Throws std::invalid_argument on
+  /// violated PipelineOptions invariants or bad stream options.
+  StreamPipelineRunner(datagen::DatasetSpec dataset,
+                       train::ModelConfig model, train::ClusterSpec cluster,
+                       core::PipelineOptions options = {},
+                       StreamOptions stream_options = {});
+
+  [[nodiscard]] StreamResult Run(const core::RecdConfig& config);
+
+  [[nodiscard]] const datagen::DatasetSpec& dataset() const {
+    return dataset_;
+  }
+  [[nodiscard]] const train::ModelConfig& model() const { return model_; }
+  [[nodiscard]] const StreamOptions& stream_options() const {
+    return stream_options_;
+  }
+
+ private:
+  datagen::DatasetSpec dataset_;
+  train::ModelConfig model_;
+  train::ClusterSpec cluster_;
+  core::PipelineOptions options_;
+  StreamOptions stream_options_;
+
+  datagen::TrafficGenerator::Traffic traffic_;
+};
+
+}  // namespace recd::stream

@@ -1,0 +1,28 @@
+#include "stream/stream_scribe.h"
+
+namespace recd::stream {
+
+StreamScribe::StreamScribe(std::size_t num_shards,
+                           scribe::ShardKeyPolicy policy,
+                           std::size_t flush_every_messages,
+                           common::ThreadPool* pool)
+    : cluster_(num_shards, policy),
+      flush_every_(flush_every_messages),
+      pool_(pool) {}
+
+void StreamScribe::Offer(const StreamMessage& message) {
+  if (message.kind == StreamMessage::Kind::kFeature) {
+    cluster_.LogFeature(message.feature);
+  } else {
+    cluster_.LogEvent(message.event);
+  }
+  if (flush_every_ > 0 && ++since_flush_ >= flush_every_) {
+    cluster_.Flush(pool_, /*include_tail=*/false);
+    since_flush_ = 0;
+    ++incremental_flushes_;
+  }
+}
+
+void StreamScribe::Finish() { cluster_.Flush(pool_, /*include_tail=*/true); }
+
+}  // namespace recd::stream

@@ -1,0 +1,72 @@
+#include "stream/traffic_source.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace recd::stream {
+
+TrafficSource::TrafficSource(
+    const datagen::TrafficGenerator::Traffic& traffic,
+    std::int64_t reorder_ticks, std::uint64_t seed)
+    : traffic_(&traffic) {
+  if (reorder_ticks < 0) {
+    throw std::invalid_argument(
+        "TrafficSource: reorder_ticks must be >= 0");
+  }
+  if (traffic.features.size() != traffic.events.size()) {
+    throw std::invalid_argument(
+        "TrafficSource: features/events must pair up");
+  }
+  // Interleave in generation order (feature_i, event_i, ...), then
+  // stable-sort by arrival so ties keep that order. With reorder 0 the
+  // relative order of features is untouched — which is what makes the
+  // streaming Scribe buffers byte-identical to batch logging.
+  common::Rng rng(seed ^ 0x5eeded5060c3ULL);
+  order_.reserve(2 * traffic.features.size());
+  for (std::size_t i = 0; i < traffic.features.size(); ++i) {
+    Slot f;
+    f.index = static_cast<std::uint32_t>(i);
+    f.arrival = traffic.features[i].timestamp;
+    Slot e;
+    e.index = static_cast<std::uint32_t>(i);
+    e.is_event = true;
+    e.arrival = traffic.events[i].timestamp;
+    if (reorder_ticks > 0) {
+      f.arrival += rng.Uniform(0, reorder_ticks);
+      e.arrival += rng.Uniform(0, reorder_ticks);
+    }
+    order_.push_back(f);
+    order_.push_back(e);
+  }
+  std::stable_sort(order_.begin(), order_.end(),
+                   [](const Slot& a, const Slot& b) {
+                     return a.arrival < b.arrival;
+                   });
+  if (!order_.empty()) final_tick_ = order_.back().arrival;
+}
+
+StreamMessage TrafficSource::Message(std::size_t i) const {
+  const Slot& slot = order_.at(i);
+  StreamMessage msg;
+  msg.arrival_tick = slot.arrival;
+  if (slot.is_event) {
+    msg.kind = StreamMessage::Kind::kEvent;
+    msg.event = traffic_->events[slot.index];
+  } else {
+    msg.kind = StreamMessage::Kind::kFeature;
+    msg.feature = traffic_->features[slot.index];
+  }
+  return msg;
+}
+
+bool TrafficSource::PumpTo(common::Channel<StreamMessage>& out) const {
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    if (!out.Push(Message(i))) return false;
+  }
+  out.Close();
+  return true;
+}
+
+}  // namespace recd::stream

@@ -1,0 +1,214 @@
+#include "stream/windowed_etl.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/thread_pool.h"
+
+namespace recd::stream {
+
+WindowedEtl::WindowedEtl(WindowedEtlOptions options,
+                         storage::BlobStore& store, std::string table_name,
+                         storage::StorageSchema schema,
+                         storage::WriterOptions writer_options,
+                         common::ThreadPool* pool, Sink sink)
+    : options_(std::move(options)),
+      store_(&store),
+      writer_options_(writer_options),
+      pool_(pool),
+      sink_(std::move(sink)) {
+  if (options_.window_ticks < 1) {
+    throw std::invalid_argument("WindowedEtl: window_ticks must be >= 1");
+  }
+  if (options_.allowed_lateness < 0) {
+    throw std::invalid_argument(
+        "WindowedEtl: allowed_lateness must be >= 0");
+  }
+  table_.name = std::move(table_name);
+  table_.schema = std::move(schema);
+}
+
+void WindowedEtl::Join(OpenWindow& window,
+                       const datagen::FeatureLog& feature,
+                       const datagen::EventLog& event) {
+  window.samples.push_back(etl::JoinPair(feature, event));
+}
+
+bool WindowedEtl::Offer(const StreamMessage& message) {
+  last_arrival_ = std::max(last_arrival_, message.arrival_tick);
+  watermark_ = last_arrival_ - options_.allowed_lateness;
+
+  // Close every window whose on-time messages must all have arrived:
+  // features land by end + allowed_lateness, their events another
+  // max_event_delay later. Closing happens in index order.
+  while ((next_unclosed_ + 1) * options_.window_ticks +
+             options_.max_event_delay <=
+         watermark_) {
+    if (!CloseWindow(next_unclosed_, message.arrival_tick)) return false;
+    ++next_unclosed_;
+  }
+
+  if (message.kind == StreamMessage::Kind::kFeature) {
+    const auto& feature = message.feature;
+    const std::int64_t w = WindowOf(feature.timestamp);
+    if (w < next_unclosed_) {
+      ++late_features_;
+      return true;
+    }
+    auto& window = open_[w];
+    const auto event_it = pending_events_.find(feature.request_id);
+    if (event_it != pending_events_.end()) {
+      Join(window, feature, event_it->second);
+      pending_events_.erase(event_it);
+    } else {
+      window.pending.emplace(feature.request_id, feature);
+      pending_feature_window_.emplace(feature.request_id, w);
+    }
+    return true;
+  }
+
+  const auto& event = message.event;
+  const auto feature_it = pending_feature_window_.find(event.request_id);
+  if (feature_it != pending_feature_window_.end()) {
+    auto& window = open_[feature_it->second];
+    const auto pending_it = window.pending.find(event.request_id);
+    Join(window, pending_it->second, event);
+    window.pending.erase(pending_it);
+    pending_feature_window_.erase(feature_it);
+  } else {
+    // Feature not seen (yet): either it is still in flight — reordering
+    // can deliver the outcome first — or it was late-dropped. Buffer;
+    // the close-time GC reaps events whose feature window has passed.
+    pending_events_.emplace(event.request_id, event);
+  }
+  return true;
+}
+
+bool WindowedEtl::Finish(std::int64_t final_tick) {
+  while (!open_.empty()) {
+    const std::int64_t k = open_.begin()->first;
+    if (!CloseWindow(k, final_tick)) return false;
+    next_unclosed_ = std::max(next_unclosed_, k + 1);
+  }
+  late_events_ += pending_events_.size();
+  pending_events_.clear();
+  return true;
+}
+
+bool WindowedEtl::CloseWindow(std::int64_t index, std::int64_t land_tick) {
+  const std::int64_t end = (index + 1) * options_.window_ticks;
+
+  // GC outcome events that can no longer join: their feature (whose
+  // timestamp precedes the event's) belonged to this or an earlier
+  // window, all closed once this one is.
+  for (auto it = pending_events_.begin(); it != pending_events_.end();) {
+    if (it->second.timestamp < end) {
+      ++late_events_;
+      it = pending_events_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  const auto open_it = open_.find(index);
+  if (open_it == open_.end()) return true;
+  OpenWindow window = std::move(open_it->second);
+  open_.erase(open_it);
+
+  // Open joins carry over only until the close: on-time events have
+  // arrived by now, so whatever is still pending lost its outcome
+  // (mirrors batch JoinLogs dropping unmatched logs).
+  unjoined_features_ += window.pending.size();
+  for (const auto& [rid, feature] : window.pending) {
+    pending_feature_window_.erase(rid);
+  }
+  if (window.samples.empty()) return true;
+
+  // Canonical event-time order: arrival interleaving (and event-first
+  // joins) must not leak into the landed bytes. Timestamps are unique
+  // per impression; request_id breaks hypothetical ties.
+  auto samples = std::move(window.samples);
+  std::sort(samples.begin(), samples.end(),
+            [](const datagen::Sample& a, const datagen::Sample& b) {
+              return a.timestamp != b.timestamp
+                         ? a.timestamp < b.timestamp
+                         : a.request_id < b.request_id;
+            });
+  if (options_.downsample != etl::DownsampleMode::kNone) {
+    samples = etl::Downsample(samples, options_.downsample,
+                              options_.downsample_keep_rate,
+                              options_.downsample_seed, pool_);
+  }
+  if (samples.empty()) return true;
+
+  WindowStats stats;
+  stats.index = index;
+  stats.start_tick = index * options_.window_ticks;
+  stats.end_tick = end;
+  stats.land_tick = land_tick;
+  stats.samples = samples.size();
+  {
+    std::unordered_set<std::int64_t> sessions;
+    sessions.reserve(samples.size());
+    for (const auto& s : samples) {
+      sessions.insert(s.session_id);
+      global_sessions_.insert(s.session_id);
+      freshness_lag_sum_ += static_cast<double>(land_tick - s.timestamp);
+    }
+    stats.sessions = sessions.size();
+  }
+  total_samples_ += samples.size();
+  AccumulateDedupStats(samples, stats);
+
+  if (options_.cluster_by_session) etl::ClusterBySession(samples, pool_);
+  auto partitions = etl::PartitionByCount(std::move(samples),
+                                          options_.samples_per_partition);
+  const std::size_t first_partition = table_.partitions.size();
+  const auto appended = storage::AppendPartitions(
+      *store_, table_, partitions, writer_options_, pool_);
+  stats.stored_bytes = appended.stored_bytes;
+  stored_bytes_ += appended.stored_bytes;
+  logical_bytes_ += appended.logical_bytes;
+
+  LandedWindow landed;
+  landed.window_index = index;
+  landed.land_tick = land_tick;
+  for (std::size_t p = first_partition; p < table_.partitions.size(); ++p) {
+    for (const auto& file : table_.partitions[p].files) {
+      landed.files.push_back(file);
+    }
+  }
+  windows_.push_back(stats);
+  return sink_ ? sink_(std::move(landed)) : true;
+}
+
+void WindowedEtl::AccumulateDedupStats(
+    const std::vector<datagen::Sample>& samples, WindowStats& stats) const {
+  // What a whole-window batch could deduplicate: for each IKJT group,
+  // identical group contents collapse to one stored copy. Row identity
+  // via a chained 64-bit hash (collisions are ~n^2/2^64, negligible at
+  // window scale and only perturbing a statistic, never data).
+  for (const auto& group : options_.dedup_groups) {
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(samples.size());
+    for (const auto& s : samples) {
+      std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+      std::size_t len = 0;
+      for (const std::size_t f : group) {
+        const auto& row = s.sparse.at(f);
+        h = common::Mix64(h ^ (static_cast<std::uint64_t>(f) << 32 ^
+                               static_cast<std::uint64_t>(row.size())));
+        for (const auto id : row) {
+          h = common::Mix64(h ^ static_cast<std::uint64_t>(id));
+        }
+        len += row.size();
+      }
+      stats.dedup_values_before += len;
+      if (seen.insert(h).second) stats.dedup_values_after += len;
+    }
+  }
+}
+
+}  // namespace recd::stream

@@ -1,0 +1,210 @@
+// WindowedEtl: the streaming ETL stage — event-time windows closed by
+// watermarks, each window joined + clustered + downsampled and landed
+// as incremental partitions of a live table.
+//
+// The batch ETL (src/etl/) sees the whole dataset at once; the paper's
+// production ETL runs as periodic jobs over arriving traffic (§2.1),
+// which changes what O2 clustering can capture: a session's samples can
+// only be clustered together if they land in the *same* window, so
+// sessions straddling a window boundary lose dedup. That window-size ↔
+// captured-dedupe trade-off is exactly what this stage measures
+// (per-window captured-dedupe stats; bench_stream_window_sweep sweeps
+// it).
+//
+// Semantics:
+//  - Window assignment is by event time: a sample belongs to window
+//    k = feature_timestamp / window_ticks. Sessions are NOT carried
+//    across windows — each window clusters only its own samples (the
+//    open-session carry-over policy is "cut at the boundary", which is
+//    what the production CLUSTER BY inside an hourly partition does).
+//  - A window closes when the arrival watermark (latest arrival tick
+//    minus allowed_lateness) passes its end plus max_event_delay, so
+//    every on-time feature AND its outcome event have arrived. Windows
+//    close in index order.
+//  - Open joins carry over only until their window closes: features
+//    whose event hasn't arrived by then are dropped (counted), exactly
+//    like the batch JoinLogs drops unmatched logs. Messages for
+//    already-closed windows are late (counted, dropped) — impossible
+//    when allowed_lateness >= the source's real reorder bound, expected
+//    when an operator trades loss for freshness.
+//  - On close, the window's samples are put in canonical event-time
+//    order, downsampled (§7 policies), clustered (O2), split into
+//    samples_per_partition partitions, and appended to the live table
+//    (storage::AppendPartitions); the landed window is announced to the
+//    sink (the tailing reader).
+//
+// Everything above is a pure function of the observed message sequence
+// — no wall-clock dependence — so results are identical for any thread
+// count; `pool` only parallelizes the per-window sort/filter/encode
+// work, which reassembles in deterministic order
+// (docs/ARCHITECTURE.md §7).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "etl/etl.h"
+#include "storage/blob_store.h"
+#include "storage/table.h"
+#include "stream/message.h"
+
+namespace recd::common {
+class ThreadPool;
+}  // namespace recd::common
+
+namespace recd::stream {
+
+struct WindowedEtlOptions {
+  /// Event-time span of one window. A window >= the whole dataset's
+  /// span reproduces the batch ETL exactly.
+  std::int64_t window_ticks = 4096;
+  /// Watermark slack: a message with payload timestamp t is assumed to
+  /// have arrived once the newest arrival tick exceeds
+  /// t + allowed_lateness. Must be >= the source's reorder bound for
+  /// zero late drops.
+  std::int64_t allowed_lateness = 0;
+  /// Extra close horizon for outcome events (how long after an
+  /// impression its event can be logged).
+  std::int64_t max_event_delay =
+      datagen::TrafficGenerator::kMaxEventDelayTicks;
+  bool cluster_by_session = true;
+  etl::DownsampleMode downsample = etl::DownsampleMode::kNone;
+  double downsample_keep_rate = 1.0;
+  std::uint64_t downsample_seed = 0;
+  std::size_t samples_per_partition = 10'000;
+  /// Feature-index groups (into the storage schema) sharing one IKJT
+  /// inverse_lookup; the per-window captured-dedupe stats count value
+  /// duplication over these groups.
+  std::vector<std::vector<std::size_t>> dedup_groups;
+};
+
+/// Per-window measurements, recorded at close time.
+struct WindowStats {
+  std::int64_t index = 0;
+  std::int64_t start_tick = 0;  // inclusive
+  std::int64_t end_tick = 0;    // exclusive
+  std::int64_t land_tick = 0;   // arrival tick that closed the window
+  std::size_t samples = 0;      // landed rows (post-downsample)
+  std::size_t sessions = 0;     // distinct sessions within the window
+  std::size_t dedup_values_before = 0;
+  std::size_t dedup_values_after = 0;
+  std::size_t stored_bytes = 0;
+
+  [[nodiscard]] double samples_per_session() const {
+    return sessions == 0
+               ? 0.0
+               : static_cast<double>(samples) / static_cast<double>(sessions);
+  }
+  /// Value-weighted dedupe factor the window's clustering makes
+  /// capturable by a whole-window batch (1.0 when no dedup groups).
+  [[nodiscard]] double captured_dedupe_factor() const {
+    return dedup_values_after == 0
+               ? 1.0
+               : static_cast<double>(dedup_values_before) /
+                     static_cast<double>(dedup_values_after);
+  }
+};
+
+/// A closed window's landed partitions — what the tailing reader tails.
+struct LandedWindow {
+  std::int64_t window_index = 0;
+  std::int64_t land_tick = 0;
+  std::vector<std::string> files;  // scan order
+};
+
+class WindowedEtl {
+ public:
+  /// The sink receives every landed window, in window order, on the
+  /// thread calling Offer/Finish; returning false aborts the stage
+  /// (downstream shutdown).
+  using Sink = std::function<bool(LandedWindow)>;
+
+  WindowedEtl(WindowedEtlOptions options, storage::BlobStore& store,
+              std::string table_name, storage::StorageSchema schema,
+              storage::WriterOptions writer_options,
+              common::ThreadPool* pool, Sink sink);
+
+  /// Ingests one message; may close (and land) windows the advancing
+  /// watermark passed. Returns false once the sink rejected a window.
+  bool Offer(const StreamMessage& message);
+
+  /// End of stream: closes every remaining window, in index order, at
+  /// the final watermark. Returns false on sink rejection.
+  bool Finish(std::int64_t final_tick);
+
+  // ---- Results (stable once Finish returned). ------------------------
+  [[nodiscard]] const storage::Table& table() const { return table_; }
+  [[nodiscard]] const std::vector<WindowStats>& windows() const {
+    return windows_;
+  }
+  [[nodiscard]] std::size_t late_features() const { return late_features_; }
+  [[nodiscard]] std::size_t late_events() const { return late_events_; }
+  [[nodiscard]] std::size_t unjoined_features() const {
+    return unjoined_features_;
+  }
+  [[nodiscard]] std::size_t total_samples() const { return total_samples_; }
+  [[nodiscard]] std::size_t distinct_sessions() const {
+    return global_sessions_.size();
+  }
+  [[nodiscard]] std::size_t stored_bytes() const { return stored_bytes_; }
+  [[nodiscard]] std::size_t logical_bytes() const { return logical_bytes_; }
+  /// Sum over landed samples of (land_tick - event time): the freshness
+  /// lag numerator (mean = / total_samples()).
+  [[nodiscard]] double freshness_lag_sum() const {
+    return freshness_lag_sum_;
+  }
+
+ private:
+  struct OpenWindow {
+    std::vector<datagen::Sample> samples;
+    // Features waiting for their outcome event, keyed by request id.
+    std::unordered_map<std::int64_t, datagen::FeatureLog> pending;
+  };
+
+  [[nodiscard]] std::int64_t WindowOf(std::int64_t timestamp) const {
+    return timestamp / options_.window_ticks;
+  }
+  void Join(OpenWindow& window, const datagen::FeatureLog& feature,
+            const datagen::EventLog& event);
+  /// Closes window `index` (no-op if it holds nothing) and GCs pending
+  /// events that can no longer join. Returns false on sink rejection.
+  bool CloseWindow(std::int64_t index, std::int64_t land_tick);
+  void AccumulateDedupStats(const std::vector<datagen::Sample>& samples,
+                            WindowStats& stats) const;
+
+  WindowedEtlOptions options_;
+  storage::BlobStore* store_;
+  storage::WriterOptions writer_options_;
+  common::ThreadPool* pool_;
+  Sink sink_;
+
+  storage::Table table_;
+  std::map<std::int64_t, OpenWindow> open_;
+  // request id -> window index of its pending feature (event-first
+  // arrivals look the feature up here once it lands).
+  std::unordered_map<std::int64_t, std::int64_t> pending_feature_window_;
+  std::unordered_map<std::int64_t, datagen::EventLog> pending_events_;
+
+  std::int64_t watermark_ = -1;
+  std::int64_t last_arrival_ = -1;
+  std::int64_t next_unclosed_ = 0;  // windows below this index are closed
+
+  std::vector<WindowStats> windows_;
+  std::unordered_set<std::int64_t> global_sessions_;
+  std::size_t total_samples_ = 0;
+  std::size_t stored_bytes_ = 0;
+  std::size_t logical_bytes_ = 0;
+  std::size_t late_features_ = 0;
+  std::size_t late_events_ = 0;
+  std::size_t unjoined_features_ = 0;
+  double freshness_lag_sum_ = 0;
+};
+
+}  // namespace recd::stream

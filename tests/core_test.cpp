@@ -250,5 +250,27 @@ TEST_F(PipelineTest, SamplesPerSessionSurvivesPipeline) {
   EXPECT_GT(result.samples_per_session, 4.0);
 }
 
+TEST_F(PipelineTest, RejectsInvalidOptionsAtConstruction) {
+  // The documented PipelineOptions invariants (shared with the stream
+  // runner): zero-valued sizing knobs throw std::invalid_argument up
+  // front instead of failing deep inside Run() or silently misbehaving.
+  const auto spec = datagen::RmDataset(datagen::RmKind::kRm1, 0.08);
+  const auto model = RmModelForTest(spec);
+  const auto make = [&](PipelineOptions opts) {
+    opts.num_samples = 16;  // keep the would-be construction cheap
+    PipelineRunner runner(spec, model, train::ZionEx(8), opts);
+  };
+  EXPECT_NO_THROW(make({}));
+  PipelineOptions opts;
+  opts.samples_per_partition = 0;
+  EXPECT_THROW(make(opts), std::invalid_argument);
+  opts = {};
+  opts.rows_per_stripe = 0;
+  EXPECT_THROW(make(opts), std::invalid_argument);
+  opts = {};
+  opts.num_scribe_shards = 0;
+  EXPECT_THROW(make(opts), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace recd::core

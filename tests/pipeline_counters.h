@@ -1,0 +1,38 @@
+// Shared assertion: two pipeline results agree on every non-timing
+// counter. This is the determinism yardstick used by both
+// pipeline_roundtrip_test (threads must not change batch results) and
+// stream_test (streaming must reproduce batch, and stream results must
+// be thread-count invariant) — one definition so a counter added to
+// core::PipelineResult gets covered by every contract at once.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+
+namespace recd::testutil {
+
+inline void ExpectPipelineCountersEqual(const core::PipelineResult& a,
+                                        const core::PipelineResult& b) {
+  EXPECT_EQ(a.scribe_compression_ratio, b.scribe_compression_ratio);
+  EXPECT_EQ(a.storage_compression_ratio, b.storage_compression_ratio);
+  EXPECT_EQ(a.stored_bytes, b.stored_bytes);
+  EXPECT_EQ(a.samples_per_session, b.samples_per_session);
+  EXPECT_EQ(a.batch_samples_per_session, b.batch_samples_per_session);
+  EXPECT_EQ(a.mean_dedupe_factor, b.mean_dedupe_factor);
+  EXPECT_EQ(a.reader_io.bytes_read, b.reader_io.bytes_read);
+  EXPECT_EQ(a.reader_io.bytes_sent, b.reader_io.bytes_sent);
+  EXPECT_EQ(a.reader_io.rows_read, b.reader_io.rows_read);
+  EXPECT_EQ(a.reader_io.batches_produced, b.reader_io.batches_produced);
+  EXPECT_EQ(a.reader_io.sparse_elements_processed,
+            b.reader_io.sparse_elements_processed);
+  // The trainer model is analytic, so even its simulated seconds and
+  // derived QPS are deterministic counters, not wall-clock samples.
+  EXPECT_EQ(a.trainer.lookups, b.trainer.lookups);
+  EXPECT_EQ(a.trainer.flops, b.trainer.flops);
+  EXPECT_EQ(a.trainer.sdd_bytes, b.trainer.sdd_bytes);
+  EXPECT_EQ(a.trainer.emb_a2a_bytes, b.trainer.emb_a2a_bytes);
+  EXPECT_EQ(a.trainer_qps, b.trainer_qps);
+}
+
+}  // namespace recd::testutil

@@ -19,6 +19,7 @@
 #include "core/pipeline.h"
 #include "datagen/presets.h"
 #include "etl/etl.h"
+#include "pipeline_counters.h"
 #include "reader/reader_pool.h"
 #include "storage/blob_store.h"
 #include "storage/table.h"
@@ -210,26 +211,7 @@ TEST(PipelineRoundTripTest, ParallelRunMatchesSingleThreadedCounters) {
   config.downsample_keep_rate = 0.8;
   const auto a = single.Run(config);
   const auto b = parallel.Run(config);
-
-  EXPECT_EQ(a.scribe_compression_ratio, b.scribe_compression_ratio);
-  EXPECT_EQ(a.storage_compression_ratio, b.storage_compression_ratio);
-  EXPECT_EQ(a.stored_bytes, b.stored_bytes);
-  EXPECT_EQ(a.samples_per_session, b.samples_per_session);
-  EXPECT_EQ(a.batch_samples_per_session, b.batch_samples_per_session);
-  EXPECT_EQ(a.mean_dedupe_factor, b.mean_dedupe_factor);
-  EXPECT_EQ(a.reader_io.bytes_read, b.reader_io.bytes_read);
-  EXPECT_EQ(a.reader_io.bytes_sent, b.reader_io.bytes_sent);
-  EXPECT_EQ(a.reader_io.rows_read, b.reader_io.rows_read);
-  EXPECT_EQ(a.reader_io.batches_produced, b.reader_io.batches_produced);
-  EXPECT_EQ(a.reader_io.sparse_elements_processed,
-            b.reader_io.sparse_elements_processed);
-  // The trainer model is analytic, so even its simulated seconds and
-  // derived QPS are deterministic counters, not wall-clock samples.
-  EXPECT_EQ(a.trainer.lookups, b.trainer.lookups);
-  EXPECT_EQ(a.trainer.flops, b.trainer.flops);
-  EXPECT_EQ(a.trainer.sdd_bytes, b.trainer.sdd_bytes);
-  EXPECT_EQ(a.trainer.emb_a2a_bytes, b.trainer.emb_a2a_bytes);
-  EXPECT_EQ(a.trainer_qps, b.trainer_qps);
+  testutil::ExpectPipelineCountersEqual(a, b);
 }
 
 }  // namespace

@@ -30,7 +30,7 @@ double MeasureFactor(double mean_session, double stay_prob,
   spec.sparse.push_back(f);
 
   datagen::TrafficGenerator gen(spec);
-  const auto traffic = gen.Generate(batch_size * 4);
+  const auto traffic = gen.Generate(bench::SmokeOr<std::size_t>(batch_size * 4, batch_size));
   auto samples = etl::JoinLogs(traffic.features, traffic.events);
   etl::ClusterBySession(samples);
 
@@ -67,7 +67,7 @@ int main() {
   datagen::DatasetSpec spec = datagen::RmDataset(datagen::RmKind::kRm1, 0.1);
   spec.concurrent_sessions = 64;
   datagen::TrafficGenerator gen(spec);
-  const auto traffic = gen.Generate(30'000);
+  const auto traffic = gen.Generate(bench::SmokeOr<std::size_t>(30'000, 3'000));
   auto samples = etl::JoinLogs(traffic.features, traffic.events);
   const double s_full = etl::MeanSamplesPerSession(samples);
   const auto per_sample =

@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 3; ++i) {
     auto b = bench::RmBench::Make(kinds[i], 8);
     datagen::TrafficGenerator gen(b.spec);
-    const auto traffic = gen.Generate(16'000);
+    const auto traffic = gen.Generate(bench::SmokeOr<std::size_t>(16'000, 1'500));
     auto samples = etl::JoinLogs(traffic.features, traffic.events);
 
     storage::StorageSchema schema;
@@ -126,7 +126,7 @@ int main(int argc, char** argv) {
   {
     auto b = bench::RmBench::Make(datagen::RmKind::kRm1, 8);
     datagen::TrafficGenerator gen(b.spec);
-    const auto traffic = gen.Generate(16'000);
+    const auto traffic = gen.Generate(bench::SmokeOr<std::size_t>(16'000, 1'500));
     auto samples = etl::JoinLogs(traffic.features, traffic.events);
     etl::ClusterBySession(samples);
     storage::StorageSchema schema;

@@ -45,7 +45,7 @@ int main() {
   auto spec = datagen::CharacterizationDataset(16, 0.3);
   spec.mean_session_size = 16.5;
   spec.concurrent_sessions = 6144;
-  const std::size_t kSamples = 250'000;
+  const std::size_t kSamples = bench::SmokeOr<std::size_t>(250'000, 4'000);
   datagen::TrafficGenerator gen(spec);
   const auto traffic = gen.Generate(kSamples);
 

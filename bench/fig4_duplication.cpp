@@ -19,7 +19,7 @@ int main() {
   auto spec = datagen::CharacterizationDataset(96, 0.3);
   spec.concurrent_sessions = 256;  // keep sessions long within partition
   datagen::TrafficGenerator gen(spec);
-  const auto traffic = gen.Generate(60'000);
+  const auto traffic = gen.Generate(bench::SmokeOr<std::size_t>(60'000, 3'000));
   std::vector<datagen::Sample> partition;
   for (const auto& f : traffic.features) {
     datagen::Sample s;

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
 
   for (int i = 0; i < 3; ++i) {
     auto b = bench::RmBench::Make(kinds[i], gpus[i]);
-    auto runner = b.MakeRunner(24'000);
+    auto runner = b.MakeRunner(bench::SmokeOr<std::size_t>(24'000, 1'500));
     const auto base =
         runner.Run(core::RecdConfig::Baseline(b.baseline_batch));
     const auto recd = runner.Run(core::RecdConfig::Full(b.recd_batch));

@@ -23,7 +23,7 @@ int main() {
   const std::size_t gpus[3] = {48, 48, 64};
   for (int i = 0; i < 3; ++i) {
     auto b = bench::RmBench::Make(kinds[i], gpus[i]);
-    auto runner = b.MakeRunner(4'000);
+    auto runner = b.MakeRunner(bench::SmokeOr<std::size_t>(4'000, 1'000));
     // Same batch size in both configs (the Fig 8 protocol).
     const auto base =
         runner.Run(core::RecdConfig::Baseline(b.baseline_batch));

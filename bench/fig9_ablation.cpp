@@ -13,7 +13,7 @@ int main() {
   bench::PrintHeader("Figure 9: RM1 ablation (normalized throughput)");
 
   auto b = bench::RmBench::Make(datagen::RmKind::kRm1, 48);
-  auto runner = b.MakeRunner(8'000);
+  auto runner = b.MakeRunner(bench::SmokeOr<std::size_t>(8'000, 1'000));
 
   // Baseline: clustered table but plain KJTs, paper batch (2048/8).
   core::RecdConfig ct = core::RecdConfig::Baseline(256);

@@ -3,6 +3,7 @@
 //
 // Paper: exact matches capture 81.6% of an estimated 93.9% maximum;
 // partial matches (shifts of sliding-window features) add another ~7.8%.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -32,19 +33,20 @@ int main() {
     spec.sparse.push_back(std::move(f));
   }
   datagen::TrafficGenerator gen(spec);
-  const auto traffic = gen.Generate(8192);
+  const auto traffic = gen.Generate(bench::SmokeOr<std::size_t>(8192, 1'024));
   auto samples = etl::JoinLogs(traffic.features, traffic.events);
   etl::ClusterBySession(samples);
 
   std::printf("%-8s %10s %12s %12s %12s\n", "feature", "values",
               "exact-saved", "partial-saved", "extra");
   bench::PrintRule();
+  const std::size_t rows = std::min<std::size_t>(4096, samples.size());
   double total = 0;
   double exact_saved = 0;
   double partial_saved = 0;
   for (std::size_t f = 0; f < spec.num_sparse(); ++f) {
     tensor::JaggedTensor jt;
-    for (std::size_t i = 0; i < 4096; ++i) {
+    for (std::size_t i = 0; i < rows; ++i) {
       jt.AppendRow(samples[i].sparse[f]);
     }
     tensor::KeyedJaggedTensor kjt;

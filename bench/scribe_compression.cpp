@@ -13,7 +13,7 @@ int main() {
   auto spec = datagen::RmDataset(datagen::RmKind::kRm1, 0.2);
   spec.concurrent_sessions = 512;
   datagen::TrafficGenerator gen(spec);
-  const auto traffic = gen.Generate(20'000);
+  const auto traffic = gen.Generate(bench::SmokeOr<std::size_t>(20'000, 2'000));
 
   scribe::ScribeCluster hash_bus(16, scribe::ShardKeyPolicy::kRandomHash);
   scribe::ScribeCluster session_bus(16, scribe::ShardKeyPolicy::kSessionId);

@@ -12,7 +12,7 @@ int main() {
   // Downsized RM1: smaller tables/dim so it "fits within a single node".
   auto b = bench::RmBench::Make(datagen::RmKind::kRm1, 8);
   b.model.emb_hash_size /= 4;
-  auto runner = b.MakeRunner(6'000);
+  auto runner = b.MakeRunner(bench::SmokeOr<std::size_t>(6'000, 1'000));
   const auto base = runner.Run(core::RecdConfig::Baseline(256));
   const auto recd = runner.Run(core::RecdConfig::Full(512));
 

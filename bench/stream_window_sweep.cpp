@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   model.emb_hash_size = 50'000;
 
   core::PipelineOptions opts;
-  opts.num_samples = 16'000;
+  opts.num_samples = bench::SmokeOr<std::size_t>(16'000, 2'000);
   opts.samples_per_partition = 4'000;
   opts.max_trainer_batches = 2;
 

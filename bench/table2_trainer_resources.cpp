@@ -25,8 +25,8 @@ int main() {
   // baseline ("required the entirety of GPU memory").
   b.model.emb_hash_size /= 8;
   core::PipelineOptions opts;
-  opts.num_samples = 8'000;
-  opts.samples_per_partition = 8'000;
+  opts.num_samples = bench::SmokeOr<std::size_t>(8'000, 1'000);
+  opts.samples_per_partition = opts.num_samples;
   opts.max_trainer_batches = 2;
   opts.trainer_scale = {8.0, 12.0};
   core::PipelineRunner probe_runner(b.spec, b.model, b.cluster, opts);

@@ -18,7 +18,7 @@ int main() {
 
   auto b = bench::RmBench::Make(datagen::RmKind::kRm1, 8);
   datagen::TrafficGenerator gen(b.spec);
-  const auto traffic = gen.Generate(16'000);
+  const auto traffic = gen.Generate(bench::SmokeOr<std::size_t>(16'000, 1'500));
   auto samples = etl::JoinLogs(traffic.features, traffic.events);
   storage::StorageSchema schema;
   schema.num_dense = b.spec.num_dense;

@@ -14,7 +14,7 @@ int main() {
   bench::PrintHeader("Table 4: per-optimization impact summary (RM1)");
 
   auto b = bench::RmBench::Make(datagen::RmKind::kRm1, 48);
-  auto runner = b.MakeRunner(8'000);
+  auto runner = b.MakeRunner(bench::SmokeOr<std::size_t>(8'000, 1'000));
 
   const auto baseline = runner.Run(core::RecdConfig::Baseline(256));
 

@@ -1,19 +1,21 @@
 #!/usr/bin/env sh
 # Benchmark runner: builds the release preset, runs the end-to-end,
-# reader-breakdown, and streaming window-sweep harnesses, and records
-# BENCH_fig7_end_to_end.json / BENCH_fig10_reader_breakdown.json /
-# BENCH_stream_window_sweep.json at the repository root per the
-# docs/BENCHMARKS.md convention. Full-pipeline benches take minutes.
+# reader-breakdown, streaming window-sweep, and serving-QPS harnesses,
+# and records BENCH_fig7_end_to_end.json / BENCH_fig10_reader_breakdown
+# .json / BENCH_stream_window_sweep.json / BENCH_serve_qps.json at the
+# repository root per the docs/BENCHMARKS.md convention. Full-pipeline
+# benches take minutes.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 cmake --preset release
 cmake --build build -j --target bench_fig7_end_to_end \
-  bench_fig10_reader_breakdown bench_stream_window_sweep
+  bench_fig10_reader_breakdown bench_stream_window_sweep bench_serve_qps
 
-# Context recorded into the JSON reports (see bench::JsonReport).
-RECD_BENCH_COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+# Context recorded into the JSON reports (see bench::JsonReport). The
+# -dirty suffix marks results measured from uncommitted code.
+RECD_BENCH_COMMIT=$(git describe --always --dirty 2>/dev/null || echo unknown)
 RECD_BENCH_DATE=$(date +%Y-%m-%d)
 RECD_BENCH_CORES=$(nproc 2>/dev/null || echo 0)
 RECD_BENCH_CPU=$(sed -n 's/^model name[^:]*: //p' /proc/cpuinfo 2>/dev/null \
@@ -26,6 +28,8 @@ export RECD_BENCH_COMMIT RECD_BENCH_DATE RECD_BENCH_CORES \
 ./build/bench_fig7_end_to_end --json BENCH_fig7_end_to_end.json
 ./build/bench_fig10_reader_breakdown --json BENCH_fig10_reader_breakdown.json
 ./build/bench_stream_window_sweep --json BENCH_stream_window_sweep.json
+./build/bench_serve_qps --json BENCH_serve_qps.json
 
 echo "bench.sh: wrote BENCH_fig7_end_to_end.json," \
-  "BENCH_fig10_reader_breakdown.json, and BENCH_stream_window_sweep.json"
+  "BENCH_fig10_reader_breakdown.json, BENCH_stream_window_sweep.json," \
+  "and BENCH_serve_qps.json"

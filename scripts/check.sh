@@ -11,6 +11,13 @@
 #
 # `check.sh --asan` builds the `asan` preset (AddressSanitizer) and runs
 # the *full* test suite under the memory-error detector.
+#
+# `check.sh --smoke` builds every bench_* target and runs each with a
+# tiny workload (RECD_SMOKE=1, see bench::SmokeOr; Google-Benchmark
+# targets get a short --benchmark_min_time instead), so bench bit-rot
+# is caught by tier-1-adjacent tooling rather than at bench time. Smoke
+# numbers are meaningless as measurements — nothing is written to
+# BENCH_*.json.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,8 +27,29 @@ if [ "${1:-}" = "--tsan" ]; then
   cmake --build build-tsan -j
   cd build-tsan
   ctest --output-on-failure -j 2 \
-    -R 'ThreadPool|Channel|ReaderPool|PipelineRoundTrip|Scribe|Storage|ColumnFile|Stream|WindowedEtl|TrafficSource'
+    -R 'ThreadPool|Channel|ReaderPool|PipelineRoundTrip|Scribe|Storage|ColumnFile|Stream|WindowedEtl|TrafficSource|Serve|Batcher|QueryGenerator'
   exit 0
+fi
+
+if [ "${1:-}" = "--smoke" ]; then
+  cmake -B build -S .
+  cmake --build build -j
+  RECD_SMOKE=1
+  export RECD_SMOKE
+  status=0
+  for bench in build/bench_*; do
+    [ -x "$bench" ] || continue
+    echo "== smoke: $bench =="
+    case "$bench" in
+      */bench_micro_*)
+        "$bench" --benchmark_min_time=0.02 \
+          || { echo "smoke: $bench FAILED"; status=1; } ;;
+      *)
+        "$bench" || { echo "smoke: $bench FAILED"; status=1; } ;;
+    esac
+  done
+  [ "$status" -eq 0 ] && echo "smoke: all bench targets ran clean"
+  exit "$status"
 fi
 
 if [ "${1:-}" = "--asan" ]; then

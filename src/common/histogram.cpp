@@ -45,7 +45,9 @@ double Histogram::Percentile(double q) const {
       const double hi = std::ldexp(1.0, static_cast<int>(b) + 1) - 1.0;
       const double frac =
           counts_[b] == 0 ? 0.0 : (target - seen) / static_cast<double>(counts_[b]);
-      return lo + frac * (hi - lo);
+      // The top bucket's upper bound can exceed anything observed;
+      // never report a percentile above the exact max.
+      return std::min(lo + frac * (hi - lo), static_cast<double>(max_));
     }
     seen = next;
   }

@@ -18,7 +18,19 @@ class Histogram {
   [[nodiscard]] double mean() const;
   [[nodiscard]] std::int64_t max() const { return max_; }
 
-  /// Approximate percentile (q in [0,1]) from bucket boundaries.
+  /// Approximate percentile (q in [0,1], clamped) from bucket
+  /// boundaries, linearly interpolated within the target bucket and
+  /// clamped from above to the exact observed max.
+  ///
+  /// Approximation error: observations are only located to their
+  /// power-of-two bucket [2^b, 2^(b+1)-1], so the returned value can
+  /// deviate from the exact sample percentile by up to the bucket
+  /// width — a factor of < 2 relative error, growing with the value
+  /// (serving latency tails: a reported p99 of ~90ms means "somewhere
+  /// in [64ms, 128ms)"). q=0 returns the lower bound of the smallest
+  /// non-empty bucket (the exact minimum is not tracked); q=1 returns
+  /// the exact max; an empty histogram returns 0. Counts, mean, and
+  /// max are always exact.
   [[nodiscard]] double Percentile(double q) const;
 
   struct Bucket {

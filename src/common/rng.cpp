@@ -29,6 +29,13 @@ std::int64_t Rng::Poisson(double mean) {
   return std::poisson_distribution<std::int64_t>(mean)(engine_);
 }
 
+double Rng::Exponential(double mean) {
+  if (mean <= 0) {
+    throw std::invalid_argument("Rng::Exponential: mean must be positive");
+  }
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
 double Rng::Gaussian(double mean, double stddev) {
   return std::normal_distribution<double>(mean, stddev)(engine_);
 }

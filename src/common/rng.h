@@ -34,6 +34,11 @@ class Rng {
   /// Poisson sample with the given mean.
   [[nodiscard]] std::int64_t Poisson(double mean);
 
+  /// Exponential sample with the given mean (> 0) — inter-arrival times
+  /// of a Poisson process (the serving query generator's open-loop
+  /// arrivals).
+  [[nodiscard]] double Exponential(double mean);
+
   /// Gaussian sample.
   [[nodiscard]] double Gaussian(double mean, double stddev);
 

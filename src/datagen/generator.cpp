@@ -69,20 +69,17 @@ void SessionState::UpdateFeature(std::size_t f, common::Rng& rng) {
   }
 }
 
-FeatureLog SessionState::NextImpression(common::Rng& rng,
-                                        std::int64_t request_id,
-                                        std::int64_t timestamp) {
-  if (remaining_ <= 0) {
-    throw std::logic_error("SessionState: session already exhausted");
-  }
-  --remaining_;
-
+void SessionState::AdvanceFeatures(common::Rng& rng, bool user_only) {
   // One change draw per sync group per impression, so grouped features
-  // update in lockstep (grouped-IKJT premise). Groups adopt the minimum
-  // stay_prob among members.
+  // update in lockstep (grouped-IKJT premise). The draw uses the
+  // stay_prob of the group's first member visited in this pass — give
+  // a group's members one shared stay_prob (as every preset does), or
+  // the later members' values are ignored; with user_only the first
+  // *user-class* member drives the draw.
   std::vector<int> group_changed;  // -1 unknown, 0 stay, 1 change
   for (std::size_t f = 0; f < spec_->num_sparse(); ++f) {
     const auto& fs = spec_->sparse[f];
+    if (user_only && fs.klass != FeatureClass::kUser) continue;
     bool change;
     if (fs.sync_group >= 0) {
       const auto g = static_cast<std::size_t>(fs.sync_group);
@@ -96,18 +93,69 @@ FeatureLog SessionState::NextImpression(common::Rng& rng,
     }
     if (change) UpdateFeature(f, rng);
   }
+}
 
+FeatureLog SessionState::MakeLog(std::int64_t request_id,
+                                 std::int64_t timestamp) const {
   FeatureLog log;
   log.request_id = request_id;
   log.session_id = session_id_;
   log.timestamp = timestamp;
   log.sparse = current_;  // copy: the log is immutable once emitted
   log.dense = session_dense_;
+  return log;
+}
+
+FeatureLog SessionState::NextImpression(common::Rng& rng,
+                                        std::int64_t request_id,
+                                        std::int64_t timestamp) {
+  if (remaining_ <= 0) {
+    throw std::logic_error("SessionState: session already exhausted");
+  }
+  --remaining_;
+
+  AdvanceFeatures(rng, /*user_only=*/false);
+
+  FeatureLog log = MakeLog(request_id, timestamp);
   if (!log.dense.empty()) {
     // First dense slot carries per-impression variation (e.g. time).
     log.dense[0] = static_cast<float>(rng.Gaussian(0.0, 1.0));
   }
   return log;
+}
+
+std::vector<FeatureLog> SessionState::NextRequest(common::Rng& rng,
+                                                  std::int64_t request_id,
+                                                  std::int64_t timestamp,
+                                                  std::size_t candidates) {
+  if (remaining_ <= 0) {
+    throw std::logic_error("SessionState: session already exhausted");
+  }
+  if (candidates == 0) {
+    throw std::invalid_argument("SessionState: candidates must be >= 1");
+  }
+  --remaining_;
+
+  AdvanceFeatures(rng, /*user_only=*/true);
+  // Per-request dense variation, shared by the request's candidates the
+  // way the user state is.
+  const auto dense0 = static_cast<float>(rng.Gaussian(0.0, 1.0));
+
+  std::vector<FeatureLog> out;
+  out.reserve(candidates);
+  for (std::size_t c = 0; c < candidates; ++c) {
+    // Each candidate is a distinct ranked item: item-class features are
+    // drawn fresh, not evolved, per candidate.
+    for (std::size_t f = 0; f < spec_->num_sparse(); ++f) {
+      if (spec_->sparse[f].klass == FeatureClass::kItem) {
+        InitFeature(f, rng);
+      }
+    }
+    FeatureLog log = MakeLog(request_id, timestamp);
+    if (!log.dense.empty()) log.dense[0] = dense0;
+    out.push_back(std::move(log));
+  }
+  return out;
 }
 
 float ClickProbability(const FeatureLog& log) {

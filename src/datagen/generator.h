@@ -33,12 +33,28 @@ class SessionState {
                                           std::int64_t request_id,
                                           std::int64_t timestamp);
 
+  /// Serving-side request (src/serve): advances user-class features once
+  /// (same stay-prob / sync-group logic as NextImpression) and emits
+  /// `candidates` logs — one per ranked item — that share the user state
+  /// exactly while item-class features are drawn fresh per candidate.
+  /// The shared user rows are what the serving batcher deduplicates
+  /// across candidates and across concurrent requests of one user.
+  [[nodiscard]] std::vector<FeatureLog> NextRequest(common::Rng& rng,
+                                                    std::int64_t request_id,
+                                                    std::int64_t timestamp,
+                                                    std::size_t candidates);
+
   [[nodiscard]] std::int64_t session_id() const { return session_id_; }
   [[nodiscard]] std::int64_t remaining() const { return remaining_; }
 
  private:
   void InitFeature(std::size_t f, common::Rng& rng);
   void UpdateFeature(std::size_t f, common::Rng& rng);
+  /// One change draw per feature / sync group; `user_only` restricts the
+  /// advance to kUser features (the serving request path).
+  void AdvanceFeatures(common::Rng& rng, bool user_only);
+  [[nodiscard]] FeatureLog MakeLog(std::int64_t request_id,
+                                   std::int64_t timestamp) const;
 
   const DatasetSpec* spec_;
   std::int64_t session_id_;

@@ -1,0 +1,87 @@
+#include "serve/batcher.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace recd::serve {
+
+Batcher::Batcher(BatcherOptions options) : options_(options) {
+  if (options_.max_batch_requests == 0) {
+    throw std::invalid_argument("Batcher: max_batch_requests must be >= 1");
+  }
+  if (options_.max_delay_us < 0) {
+    throw std::invalid_argument("Batcher: max_delay_us must be >= 0");
+  }
+}
+
+void Batcher::CheckClock(std::int64_t now_us) {
+  if (now_us < last_now_us_) {
+    throw std::invalid_argument("Batcher: clock went backwards");
+  }
+  last_now_us_ = now_us;
+}
+
+Batch Batcher::Cut(std::int64_t now_us, FlushReason reason) {
+  Batch batch;
+  batch.requests = std::move(pending_);
+  pending_.clear();
+  batch.formed_us = now_us;
+  batch.reason = reason;
+  stats_.batches += 1;
+  switch (reason) {
+    case FlushReason::kSize:
+      stats_.size_flushes += 1;
+      break;
+    case FlushReason::kDeadline:
+      stats_.deadline_flushes += 1;
+      break;
+    case FlushReason::kFinal:
+      stats_.final_flushes += 1;
+      break;
+  }
+  return batch;
+}
+
+std::vector<Batch> Batcher::Add(Request request, std::int64_t now_us) {
+  CheckClock(now_us);
+  std::vector<Batch> out;
+  if (!pending_.empty() &&
+      now_us >= oldest_admit_us_ + options_.max_delay_us) {
+    // The forming batch's window expired before this arrival: it must
+    // not wait for the newcomer.
+    out.push_back(Cut(now_us, FlushReason::kDeadline));
+  }
+  if (pending_.empty()) oldest_admit_us_ = now_us;
+  stats_.requests += 1;
+  stats_.rows += request.rows.size();
+  pending_.push_back(std::move(request));
+  if (pending_.size() >= options_.max_batch_requests) {
+    out.push_back(Cut(now_us, FlushReason::kSize));
+  } else if (options_.max_delay_us == 0) {
+    // Degenerate no-batching mode: flush every admission immediately.
+    out.push_back(Cut(now_us, FlushReason::kDeadline));
+  }
+  return out;
+}
+
+std::optional<Batch> Batcher::PollExpired(std::int64_t now_us) {
+  CheckClock(now_us);
+  if (pending_.empty() ||
+      now_us < oldest_admit_us_ + options_.max_delay_us) {
+    return std::nullopt;
+  }
+  return Cut(now_us, FlushReason::kDeadline);
+}
+
+std::optional<std::int64_t> Batcher::deadline_us() const {
+  if (pending_.empty()) return std::nullopt;
+  return oldest_admit_us_ + options_.max_delay_us;
+}
+
+std::optional<Batch> Batcher::Flush(std::int64_t now_us) {
+  CheckClock(now_us);
+  if (pending_.empty()) return std::nullopt;
+  return Cut(now_us, FlushReason::kFinal);
+}
+
+}  // namespace recd::serve

@@ -1,0 +1,100 @@
+// SLA-aware dynamic request batcher (DeepRecSys-style).
+//
+// Coalesces in-flight ranking requests into model batches under two
+// knobs: `max_batch_requests` (flush when the forming batch is full) and
+// `max_delay_us` (flush when the oldest admitted request has waited out
+// its batching window — the SLA lever: a wider window buys bigger
+// batches and more cross-request dedupe at the cost of queueing delay).
+//
+// The batcher is single-threaded and clock-explicit: every call takes
+// `now_us` on one non-decreasing timeline supplied by the caller — the
+// wall clock in paced serving, the request arrival clock in replay mode.
+// That makes batch composition a pure function of (trace, options) in
+// replay mode, which the determinism tests exploit, and makes every
+// flush/SLA edge case drivable from a unit test without sleeping.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace recd::serve {
+
+struct BatcherOptions {
+  /// Requests per batch before a size flush.
+  std::size_t max_batch_requests = 8;
+  /// Batching window: a batch flushes once its oldest request has been
+  /// pending this long. 0 degenerates to no batching (every Add
+  /// flushes a single-request batch immediately).
+  std::int64_t max_delay_us = 2000;
+};
+
+enum class FlushReason : std::uint8_t { kSize, kDeadline, kFinal };
+
+/// A formed batch on its way to the model server.
+struct Batch {
+  std::vector<Request> requests;
+  /// The batcher clock value at flush time; replay-mode latency is
+  /// formed_us - arrival_us (deterministic queueing delay).
+  std::int64_t formed_us = 0;
+  FlushReason reason = FlushReason::kSize;
+
+  [[nodiscard]] std::size_t rows() const {
+    std::size_t n = 0;
+    for (const auto& r : requests) n += r.rows.size();
+    return n;
+  }
+};
+
+struct BatcherStats {
+  std::size_t requests = 0;
+  std::size_t rows = 0;
+  std::size_t batches = 0;
+  std::size_t size_flushes = 0;
+  std::size_t deadline_flushes = 0;
+  std::size_t final_flushes = 0;
+};
+
+class Batcher {
+ public:
+  explicit Batcher(BatcherOptions options);
+
+  /// Admits a request at `now_us`. Returns the batches this admission
+  /// caused, in submit order: a deadline flush of the forming batch if
+  /// its window has expired (deadline <= now_us — an arrival landing
+  /// exactly at the deadline starts the *next* batch), then a size
+  /// flush if the admission filled the batch (so at most two). Throws
+  /// std::invalid_argument if `now_us` goes backwards.
+  [[nodiscard]] std::vector<Batch> Add(Request request, std::int64_t now_us);
+
+  /// Deadline check between admissions (the paced pump calls this when
+  /// the window expires before the next arrival). Returns the forming
+  /// batch iff its deadline has passed at `now_us`.
+  [[nodiscard]] std::optional<Batch> PollExpired(std::int64_t now_us);
+
+  /// When the forming batch must flush (oldest admission + max_delay_us);
+  /// nullopt when nothing is pending. Lets the pump sleep precisely.
+  [[nodiscard]] std::optional<std::int64_t> deadline_us() const;
+
+  /// End-of-stream flush of whatever is pending.
+  [[nodiscard]] std::optional<Batch> Flush(std::int64_t now_us);
+
+  [[nodiscard]] std::size_t pending_requests() const {
+    return pending_.size();
+  }
+  [[nodiscard]] const BatcherStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] Batch Cut(std::int64_t now_us, FlushReason reason);
+  void CheckClock(std::int64_t now_us);
+
+  BatcherOptions options_;
+  std::vector<Request> pending_;
+  std::int64_t oldest_admit_us_ = 0;  // valid while pending_ is non-empty
+  std::int64_t last_now_us_ = 0;
+  BatcherStats stats_;
+};
+
+}  // namespace recd::serve

@@ -1,0 +1,173 @@
+#include "serve/model_server.h"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "reader/batch_pipeline.h"
+#include "train/reference.h"
+
+namespace recd::serve {
+
+ModelServer::ModelServer(const train::ModelConfig& model,
+                         const storage::StorageSchema& schema,
+                         const reader::DataLoaderConfig& loader,
+                         Options options)
+    : model_(&model),
+      schema_(&schema),
+      loader_(&loader),
+      options_(std::move(options)),
+      queue_(std::max<std::size_t>(1, options_.channel_capacity)) {
+  if (options_.num_workers == 0) {
+    throw std::invalid_argument("ModelServer: num_workers must be >= 1");
+  }
+}
+
+ModelServer::~ModelServer() {
+  try {
+    Shutdown();
+  } catch (...) {
+    // Destructor swallows worker errors; call Shutdown() to observe them.
+  }
+}
+
+void ModelServer::Start() {
+  if (!workers_.empty()) {
+    throw std::logic_error("ModelServer: already started");
+  }
+  workers_.reserve(options_.num_workers);
+  for (std::size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_cv_.wait(lock, [this] {
+    return ready_workers_ == options_.num_workers;
+  });
+}
+
+bool ModelServer::Submit(Batch batch) {
+  return queue_.Push(std::move(batch));
+}
+
+void ModelServer::Shutdown() {
+  queue_.Close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  if (shutdown_done_) return;
+  shutdown_done_ = true;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+std::vector<ScoredRequest> ModelServer::TakeScored() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::sort(scored_.begin(), scored_.end(),
+            [](const ScoredRequest& a, const ScoredRequest& b) {
+              return a.request_id < b.request_id;
+            });
+  return std::move(scored_);
+}
+
+void ModelServer::WorkerLoop() {
+  // Per-worker replica: identical seed => bitwise-equal weights, so any
+  // worker scoring any batch yields the same logits. Construction is
+  // signaled to Start() so request latencies never include model-build
+  // time; a failed build surfaces through Shutdown() like any worker
+  // error.
+  std::optional<reader::BatchPipeline> pipeline;
+  std::optional<train::ReferenceDlrm> dlrm;
+  try {
+    pipeline.emplace(*schema_, *loader_, options_.recd);
+    dlrm.emplace(*model_, options_.model_seed);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+    queue_.Close();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ready_workers_ += 1;
+  }
+  ready_cv_.notify_all();
+  if (!dlrm.has_value()) return;
+
+  struct RequestMeta {
+    std::int64_t request_id = 0;
+    std::int64_t user_id = 0;
+    std::int64_t arrival_us = 0;
+    std::size_t rows = 0;
+  };
+
+  std::vector<ScoredRequest> local_scored;
+  ServeWorkStats local;
+  try {
+    while (auto item = queue_.Pop()) {
+      Batch batch = std::move(*item);
+
+      std::vector<RequestMeta> metas;
+      metas.reserve(batch.requests.size());
+      std::vector<datagen::Sample> rows;
+      rows.reserve(batch.rows());
+      for (auto& r : batch.requests) {
+        metas.push_back({r.request_id, r.user_id, r.arrival_us,
+                         r.rows.size()});
+        for (auto& row : r.rows) rows.push_back(std::move(row));
+      }
+
+      auto pre = pipeline->Convert(std::move(rows));
+      (void)pipeline->Process(pre);
+      const auto logits = dlrm->Forward(pre, options_.recd);
+
+      const std::int64_t completion =
+          options_.completion_clock ? options_.completion_clock()
+                                    : batch.formed_us;
+      local.batches += 1;
+      local.requests += metas.size();
+      local.rows += pre.batch_size;
+      for (const auto& s : pre.group_stats) {
+        local.values_before += static_cast<double>(s.values_before);
+        local.values_after += static_cast<double>(s.values_after);
+      }
+
+      std::size_t row = 0;
+      for (const auto& m : metas) {
+        ScoredRequest sr;
+        sr.request_id = m.request_id;
+        sr.user_id = m.user_id;
+        sr.arrival_us = m.arrival_us;
+        sr.completion_us = completion;
+        sr.latency_us =
+            std::max<std::int64_t>(1, completion - m.arrival_us);
+        sr.scores.reserve(m.rows);
+        for (std::size_t i = 0; i < m.rows; ++i) {
+          sr.scores.push_back(logits.at(row++, 0));
+        }
+        local_scored.push_back(std::move(sr));
+      }
+    }
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    // Stop accepting work so the pump does not block on a dead pool.
+    queue_.Close();
+  }
+
+  local.ops = dlrm->Stats();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& sr : local_scored) {
+    latency_us_.Add(sr.latency_us);
+    scored_.push_back(std::move(sr));
+  }
+  work_.batches += local.batches;
+  work_.requests += local.requests;
+  work_.rows += local.rows;
+  work_.values_before += local.values_before;
+  work_.values_after += local.values_after;
+  work_.ops += local.ops;
+}
+
+}  // namespace recd::serve

@@ -1,0 +1,121 @@
+// ModelServer: a DLRM inference worker pool.
+//
+// Workers pop formed batches from a bounded common::Channel (backpressure
+// toward the batcher), convert them through the *training* reader's
+// reader::BatchPipeline — baseline KJT or RecD IKJT form (O3 across
+// requests) — run preprocessing (O4 over deduplicated slices), and score
+// every candidate with the real train::ReferenceDlrm forward pass (O5
+// lookups and O7 pooling on unique rows in RecD mode).
+//
+// Each worker owns a model replica seeded identically, so all replicas
+// hold bitwise-equal weights. Combined with the row-local forward math
+// (every logit depends only on its own row's features and the weights —
+// never on batchmates), per-request scores are bitwise independent of
+// batch composition, worker count, and scheduling: the serving
+// determinism rule asserted in tests/serve_test.cpp.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/channel.h"
+#include "common/histogram.h"
+#include "nn/op_stats.h"
+#include "reader/dataloader.h"
+#include "serve/batcher.h"
+#include "serve/request.h"
+#include "storage/column_file.h"
+#include "train/model.h"
+
+namespace recd::serve {
+
+/// Aggregate work counters across all workers (stable across worker
+/// counts for a fixed batch stream).
+struct ServeWorkStats {
+  std::size_t batches = 0;
+  std::size_t requests = 0;
+  std::size_t rows = 0;
+  /// Dedup group value sums over scored batches (values_before ==
+  /// values_after when serving the baseline KJT path).
+  double values_before = 0;
+  double values_after = 0;
+  /// Model op counters (embedding lookups, flops) summed over replicas.
+  nn::OpStats ops;
+};
+
+class ModelServer {
+ public:
+  struct Options {
+    std::size_t num_workers = 1;
+    /// RecD serving path: convert batches to IKJTs and run the
+    /// deduplicated forward. false = baseline KJT path.
+    bool recd = true;
+    /// Seed for every worker's model replica (identical weights).
+    std::uint64_t model_seed = 0x5eedf00d;
+    /// Bounded batch queue ahead of the workers.
+    std::size_t channel_capacity = 4;
+    /// Completion timestamps for latency accounting. Unset (replay
+    /// mode): completion_us = Batch::formed_us, so latency is the
+    /// deterministic batching delay.
+    std::function<std::int64_t()> completion_clock;
+  };
+
+  /// `model`, `schema`, and `loader` must outlive the server (the
+  /// runner owns all three). `loader` must match `options.recd` (IKJT
+  /// groups present iff recd). Call Start() before Submit().
+  ModelServer(const train::ModelConfig& model,
+              const storage::StorageSchema& schema,
+              const reader::DataLoaderConfig& loader, Options options);
+  ~ModelServer();
+
+  ModelServer(const ModelServer&) = delete;
+  ModelServer& operator=(const ModelServer&) = delete;
+
+  /// Spawns the workers and blocks until every replica is constructed,
+  /// so the first requests are not charged model-build time.
+  void Start();
+
+  /// Blocks while the batch queue is full. False once Shutdown began.
+  bool Submit(Batch batch);
+
+  /// Closes the queue, drains every accepted batch, joins the workers,
+  /// and rethrows the first worker exception, if any. Idempotent.
+  void Shutdown();
+
+  /// Scored requests sorted by request_id. Valid after Shutdown().
+  [[nodiscard]] std::vector<ScoredRequest> TakeScored();
+
+  /// Valid after Shutdown().
+  [[nodiscard]] const ServeWorkStats& work_stats() const { return work_; }
+  [[nodiscard]] const common::Histogram& latency_us() const {
+    return latency_us_;
+  }
+
+ private:
+  void WorkerLoop();
+
+  const train::ModelConfig* model_;
+  const storage::StorageSchema* schema_;
+  const reader::DataLoaderConfig* loader_;
+  Options options_;
+
+  common::Channel<Batch> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_done_ = false;
+
+  std::mutex mutex_;  // guards everything below
+  std::condition_variable ready_cv_;
+  std::size_t ready_workers_ = 0;
+  std::vector<ScoredRequest> scored_;
+  ServeWorkStats work_;
+  common::Histogram latency_us_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace recd::serve

@@ -1,0 +1,81 @@
+#include "serve/query_gen.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.h"
+#include "datagen/generator.h"
+
+namespace recd::serve {
+
+QueryGenerator::QueryGenerator(datagen::DatasetSpec spec,
+                               QueryGenOptions options)
+    : spec_(std::move(spec)), options_(options) {
+  if (options_.num_requests == 0) {
+    throw std::invalid_argument("QueryGenerator: num_requests must be >= 1");
+  }
+  if (options_.candidates == 0) {
+    throw std::invalid_argument("QueryGenerator: candidates must be >= 1");
+  }
+  if (!(options_.qps > 0)) {
+    throw std::invalid_argument("QueryGenerator: qps must be positive");
+  }
+  if (spec_.concurrent_sessions == 0) {
+    throw std::invalid_argument(
+        "QueryGenerator: concurrent_sessions must be positive");
+  }
+}
+
+std::vector<Request> QueryGenerator::Generate() {
+  common::Rng rng(spec_.seed);
+  std::vector<datagen::SessionState> active;
+  std::int64_t next_session_id = 1;
+  auto refill = [&] {
+    while (active.size() < spec_.concurrent_sessions) {
+      const std::int64_t size =
+          common::SampleSessionSize(rng, spec_.mean_session_size);
+      active.emplace_back(spec_, rng, next_session_id++, size);
+    }
+  };
+
+  const double mean_gap_us = 1e6 / options_.qps;
+  std::vector<Request> out;
+  out.reserve(options_.num_requests);
+  double clock_us = 0;
+  for (std::size_t i = 0; i < options_.num_requests; ++i) {
+    refill();
+    clock_us += options_.poisson_arrivals ? rng.Exponential(mean_gap_us)
+                                          : mean_gap_us;
+    const std::size_t pick = static_cast<std::size_t>(
+        rng.Uniform(0, static_cast<std::int64_t>(active.size()) - 1));
+    auto& session = active[pick];
+
+    Request r;
+    r.request_id = static_cast<std::int64_t>(i) + 1;
+    r.user_id = session.session_id();
+    r.arrival_us = static_cast<std::int64_t>(std::llround(clock_us));
+    auto logs = session.NextRequest(rng, r.request_id, r.arrival_us,
+                                    options_.candidates);
+    r.rows.reserve(logs.size());
+    for (auto& log : logs) {
+      datagen::Sample row;
+      row.request_id = log.request_id;
+      row.session_id = log.session_id;
+      row.timestamp = log.timestamp;
+      row.label = 0;  // serving has no outcome yet
+      row.dense = std::move(log.dense);
+      row.sparse = std::move(log.sparse);
+      r.rows.push_back(std::move(row));
+    }
+    out.push_back(std::move(r));
+
+    if (session.remaining() == 0) {
+      std::swap(active[pick], active.back());
+      active.pop_back();
+    }
+  }
+  return out;
+}
+
+}  // namespace recd::serve

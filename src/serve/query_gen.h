@@ -1,0 +1,51 @@
+// Open-loop synthetic query load for the serving subsystem.
+//
+// Derives ranking requests from the same session process that generates
+// training traffic (datagen::SessionState): a pool of concurrent user
+// sessions, each request picking one user, advancing their user-class
+// features under the stay probabilities d(f), and drawing K fresh
+// candidate items. Arrivals are a seeded Poisson process at the
+// configured QPS, so a trace is fully deterministic: the same
+// (DatasetSpec, QueryGenOptions) always yields byte-identical requests
+// and arrival times — the precondition for the serving determinism and
+// parity tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/schema.h"
+#include "serve/request.h"
+
+namespace recd::serve {
+
+struct QueryGenOptions {
+  std::size_t num_requests = 1024;
+  /// Candidate items scored per request (K).
+  std::size_t candidates = 8;
+  /// Offered load (requests/second) shaping the arrival timestamps.
+  double qps = 2000.0;
+  /// true: exponential inter-arrivals (Poisson process); false: fixed
+  /// 1/qps spacing (useful for batching edge-case tests).
+  bool poisson_arrivals = true;
+};
+
+class QueryGenerator {
+ public:
+  /// The dataset spec supplies the feature schema, stay probabilities,
+  /// seed, and `concurrent_sessions` (the number of users with requests
+  /// in flight). Throws std::invalid_argument on a zero option.
+  QueryGenerator(datagen::DatasetSpec spec, QueryGenOptions options);
+
+  /// Generates the full deterministic request trace, arrival-ordered.
+  [[nodiscard]] std::vector<Request> Generate();
+
+  [[nodiscard]] const datagen::DatasetSpec& spec() const { return spec_; }
+  [[nodiscard]] const QueryGenOptions& options() const { return options_; }
+
+ private:
+  datagen::DatasetSpec spec_;
+  QueryGenOptions options_;
+};
+
+}  // namespace recd::serve

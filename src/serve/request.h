@@ -1,0 +1,43 @@
+// Online serving request types (docs/ARCHITECTURE.md §9).
+//
+// A ranking request carries one user's features replicated across K
+// candidate items: every row shares the user-class feature lists exactly,
+// so the RecD observation — user features duplicate across a session's
+// samples — holds *within* a request at inference time, and across the
+// concurrent requests of one user that a dynamic batcher coalesces.
+// Rows are datagen::Samples so the serving path converts batches through
+// the exact reader::BatchPipeline the training readers use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/sample.h"
+
+namespace recd::serve {
+
+/// One ranking request: score `rows.size()` candidate items for one user.
+struct Request {
+  std::int64_t request_id = 0;
+  std::int64_t user_id = 0;  // session id in datagen terms
+  /// Arrival offset from trace start (µs); deterministic from the
+  /// generator seed. Doubles as the batching clock in replay mode.
+  std::int64_t arrival_us = 0;
+  /// K candidate rows, user features identical across rows, labels unused.
+  std::vector<datagen::Sample> rows;
+};
+
+/// What the model server hands back per request.
+struct ScoredRequest {
+  std::int64_t request_id = 0;
+  std::int64_t user_id = 0;
+  std::int64_t arrival_us = 0;
+  std::int64_t completion_us = 0;
+  /// End-to-end latency (µs, clamped to >= 1): completion - arrival in
+  /// paced mode; the pure batching delay in replay mode.
+  std::int64_t latency_us = 1;
+  /// One prediction logit per candidate, in request row order.
+  std::vector<float> scores;
+};
+
+}  // namespace recd::serve

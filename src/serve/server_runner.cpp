@@ -1,0 +1,156 @@
+#include "serve/server_runner.h"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "core/pipeline.h"
+
+namespace recd::serve {
+
+namespace {
+
+std::int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ServerRunner::ServerRunner(datagen::DatasetSpec dataset,
+                           train::ModelConfig model, ServeOptions options)
+    : dataset_(std::move(dataset)),
+      model_(std::move(model)),
+      options_(options),
+      schema_(core::MakePipelineSchema(dataset_)) {
+  QueryGenerator gen(dataset_, options_.query);
+  trace_ = gen.Generate();
+}
+
+ServeResult ServerRunner::Run(const ServeConfig& config) {
+  // The serving path reuses the training loader wholesale: same feature
+  // groups, same preprocessing transforms (O4), same conversion code.
+  auto recd_cfg = config.recd
+                      ? core::RecdConfig::Full(
+                            options_.query.candidates *
+                            config.batcher.max_batch_requests)
+                      : core::RecdConfig::Baseline(
+                            options_.query.candidates *
+                            config.batcher.max_batch_requests);
+  const auto loader = core::MakePipelineLoader(model_, recd_cfg);
+
+  // Clock zero is reset *after* Start() returns (replicas built), so no
+  // request is ever charged model-build time. The shared_ptr keeps the
+  // workers' completion_clock valid for the server's whole lifetime.
+  auto start = std::make_shared<std::chrono::steady_clock::time_point>(
+      std::chrono::steady_clock::now());
+
+  ModelServer::Options server_options;
+  server_options.num_workers = config.num_workers;
+  server_options.recd = config.recd;
+  server_options.model_seed = options_.model_seed;
+  server_options.channel_capacity = options_.batch_channel_capacity;
+  if (config.pace_arrivals) {
+    server_options.completion_clock = [start] {
+      return MicrosSince(*start);
+    };
+  }
+  ModelServer server(model_, schema_, loader, server_options);
+  server.Start();
+  *start = std::chrono::steady_clock::now();
+
+  Batcher batcher(config.batcher);
+  std::int64_t now = 0;
+  bool accepting = true;
+  auto submit = [&](Batch batch) {
+    if (accepting && !server.Submit(std::move(batch))) accepting = false;
+  };
+
+  for (const auto& r : trace_) {
+    if (!accepting) break;  // worker failure closed the queue
+    if (config.pace_arrivals) {
+      // Release the request at its arrival time, honoring any batching
+      // deadline that expires while we wait.
+      for (;;) {
+        now = MicrosSince(*start);
+        const auto deadline = batcher.deadline_us();
+        if (deadline && now >= *deadline) {
+          if (auto batch = batcher.PollExpired(now)) {
+            submit(std::move(*batch));
+          }
+          continue;
+        }
+        if (now >= r.arrival_us) break;
+        std::int64_t wake = r.arrival_us;
+        if (deadline && *deadline < wake) wake = *deadline;
+        std::this_thread::sleep_until(
+            *start + std::chrono::microseconds(wake));
+      }
+    } else {
+      now = r.arrival_us;
+      // Stamp deadline flushes at the deadline itself — when a paced
+      // server would emit them — not at the next arrival, so replay
+      // latency is the exact batching delay (<= max_delay_us).
+      const auto deadline = batcher.deadline_us();
+      if (deadline && *deadline <= now) {
+        if (auto batch = batcher.PollExpired(*deadline)) {
+          submit(std::move(*batch));
+        }
+      }
+    }
+    for (auto& batch : batcher.Add(r, now)) submit(std::move(batch));
+  }
+
+  if (config.pace_arrivals) {
+    now = MicrosSince(*start);
+  } else if (const auto deadline = batcher.deadline_us()) {
+    // End of trace: the pending batch would have flushed at its
+    // deadline, so that is its virtual flush time.
+    now = std::max(now, *deadline);
+  }
+  if (auto batch = batcher.Flush(now)) submit(std::move(*batch));
+  server.Shutdown();  // drains accepted batches; rethrows worker errors
+
+  const double wall_s =
+      static_cast<double>(MicrosSince(*start)) / 1e6;
+
+  ServeResult result;
+  result.requests = server.TakeScored();
+
+  auto& s = result.stats;
+  const auto& work = server.work_stats();
+  const auto& bstats = batcher.stats();
+  s.requests = work.requests;
+  s.rows = work.rows;
+  s.batches = work.batches;
+  s.size_flushes = bstats.size_flushes;
+  s.deadline_flushes = bstats.deadline_flushes;
+  s.final_flushes = bstats.final_flushes;
+  if (work.batches > 0) {
+    s.mean_batch_requests =
+        static_cast<double>(work.requests) / static_cast<double>(work.batches);
+    s.mean_batch_rows =
+        static_cast<double>(work.rows) / static_cast<double>(work.batches);
+  }
+  s.offered_qps = options_.query.qps;
+  s.wall_s = wall_s;
+  if (wall_s > 0) {
+    s.achieved_qps = static_cast<double>(work.requests) / wall_s;
+    s.rows_per_second = static_cast<double>(work.rows) / wall_s;
+  }
+  s.request_dedupe_factor =
+      work.values_after > 0 ? work.values_before / work.values_after : 1.0;
+  s.embedding_lookups = static_cast<double>(work.ops.lookups);
+  s.flops = static_cast<double>(work.ops.flops);
+  s.latency_us = server.latency_us();
+  s.latency_mean_us = s.latency_us.mean();
+  s.latency_p50_us = s.latency_us.Percentile(0.5);
+  s.latency_p95_us = s.latency_us.Percentile(0.95);
+  s.latency_p99_us = s.latency_us.Percentile(0.99);
+  s.latency_max_us = s.latency_us.max();
+  return result;
+}
+
+}  // namespace recd::serve

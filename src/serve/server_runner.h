@@ -1,0 +1,127 @@
+// ServerRunner: closes the loop from logged traffic back to query
+// serving (docs/ARCHITECTURE.md §9).
+//
+//   QueryGenerator ─► Batcher ─► ModelServer workers ─► scored requests
+//       (open-loop      (SLA        (BatchPipeline convert +
+//        arrivals)       window)     ReferenceDlrm forward)
+//
+// Mirrors core::PipelineRunner's config/result API: the constructor
+// generates the query trace once; each Run replays the identical trace
+// under a different ServeConfig, so baseline and RecD measurements — and
+// any two worker counts — serve exactly the same requests.
+//
+// Two clock modes:
+//  * replay (pace_arrivals = false): the batcher runs on the virtual
+//    arrival clock. Batch composition, scores, dedupe/op counters, and
+//    the latency histogram (pure batching delay) are all deterministic.
+//  * paced (pace_arrivals = true): arrivals are released in real time at
+//    the trace's offered QPS and latency is measured end to end
+//    (batching delay + queueing + model time) — the DeepRecSys-style
+//    load experiment. Scores remain bitwise identical to replay mode
+//    because the forward math is row-local (the batcher determinism
+//    rule; see ModelServer).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "datagen/schema.h"
+#include "serve/batcher.h"
+#include "serve/model_server.h"
+#include "serve/query_gen.h"
+#include "serve/request.h"
+#include "storage/column_file.h"
+#include "train/model.h"
+
+namespace recd::serve {
+
+/// Per-Run switches (what baseline-vs-RecD sweeps vary).
+struct ServeConfig {
+  /// RecD serving: per-batch IKJTs deduplicating user rows across
+  /// requests (O3), unique-row lookups (O5) and pooling (O7).
+  bool recd = true;
+  std::size_t num_workers = 1;
+  BatcherOptions batcher;
+  /// false = replay mode (deterministic), true = real-time pacing.
+  bool pace_arrivals = false;
+
+  [[nodiscard]] static ServeConfig Baseline() {
+    ServeConfig c;
+    c.recd = false;
+    return c;
+  }
+  [[nodiscard]] static ServeConfig Recd() { return ServeConfig{}; }
+};
+
+/// Trace-level knobs fixed across a runner's lifetime.
+struct ServeOptions {
+  QueryGenOptions query;
+  std::uint64_t model_seed = 0x5eedf00d;
+  std::size_t batch_channel_capacity = 4;
+};
+
+struct ServeStats {
+  std::size_t requests = 0;
+  std::size_t rows = 0;  // candidates scored
+  std::size_t batches = 0;
+  std::size_t size_flushes = 0;
+  std::size_t deadline_flushes = 0;
+  std::size_t final_flushes = 0;
+  double mean_batch_requests = 0;
+  double mean_batch_rows = 0;
+
+  double offered_qps = 0;
+  double achieved_qps = 0;  // requests / wall seconds
+  double rows_per_second = 0;
+  double wall_s = 0;
+
+  /// Request dedupe factor: group values before / after dedup across
+  /// all served batches (1.0 on the baseline path).
+  double request_dedupe_factor = 1.0;
+  /// Embedding rows actually fetched / flops actually executed.
+  double embedding_lookups = 0;
+  double flops = 0;
+
+  /// Request latency (µs): end-to-end in paced mode, batching delay in
+  /// replay mode (see ServerRunner header).
+  double latency_mean_us = 0;
+  double latency_p50_us = 0;
+  double latency_p95_us = 0;
+  double latency_p99_us = 0;
+  std::int64_t latency_max_us = 0;
+  common::Histogram latency_us;
+};
+
+struct ServeResult {
+  ServeStats stats;
+  /// Every request scored, sorted by request_id.
+  std::vector<ScoredRequest> requests;
+};
+
+class ServerRunner {
+ public:
+  /// Generates the deterministic query trace once. Throws
+  /// std::invalid_argument on bad options (via QueryGenerator).
+  ServerRunner(datagen::DatasetSpec dataset, train::ModelConfig model,
+               ServeOptions options = {});
+
+  /// Serves the whole trace under `config`. Replay-mode Runs are fully
+  /// deterministic; every Run scores every request exactly once.
+  [[nodiscard]] ServeResult Run(const ServeConfig& config);
+
+  [[nodiscard]] const datagen::DatasetSpec& dataset() const {
+    return dataset_;
+  }
+  [[nodiscard]] const train::ModelConfig& model() const { return model_; }
+  [[nodiscard]] const std::vector<Request>& trace() const { return trace_; }
+
+ private:
+  datagen::DatasetSpec dataset_;
+  train::ModelConfig model_;
+  ServeOptions options_;
+  storage::StorageSchema schema_;
+  std::vector<Request> trace_;
+};
+
+}  // namespace recd::serve

@@ -256,6 +256,55 @@ TEST(HistogramTest, PercentileMonotonic) {
   EXPECT_GT(p50, 100);  // rough sanity given log buckets
 }
 
+TEST(HistogramTest, PercentileEmptyHistogramIsZero) {
+  const Histogram h;
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 0.0);
+}
+
+TEST(HistogramTest, PercentileSingleObservation) {
+  Histogram h;
+  h.Add(5);  // bucket [4, 7]
+  // q=0 reports the bucket's lower bound (the exact min is not
+  // tracked); q=1 clamps to the exact max, not the bucket bound 7.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 5.0);
+  // Any quantile stays within the observation's bucket.
+  EXPECT_GE(h.Percentile(0.5), 4.0);
+  EXPECT_LE(h.Percentile(0.5), 5.0);
+}
+
+TEST(HistogramTest, PercentileQueriesAreClampedToUnitRange) {
+  Histogram h;
+  h.Add(100, 10);
+  EXPECT_DOUBLE_EQ(h.Percentile(-0.5), h.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.Percentile(2.0), h.Percentile(1.0));
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 100.0);
+}
+
+TEST(HistogramTest, PercentileInterpolatesAcrossBuckets) {
+  Histogram h;
+  h.Add(2, 50);    // bucket [2, 3]
+  h.Add(100, 50);  // bucket [64, 127]
+  // Exactly half the mass sits in the low bucket: q=0.5 must resolve
+  // inside it, and anything above must land in the high bucket.
+  EXPECT_LE(h.Percentile(0.5), 3.0);
+  EXPECT_GE(h.Percentile(0.51), 64.0);
+  // Within-bucket interpolation is monotone in q.
+  EXPECT_LT(h.Percentile(0.6), h.Percentile(0.9));
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 100.0);
+}
+
+TEST(HistogramTest, PercentileNeverExceedsObservedMax) {
+  Histogram h;
+  h.Add(1'000'000);  // bucket [2^19, 2^20-1]: hi > the observation
+  h.Add(3, 5);
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_LE(h.Percentile(q), static_cast<double>(h.max()));
+  }
+}
+
 TEST(HistogramTest, AsciiRendersNonEmpty) {
   Histogram h;
   h.Add(5, 10);

@@ -1,0 +1,389 @@
+// Tests for the online serving subsystem (src/serve): deterministic
+// query generation, batcher flush/SLA edge cases, baseline-vs-RecD score
+// parity, worker-count determinism of per-request outputs, and clean
+// shutdown under load (ISSUE acceptance criteria).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "datagen/presets.h"
+#include "serve/batcher.h"
+#include "serve/model_server.h"
+#include "serve/query_gen.h"
+#include "serve/server_runner.h"
+#include "train/model.h"
+
+namespace recd::serve {
+namespace {
+
+datagen::DatasetSpec MakeSpec(datagen::RmKind kind = datagen::RmKind::kRm2,
+                              double scale = 0.08) {
+  auto spec = datagen::RmDataset(kind, scale);
+  spec.concurrent_sessions = 8;  // few users => requests revisit users
+  spec.mean_session_size = 24;   // long-lived serving sessions
+  return spec;
+}
+
+train::ModelConfig MakeModel(const datagen::DatasetSpec& spec,
+                             datagen::RmKind kind = datagen::RmKind::kRm2) {
+  auto model = train::RmModel(kind, spec);
+  model.emb_hash_size = 2'000;  // small per-worker replicas
+  model.emb_dim = 16;
+  model.bottom_mlp_hidden = {32};
+  model.top_mlp_hidden = {64, 32};
+  return model;
+}
+
+QueryGenOptions SmallQuery(std::size_t requests = 48,
+                           std::size_t candidates = 4) {
+  QueryGenOptions q;
+  q.num_requests = requests;
+  q.candidates = candidates;
+  q.qps = 50'000;  // ~20 µs mean gaps: several requests per window
+  return q;
+}
+
+Request MakeRequest(std::int64_t id, std::size_t rows = 1) {
+  Request r;
+  r.request_id = id;
+  r.user_id = id;
+  r.rows.resize(rows);
+  return r;
+}
+
+// ---------------------------------------------------------- query gen --
+
+TEST(QueryGeneratorTest, TraceIsDeterministicAndShaped) {
+  const auto spec = MakeSpec();
+  const auto opts = SmallQuery(32, 5);
+  auto a = QueryGenerator(spec, opts).Generate();
+  auto b = QueryGenerator(spec, opts).Generate();
+  ASSERT_EQ(a.size(), 32u);
+  ASSERT_EQ(b.size(), 32u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].request_id, b[i].request_id);
+    EXPECT_EQ(a[i].user_id, b[i].user_id);
+    EXPECT_EQ(a[i].arrival_us, b[i].arrival_us);
+    ASSERT_EQ(a[i].rows.size(), 5u);
+    for (std::size_t c = 0; c < a[i].rows.size(); ++c) {
+      EXPECT_EQ(a[i].rows[c], b[i].rows[c]);
+    }
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival_us, a[i - 1].arrival_us);
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, CandidatesShareUserFeaturesExactly) {
+  const auto spec = MakeSpec();
+  const auto trace = QueryGenerator(spec, SmallQuery(16, 6)).Generate();
+  for (const auto& r : trace) {
+    const auto& first = r.rows.front();
+    for (const auto& row : r.rows) {
+      EXPECT_EQ(row.session_id, r.user_id);
+      EXPECT_EQ(row.dense, first.dense);  // dense is user/request state
+      for (std::size_t f = 0; f < spec.num_sparse(); ++f) {
+        if (spec.sparse[f].klass == datagen::FeatureClass::kUser) {
+          EXPECT_EQ(row.sparse[f], first.sparse[f])
+              << "user feature diverged across candidates: "
+              << spec.sparse[f].name;
+        }
+      }
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, RejectsBadOptions) {
+  const auto spec = MakeSpec();
+  QueryGenOptions q;
+  q.num_requests = 0;
+  EXPECT_THROW(QueryGenerator(spec, q), std::invalid_argument);
+  q = {};
+  q.candidates = 0;
+  EXPECT_THROW(QueryGenerator(spec, q), std::invalid_argument);
+  q = {};
+  q.qps = 0;
+  EXPECT_THROW(QueryGenerator(spec, q), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- batcher --
+
+TEST(BatcherTest, SizeFlushOnFullBatch) {
+  Batcher b({.max_batch_requests = 3, .max_delay_us = 1'000'000});
+  EXPECT_TRUE(b.Add(MakeRequest(1), 10).empty());
+  EXPECT_TRUE(b.Add(MakeRequest(2), 20).empty());
+  auto out = b.Add(MakeRequest(3), 30);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].reason, FlushReason::kSize);
+  EXPECT_EQ(out[0].requests.size(), 3u);
+  EXPECT_EQ(out[0].formed_us, 30);
+  EXPECT_EQ(b.pending_requests(), 0u);
+  EXPECT_EQ(b.stats().size_flushes, 1u);
+}
+
+TEST(BatcherTest, DeadlineFlushAtWindowExpiry) {
+  Batcher b({.max_batch_requests = 8, .max_delay_us = 100});
+  (void)b.Add(MakeRequest(1), 50);
+  EXPECT_EQ(b.deadline_us(), 150);
+  EXPECT_FALSE(b.PollExpired(149).has_value());  // window still open
+  auto batch = b.PollExpired(150);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->reason, FlushReason::kDeadline);
+  EXPECT_EQ(batch->requests.size(), 1u);
+  EXPECT_FALSE(b.deadline_us().has_value());
+}
+
+TEST(BatcherTest, AddFlushesExpiredBatchBeforeAdmitting) {
+  Batcher b({.max_batch_requests = 8, .max_delay_us = 100});
+  (void)b.Add(MakeRequest(1), 0);
+  (void)b.Add(MakeRequest(2), 40);
+  // Arrival after the window expired: the forming batch must not wait
+  // for the newcomer.
+  auto out = b.Add(MakeRequest(3), 500);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].reason, FlushReason::kDeadline);
+  ASSERT_EQ(out[0].requests.size(), 2u);
+  EXPECT_EQ(out[0].requests[0].request_id, 1);
+  EXPECT_EQ(b.pending_requests(), 1u);
+  EXPECT_EQ(b.deadline_us(), 600);  // newcomer's own window
+}
+
+TEST(BatcherTest, ZeroDelayDegeneratesToNoBatching) {
+  Batcher b({.max_batch_requests = 8, .max_delay_us = 0});
+  for (int i = 1; i <= 4; ++i) {
+    auto out = b.Add(MakeRequest(i), i * 10);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].requests.size(), 1u);
+  }
+  EXPECT_EQ(b.stats().batches, 4u);
+  EXPECT_FALSE(b.Flush(100).has_value());
+}
+
+TEST(BatcherTest, FinalFlushAndStats) {
+  Batcher b({.max_batch_requests = 2, .max_delay_us = 1'000});
+  (void)b.Add(MakeRequest(1, 3), 0);
+  (void)b.Add(MakeRequest(2, 3), 1);  // size flush
+  (void)b.Add(MakeRequest(3, 2), 2);
+  auto fin = b.Flush(10);
+  ASSERT_TRUE(fin.has_value());
+  EXPECT_EQ(fin->reason, FlushReason::kFinal);
+  EXPECT_EQ(fin->rows(), 2u);
+  const auto& s = b.stats();
+  EXPECT_EQ(s.requests, 3u);
+  EXPECT_EQ(s.rows, 8u);
+  EXPECT_EQ(s.batches, 2u);
+  EXPECT_EQ(s.size_flushes, 1u);
+  EXPECT_EQ(s.final_flushes, 1u);
+}
+
+TEST(BatcherTest, RejectsBackwardsClockAndBadOptions) {
+  EXPECT_THROW(Batcher({.max_batch_requests = 0}), std::invalid_argument);
+  EXPECT_THROW(Batcher({.max_batch_requests = 1, .max_delay_us = -1}),
+               std::invalid_argument);
+  Batcher b({.max_batch_requests = 4, .max_delay_us = 10});
+  (void)b.Add(MakeRequest(1), 100);
+  EXPECT_THROW((void)b.Add(MakeRequest(2), 99), std::invalid_argument);
+}
+
+// -------------------------------------------------- end-to-end serving --
+
+ServeConfig ReplayConfig(bool recd, std::size_t workers = 1) {
+  ServeConfig c = recd ? ServeConfig::Recd() : ServeConfig::Baseline();
+  c.num_workers = workers;
+  c.batcher.max_batch_requests = 4;
+  c.batcher.max_delay_us = 100;
+  c.pace_arrivals = false;
+  return c;
+}
+
+void ExpectSameScores(const ServeResult& a, const ServeResult& b) {
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    const auto& ra = a.requests[i];
+    const auto& rb = b.requests[i];
+    ASSERT_EQ(ra.request_id, rb.request_id);
+    ASSERT_EQ(ra.scores.size(), rb.scores.size());
+    for (std::size_t k = 0; k < ra.scores.size(); ++k) {
+      EXPECT_EQ(ra.scores[k], rb.scores[k])
+          << "request " << ra.request_id << " candidate " << k;
+    }
+  }
+}
+
+TEST(ServerRunnerTest, BaselineAndRecdScoresAreBitwiseIdentical) {
+  const auto spec = MakeSpec();
+  ServeOptions options;
+  options.query = SmallQuery(48, 4);
+  ServerRunner runner(spec, MakeModel(spec), options);
+  const auto base = runner.Run(ReplayConfig(/*recd=*/false));
+  const auto recd = runner.Run(ReplayConfig(/*recd=*/true));
+  ASSERT_EQ(base.requests.size(), 48u);
+  ExpectSameScores(base, recd);
+  // RecD must have deduplicated across candidates/requests and saved
+  // embedding lookups doing it.
+  EXPECT_GT(recd.stats.request_dedupe_factor, 1.0);
+  EXPECT_DOUBLE_EQ(base.stats.request_dedupe_factor, 1.0);
+  EXPECT_LT(recd.stats.embedding_lookups, base.stats.embedding_lookups);
+  EXPECT_LT(recd.stats.flops, base.stats.flops);
+}
+
+TEST(ServerRunnerTest, ParityHoldsWithAttentionPooling) {
+  // RM1 pools sequence groups with self-attention: O7 at inference.
+  const auto spec = MakeSpec(datagen::RmKind::kRm1, 0.05);
+  ServeOptions options;
+  options.query = SmallQuery(24, 4);
+  ServerRunner runner(spec, MakeModel(spec, datagen::RmKind::kRm1),
+                      options);
+  const auto base = runner.Run(ReplayConfig(false));
+  const auto recd = runner.Run(ReplayConfig(true));
+  ExpectSameScores(base, recd);
+  EXPECT_GT(recd.stats.request_dedupe_factor, 1.0);
+}
+
+TEST(ServerRunnerTest, PerRequestOutputsIdenticalForAnyWorkerCount) {
+  const auto spec = MakeSpec();
+  ServeOptions options;
+  options.query = SmallQuery(64, 4);
+  ServerRunner runner(spec, MakeModel(spec), options);
+  const auto one = runner.Run(ReplayConfig(true, 1));
+  const auto four = runner.Run(ReplayConfig(true, 4));
+  ExpectSameScores(one, four);
+  // Replay mode fixes batch composition, so latency (batching delay),
+  // dedupe, and op counters are worker-count invariant too.
+  ASSERT_EQ(one.requests.size(), four.requests.size());
+  for (std::size_t i = 0; i < one.requests.size(); ++i) {
+    EXPECT_EQ(one.requests[i].latency_us, four.requests[i].latency_us);
+    // Replay latency is the exact batching delay, which the SLA bounds
+    // (deadline flushes are stamped at the deadline itself).
+    EXPECT_LE(one.requests[i].latency_us,
+              std::max<std::int64_t>(1, ReplayConfig(true).batcher.max_delay_us));
+  }
+  EXPECT_EQ(one.stats.batches, four.stats.batches);
+  EXPECT_DOUBLE_EQ(one.stats.request_dedupe_factor,
+                   four.stats.request_dedupe_factor);
+  EXPECT_DOUBLE_EQ(one.stats.embedding_lookups,
+                   four.stats.embedding_lookups);
+  EXPECT_DOUBLE_EQ(one.stats.flops, four.stats.flops);
+  const auto ba = one.stats.latency_us.buckets();
+  const auto bb = four.stats.latency_us.buckets();
+  ASSERT_EQ(ba.size(), bb.size());
+  for (std::size_t i = 0; i < ba.size(); ++i) {
+    EXPECT_EQ(ba[i].lo, bb[i].lo);
+    EXPECT_EQ(ba[i].count, bb[i].count);
+  }
+}
+
+TEST(ServerRunnerTest, ReplayRunsAreReproducible) {
+  const auto spec = MakeSpec();
+  ServeOptions options;
+  options.query = SmallQuery(32, 3);
+  ServerRunner runner(spec, MakeModel(spec), options);
+  const auto a = runner.Run(ReplayConfig(true, 2));
+  const auto b = runner.Run(ReplayConfig(true, 2));
+  ExpectSameScores(a, b);
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].latency_us, b.requests[i].latency_us);
+    EXPECT_EQ(a.requests[i].completion_us, b.requests[i].completion_us);
+  }
+}
+
+TEST(ServerRunnerTest, PacedModeServesEveryRequestWithSameScores) {
+  const auto spec = MakeSpec();
+  ServeOptions options;
+  options.query = SmallQuery(24, 3);
+  options.query.qps = 20'000;  // finishes in ~a millisecond of pacing
+  ServerRunner runner(spec, MakeModel(spec), options);
+  const auto replay = runner.Run(ReplayConfig(true, 2));
+  auto paced_cfg = ReplayConfig(true, 2);
+  paced_cfg.pace_arrivals = true;
+  const auto paced = runner.Run(paced_cfg);
+  // Batch composition differs (wall clock), but scores are row-local:
+  // the batcher determinism rule.
+  ExpectSameScores(replay, paced);
+  EXPECT_EQ(paced.stats.requests, 24u);
+  for (const auto& r : paced.requests) {
+    EXPECT_GE(r.latency_us, 1);
+    EXPECT_GE(r.completion_us, r.arrival_us);
+  }
+  EXPECT_GT(paced.stats.achieved_qps, 0.0);
+}
+
+TEST(ServerRunnerTest, BatchSizeSweepNeverLosesRequests) {
+  const auto spec = MakeSpec();
+  ServeOptions options;
+  options.query = SmallQuery(40, 2);
+  ServerRunner runner(spec, MakeModel(spec), options);
+  for (const std::size_t max_requests : {1u, 3u, 40u, 64u}) {
+    auto cfg = ReplayConfig(true, 2);
+    cfg.batcher.max_batch_requests = max_requests;
+    const auto r = runner.Run(cfg);
+    EXPECT_EQ(r.stats.requests, 40u) << "max_requests=" << max_requests;
+    EXPECT_EQ(r.requests.size(), 40u);
+    EXPECT_EQ(r.stats.rows, 80u);
+  }
+}
+
+// ----------------------------------------------------- model server --
+
+TEST(ModelServerTest, CleanShutdownUnderConcurrentLoad) {
+  const auto spec = MakeSpec();
+  const auto model = MakeModel(spec);
+  const auto schema = core::MakePipelineSchema(spec);
+  const auto loader =
+      core::MakePipelineLoader(model, core::RecdConfig::Full(16));
+  const auto trace = QueryGenerator(spec, SmallQuery(96, 2)).Generate();
+
+  ModelServer::Options mopts;
+  mopts.num_workers = 3;
+  mopts.recd = true;
+  mopts.channel_capacity = 2;  // force producer backpressure
+  ModelServer server(model, schema, loader, mopts);
+  server.Start();
+
+  // Two producers race batches in; Shutdown lands while work is queued.
+  std::atomic<std::size_t> accepted{0};
+  auto produce = [&](std::size_t begin) {
+    for (std::size_t i = begin; i < trace.size(); i += 2) {
+      Batch b;
+      b.requests.push_back(trace[i]);
+      b.formed_us = trace[i].arrival_us;
+      if (server.Submit(std::move(b))) {
+        accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::thread p1(produce, 0);
+  std::thread p2(produce, 1);
+  p1.join();
+  p2.join();
+  server.Shutdown();
+
+  // Every accepted batch was scored exactly once, none lost.
+  auto scored = server.TakeScored();
+  EXPECT_EQ(scored.size(), accepted.load());
+  EXPECT_EQ(server.work_stats().requests, accepted.load());
+  for (std::size_t i = 1; i < scored.size(); ++i) {
+    EXPECT_LT(scored[i - 1].request_id, scored[i].request_id);
+  }
+  server.Shutdown();  // idempotent
+}
+
+TEST(ModelServerTest, SubmitAfterShutdownIsRejected) {
+  const auto spec = MakeSpec();
+  const auto model = MakeModel(spec);
+  const auto schema = core::MakePipelineSchema(spec);
+  const auto loader =
+      core::MakePipelineLoader(model, core::RecdConfig::Full(16));
+  ModelServer server(model, schema, loader, {});
+  server.Start();
+  server.Shutdown();
+  Batch b;
+  b.requests.push_back(MakeRequest(1));
+  EXPECT_FALSE(server.Submit(std::move(b)));
+}
+
+}  // namespace
+}  // namespace recd::serve

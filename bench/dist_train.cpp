@@ -1,0 +1,162 @@
+// Executed hybrid-parallel training: rank sweep x baseline/RecD
+// (docs/ARCHITECTURE.md §10).
+//
+// Unlike bench_fig8_iteration_breakdown (the alpha-beta *simulator*),
+// this harness runs the real multi-rank trainer: N rank threads, the
+// four collectives executed through train::CollectiveGroup, sharded
+// tables, replicated MLPs. Reported per configuration: mean step wall
+// time, bytes sent on every exchange, and the sparse-exchange dedupe
+// factor — RecD's bytes-on-the-wire claim (paper §5.1) measured on an
+// exchange that actually moved the bytes. Losses are asserted equal
+// between baseline and RecD (the determinism contract of
+// tests/dist_train_test.cpp, sampled here at bench scale).
+//
+// Host note: ranks are threads; on a single-core host the rank sweep
+// measures scheduling overhead, not speedup — the byte counters and
+// dedupe factor are the portable results.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "datagen/generator.h"
+#include "etl/etl.h"
+#include "reader/reader.h"
+#include "storage/table.h"
+#include "train/distributed.h"
+#include "train/reference.h"
+
+int main(int argc, char** argv) {
+  using namespace recd;
+  bench::JsonReport report("bench_dist_train");
+  bench::PrintHeader(
+      "Executed hybrid-parallel training: ranks x baseline/RecD (RM1)");
+
+  const std::size_t batch_size = bench::SmokeOr<std::size_t>(256, 64);
+  const int steps = bench::SmokeOr(3, 1);
+  auto spec = datagen::RmDataset(datagen::RmKind::kRm1,
+                                 bench::SmokeOr(0.1, 0.05));
+  spec.concurrent_sessions = 16;  // heavy in-batch duplication
+  auto model = train::RmModel(datagen::RmKind::kRm1, spec);
+  model.emb_hash_size = bench::SmokeOr<std::size_t>(20'000, 2'000);
+  report.SetHostField("batch_size", static_cast<long>(batch_size));
+  report.SetHostField("steps", steps);
+
+  // Land one partition and read it back both ways, like the trainer
+  // tests: the baseline reader ships KJTs, the RecD reader IKJTs.
+  datagen::TrafficGenerator gen(spec);
+  const auto traffic = gen.Generate(batch_size * 2);
+  auto samples = etl::JoinLogs(traffic.features, traffic.events);
+  etl::ClusterBySession(samples);
+  storage::StorageSchema schema;
+  schema.num_dense = spec.num_dense;
+  for (const auto& f : spec.sparse) schema.sparse_names.push_back(f.name);
+  storage::BlobStore store;
+  auto landed = storage::LandTable(store, "t", schema, {std::move(samples)});
+  reader::Reader recd_reader(
+      store, landed.table, train::MakeDataLoaderConfig(model, batch_size, true),
+      reader::ReaderOptions{.use_ikjt = true});
+  reader::Reader base_reader(
+      store, landed.table,
+      train::MakeDataLoaderConfig(model, batch_size, false),
+      reader::ReaderOptions{.use_ikjt = false});
+  const auto recd_batch = *recd_reader.NextBatch();
+  const auto base_batch = *base_reader.NextBatch();
+
+  std::printf("%-12s %10s %12s %12s %12s %12s %8s\n", "config", "step ms",
+              "sdd B", "emb B", "grad B", "allreduce B", "dedupe");
+  bench::PrintRule();
+
+  struct Row {
+    std::size_t ranks = 0;
+    bool recd = false;
+    double step_ms = 0;
+    train::ExchangeCounters counters;
+    float final_loss = 0;
+  };
+  std::vector<Row> rows;
+  for (const std::size_t n : {1u, 2u, 4u}) {
+    for (const bool recd : {false, true}) {
+      train::DistributedConfig config;
+      config.num_ranks = n;
+      config.recd = recd;
+      config.lr = 0.05f;
+      config.seed = 7;
+      train::DistributedTrainer trainer(model, config);
+      const auto& batch = recd ? recd_batch : base_batch;
+      common::Stopwatch sw;
+      float loss = 0;
+      for (int k = 0; k < steps; ++k) {
+        common::Stopwatch::Scope scope(sw);
+        loss = trainer.Step(batch);
+      }
+      Row row;
+      row.ranks = n;
+      row.recd = recd;
+      row.step_ms = sw.seconds() * 1e3 / steps;
+      row.counters = trainer.TotalCounters();
+      row.final_loss = loss;
+      const std::string name =
+          (recd ? "recd" : "base") + std::string(" r") + std::to_string(n);
+      std::printf("%-12s %10.1f %12zu %12zu %12zu %12zu %7.2fx\n",
+                  name.c_str(), row.step_ms, row.counters.sdd_bytes,
+                  row.counters.emb_bytes, row.counters.grad_bytes,
+                  row.counters.allreduce_bytes,
+                  row.counters.exchange_dedupe_factor());
+      rows.push_back(row);
+
+      const std::string prefix =
+          (recd ? "recd" : "base") + std::string("_r") + std::to_string(n);
+      report.Add(prefix + "_step_ms", row.step_ms, std::nullopt, "ms");
+      report.Add(prefix + "_sdd_bytes",
+                 static_cast<double>(row.counters.sdd_bytes), std::nullopt,
+                 "bytes");
+      report.Add(prefix + "_emb_bytes",
+                 static_cast<double>(row.counters.emb_bytes), std::nullopt,
+                 "bytes");
+      report.Add(prefix + "_grad_bytes",
+                 static_cast<double>(row.counters.grad_bytes), std::nullopt,
+                 "bytes");
+      report.Add(prefix + "_allreduce_bytes",
+                 static_cast<double>(row.counters.allreduce_bytes),
+                 std::nullopt, "bytes");
+      report.Add(prefix + "_exchange_dedupe",
+                 row.counters.exchange_dedupe_factor(), std::nullopt, "x");
+    }
+  }
+
+  // The acceptance checks: RecD ships strictly fewer sparse-exchange
+  // bytes at every multi-rank count, and baseline/RecD losses agree
+  // bitwise (dedup changes bytes, never math).
+  bool ok = true;
+  for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+    const auto& base = rows[i];
+    const auto& recd = rows[i + 1];
+    if (base.final_loss != recd.final_loss) {
+      std::printf("FAIL: base/recd loss mismatch at r%zu (%g vs %g)\n",
+                  base.ranks, static_cast<double>(base.final_loss),
+                  static_cast<double>(recd.final_loss));
+      ok = false;
+    }
+    if (base.ranks > 1) {
+      if (recd.counters.sdd_bytes >= base.counters.sdd_bytes ||
+          recd.counters.emb_bytes >= base.counters.emb_bytes) {
+        std::printf("FAIL: RecD did not shrink sparse exchange at r%zu\n",
+                    base.ranks);
+        ok = false;
+      }
+      report.Add("r" + std::to_string(base.ranks) + "_sdd_savings",
+                 static_cast<double>(base.counters.sdd_bytes) /
+                     static_cast<double>(recd.counters.sdd_bytes),
+                 std::nullopt, "x");
+    }
+  }
+  std::printf("\nbase/recd losses %s; sparse exchange %s\n",
+              ok ? "bitwise identical" : "MISMATCH",
+              ok ? "shrinks under RecD" : "check FAILED");
+
+  if (!report.WriteIfRequested(argc, argv)) return 1;
+  return ok ? 0 : 1;
+}

@@ -1,17 +1,17 @@
 #!/usr/bin/env sh
 # Benchmark runner: builds the release preset, runs the end-to-end,
-# reader-breakdown, streaming window-sweep, and serving-QPS harnesses,
-# and records BENCH_fig7_end_to_end.json / BENCH_fig10_reader_breakdown
-# .json / BENCH_stream_window_sweep.json / BENCH_serve_qps.json at the
-# repository root per the docs/BENCHMARKS.md convention. Full-pipeline
-# benches take minutes.
+# reader-breakdown, streaming window-sweep, serving-QPS, and executed
+# distributed-training harnesses, and records the corresponding
+# BENCH_*.json files at the repository root per the docs/BENCHMARKS.md
+# convention. Full-pipeline benches take minutes.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 cmake --preset release
 cmake --build build -j --target bench_fig7_end_to_end \
-  bench_fig10_reader_breakdown bench_stream_window_sweep bench_serve_qps
+  bench_fig10_reader_breakdown bench_stream_window_sweep bench_serve_qps \
+  bench_dist_train
 
 # Context recorded into the JSON reports (see bench::JsonReport). The
 # -dirty suffix marks results measured from uncommitted code.
@@ -29,7 +29,8 @@ export RECD_BENCH_COMMIT RECD_BENCH_DATE RECD_BENCH_CORES \
 ./build/bench_fig10_reader_breakdown --json BENCH_fig10_reader_breakdown.json
 ./build/bench_stream_window_sweep --json BENCH_stream_window_sweep.json
 ./build/bench_serve_qps --json BENCH_serve_qps.json
+./build/bench_dist_train --json BENCH_dist_train.json
 
 echo "bench.sh: wrote BENCH_fig7_end_to_end.json," \
   "BENCH_fig10_reader_breakdown.json, BENCH_stream_window_sweep.json," \
-  "and BENCH_serve_qps.json"
+  "BENCH_serve_qps.json, and BENCH_dist_train.json"

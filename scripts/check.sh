@@ -1,13 +1,14 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Tier-1 verify: the exact command sequence from ROADMAP.md, run by CI
-# and humans alike (documented in README.md). Exits non-zero on any
-# configure, build, or test failure.
+# and humans alike (documented in README.md). Fails fast with a
+# nonzero exit on the first failing phase — under every flag — and
+# prints a phase summary table on the way out.
 #
 # `check.sh --tsan` instead builds the `tsan` preset (ThreadSanitizer,
 # see CMakePresets.json) and runs the concurrency-touching suites —
-# ThreadPool/Channel, ReaderPool, the pipeline round trip, the streaming
-# pipeline, and the stages that flush/land in parallel — under the race
-# detector.
+# ThreadPool/Channel/Barrier, ReaderPool, the pipeline round trip, the
+# streaming pipeline, serving, and the executed distributed trainer —
+# under the race detector.
 #
 # `check.sh --asan` builds the `asan` preset (AddressSanitizer) and runs
 # the *full* test suite under the memory-error detector.
@@ -18,49 +19,92 @@
 # is caught by tier-1-adjacent tooling rather than at bench time. Smoke
 # numbers are meaningless as measurements — nothing is written to
 # BENCH_*.json.
-set -eu
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-if [ "${1:-}" = "--tsan" ]; then
-  cmake --preset tsan
-  cmake --build build-tsan -j
-  cd build-tsan
-  ctest --output-on-failure -j 2 \
-    -R 'ThreadPool|Channel|ReaderPool|PipelineRoundTrip|Scribe|Storage|ColumnFile|Stream|WindowedEtl|TrafficSource|Serve|Batcher|QueryGenerator'
-  exit 0
-fi
+PHASE_NAMES=()
+PHASE_STATUS=()
 
-if [ "${1:-}" = "--smoke" ]; then
-  cmake -B build -S .
-  cmake --build build -j
-  RECD_SMOKE=1
-  export RECD_SMOKE
-  status=0
-  for bench in build/bench_*; do
-    [ -x "$bench" ] || continue
-    echo "== smoke: $bench =="
-    case "$bench" in
-      */bench_micro_*)
-        "$bench" --benchmark_min_time=0.02 \
-          || { echo "smoke: $bench FAILED"; status=1; } ;;
-      *)
-        "$bench" || { echo "smoke: $bench FAILED"; status=1; } ;;
-    esac
+print_summary() {
+  [ "${#PHASE_NAMES[@]}" -eq 0 ] && return 0
+  echo
+  echo "== check.sh phase summary =="
+  printf '%-28s %s\n' "phase" "status"
+  printf '%s\n' "------------------------------------"
+  local i
+  for i in "${!PHASE_NAMES[@]}"; do
+    printf '%-28s %s\n' "${PHASE_NAMES[$i]}" "${PHASE_STATUS[$i]}"
   done
-  [ "$status" -eq 0 ] && echo "smoke: all bench targets ran clean"
-  exit "$status"
-fi
+}
+trap print_summary EXIT
 
-if [ "${1:-}" = "--asan" ]; then
-  cmake --preset asan
-  cmake --build build-asan -j
-  cd build-asan
-  ctest --output-on-failure -j 2
-  exit 0
-fi
+run_phase() {
+  local name=$1
+  shift
+  PHASE_NAMES+=("$name")
+  PHASE_STATUS+=("RUNNING")
+  echo "== phase: $name =="
+  if "$@"; then
+    PHASE_STATUS[${#PHASE_STATUS[@]}-1]="ok"
+  else
+    local rc=$?
+    PHASE_STATUS[${#PHASE_STATUS[@]}-1]="FAIL ($rc)"
+    echo "check.sh: phase '$name' failed (exit $rc)" >&2
+    exit "$rc"
+  fi
+}
 
-cmake -B build -S .
-cmake --build build -j
-cd build
-ctest --output-on-failure -j
+TSAN_FILTER='ThreadPool|Channel|Barrier|Collective|Distributed|EmbeddingShard|IkjtSlice|ReaderPool|PipelineRoundTrip|Scribe|Storage|ColumnFile|Stream|WindowedEtl|TrafficSource|Serve|Batcher|QueryGenerator'
+
+case "${1:-}" in
+  --tsan)
+    run_phase "configure (tsan)" cmake --preset tsan
+    run_phase "build (tsan)" cmake --build build-tsan -j
+    run_phase "ctest (tsan filter)" ctest --test-dir build-tsan \
+      --output-on-failure -j 2 -R "$TSAN_FILTER"
+    ;;
+  --asan)
+    run_phase "configure (asan)" cmake --preset asan
+    run_phase "build (asan)" cmake --build build-asan -j
+    run_phase "ctest (asan, full)" ctest --test-dir build-asan \
+      --output-on-failure -j 2
+    ;;
+  --smoke)
+    run_phase "configure" cmake -B build -S .
+    run_phase "build" cmake --build build -j
+    export RECD_SMOKE=1
+    smoke_count=0
+    for bench in build/bench_*; do
+      [ -x "$bench" ] || continue
+      smoke_count=$((smoke_count + 1))
+      case "$bench" in
+        */bench_micro_*)
+          run_phase "smoke: ${bench#build/}" \
+            "$bench" --benchmark_min_time=0.02 ;;
+        *)
+          run_phase "smoke: ${bench#build/}" "$bench" ;;
+      esac
+    done
+    if [ "$smoke_count" -eq 0 ]; then
+      echo "check.sh: no bench_* binaries in build/ — smoke ran nothing" \
+        "(RECD_BUILD_BENCH off?)" >&2
+      exit 1
+    fi
+    echo "smoke: all $smoke_count bench targets ran clean"
+    ;;
+  --strict)
+    run_phase "configure (strict)" cmake --preset strict
+    run_phase "build (strict -Werror)" cmake --build build-strict -j
+    ;;
+  "")
+    run_phase "configure" cmake -B build -S .
+    run_phase "build" cmake --build build -j
+    run_phase "ctest (tier-1)" ctest --test-dir build \
+      --output-on-failure -j
+    ;;
+  *)
+    echo "usage: $0 [--tsan|--asan|--smoke|--strict]" >&2
+    exit 2
+    ;;
+esac

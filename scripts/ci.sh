@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# CI entry point: the exact sequence .github/workflows/ci.yml runs,
+# kept here so every workflow step stays one line and the whole
+# pipeline is reproducible locally with `scripts/ci.sh`.
+#
+# Stages (each is a workflow job; `all` chains them for local runs):
+#   core        tier-1 (configure + build + ctest) then the strict
+#               (-Werror) preset build
+#   sanitizers  ASan full suite, TSan concurrency suites (including the
+#               distributed-trainer suites), then every bench target in
+#               smoke mode
+#   lint        BENCH_*.json schema lint (validate_bench_json.py)
+#
+# Honors CMAKE_CXX_COMPILER_LAUNCHER (the workflow sets it to ccache),
+# and stays plain cmake/ctest otherwise.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+stage_core() {
+  ./scripts/check.sh
+  ./scripts/check.sh --strict
+}
+
+stage_sanitizers() {
+  ./scripts/check.sh --asan
+  ./scripts/check.sh --tsan
+  ./scripts/check.sh --smoke
+}
+
+stage_lint() {
+  python3 ./scripts/validate_bench_json.py BENCH_*.json
+}
+
+case "${1:-all}" in
+  core)       stage_core ;;
+  sanitizers) stage_sanitizers ;;
+  lint)       stage_lint ;;
+  all)
+    stage_core
+    stage_sanitizers
+    stage_lint
+    echo "ci.sh: all stages passed"
+    ;;
+  *)
+    echo "usage: $0 [core|sanitizers|lint|all]" >&2
+    exit 2
+    ;;
+esac

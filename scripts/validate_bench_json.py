@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Lint checked-in BENCH_*.json files against the docs/BENCHMARKS.md schema.
+
+Every report must carry the context that makes its numbers traceable —
+target, commit, date, and a host block with cpu/cores/hardware_threads/
+build_type/commit — plus a non-empty metrics map whose rows each have a
+numeric "measured" and a string "unit" (an optional numeric "paper").
+Stale or hand-edited files fail CI here instead of silently shipping
+unreproducible numbers.
+
+Usage: validate_bench_json.py [FILE...]   (default: BENCH_*.json in the
+repository root, one directory above this script)
+"""
+
+import glob
+import json
+import numbers
+import os
+import sys
+
+HOST_FIELDS = {
+    "cpu": str,
+    "cores": numbers.Number,
+    "hardware_threads": numbers.Number,
+    "build_type": str,
+    "commit": str,
+}
+
+
+def check_file(path):
+    """Returns (errors, metric_count) for one report."""
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable or invalid JSON: {exc}"], 0
+
+    if not isinstance(doc, dict):
+        return ["top level is not a JSON object"], 0
+
+    for key in ("target", "commit", "date"):
+        value = doc.get(key)
+        if not isinstance(value, str) or not value:
+            errors.append(f'missing or empty string field "{key}"')
+
+    host = doc.get("host")
+    if not isinstance(host, dict):
+        errors.append('missing "host" context block')
+    else:
+        for key, kind in HOST_FIELDS.items():
+            value = host.get(key)
+            if not isinstance(value, kind) or isinstance(value, bool):
+                errors.append(f'host block missing or mistyped "{key}"')
+            elif kind is str and not value:
+                errors.append(f'host block has empty "{key}"')
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        errors.append('missing or empty "metrics" map')
+    else:
+        for name, row in metrics.items():
+            if not isinstance(row, dict):
+                errors.append(f'metric "{name}" is not an object')
+                continue
+            measured = row.get("measured")
+            if not isinstance(measured, numbers.Number) or isinstance(
+                measured, bool
+            ):
+                errors.append(f'metric "{name}" lacks numeric "measured"')
+            unit = row.get("unit")
+            if not isinstance(unit, str):
+                errors.append(f'metric "{name}" lacks string "unit"')
+            paper = row.get("paper")
+            if paper is not None and (
+                not isinstance(paper, numbers.Number) or isinstance(paper, bool)
+            ):
+                errors.append(f'metric "{name}" has non-numeric "paper"')
+    return errors, len(metrics) if isinstance(metrics, dict) else 0
+
+
+def main(argv):
+    paths = argv[1:]
+    if not paths:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    if not paths:
+        print("validate_bench_json: no BENCH_*.json files found",
+              file=sys.stderr)
+        return 1
+
+    failed = 0
+    for path in paths:
+        errors, count = check_file(path)
+        name = os.path.basename(path)
+        if errors:
+            failed += 1
+            for error in errors:
+                print(f"{name}: {error}", file=sys.stderr)
+        else:
+            print(f"{name}: ok ({count} metrics)")
+    if failed:
+        print(f"validate_bench_json: {failed}/{len(paths)} file(s) failed",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

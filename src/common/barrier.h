@@ -1,0 +1,74 @@
+// Cyclic barrier: N participants block in Arrive() until every
+// participant of the round has arrived, then all are released and the
+// barrier resets for the next round.
+//
+// The phase separator of the executed distributed trainer
+// (train::CollectiveGroup): an all-to-all pushes every rank's buffers
+// first, arrives here, and only then pops — so receives never block on
+// a peer that has not sent yet, and consecutive exchange rounds cannot
+// interleave. Generation counting makes reuse safe: a thread released
+// from round g cannot be confused with a waiter of round g+1.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+
+namespace recd::common {
+
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties) : parties_(parties) {
+    if (parties == 0) {
+      throw std::invalid_argument("Barrier: parties must be positive");
+    }
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until `parties` threads have arrived in this round.
+  /// Throws std::runtime_error if the barrier is (or becomes) aborted
+  /// while waiting.
+  void Arrive() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (aborted_) throw std::runtime_error("Barrier: aborted");
+    const std::size_t generation = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++generation_;
+      lock.unlock();
+      released_.notify_all();
+      return;
+    }
+    released_.wait(lock,
+                   [&] { return generation_ != generation || aborted_; });
+    if (generation_ == generation) {
+      throw std::runtime_error("Barrier: aborted");
+    }
+  }
+
+  /// Poisons the barrier: every current and future Arrive throws. The
+  /// escape hatch when a participant dies mid-round — its peers must
+  /// unwind rather than wait forever. Irreversible, idempotent.
+  void Abort() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      aborted_ = true;
+    }
+    released_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t parties() const { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::mutex mutex_;
+  std::condition_variable released_;
+  std::size_t waiting_ = 0;
+  std::size_t generation_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace recd::common

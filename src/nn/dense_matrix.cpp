@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
 
 namespace recd::nn {
@@ -48,6 +49,19 @@ void MatmulAB(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c) {
       for (std::size_t j = 0; j < b.cols(); ++j) cr[j] += av * br[j];
     }
   }
+}
+
+DenseMatrix SliceRows(const DenseMatrix& m, std::size_t lo,
+                      std::size_t hi) {
+  if (lo > hi || hi > m.rows()) {
+    throw std::out_of_range("SliceRows: bad row range");
+  }
+  DenseMatrix out(hi - lo, m.cols());
+  const auto src = m.data();
+  std::copy(src.begin() + static_cast<std::ptrdiff_t>(lo * m.cols()),
+            src.begin() + static_cast<std::ptrdiff_t>(hi * m.cols()),
+            out.data().begin());
+  return out;
 }
 
 float MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {

@@ -50,6 +50,10 @@ class EmbeddingTable {
                            const DenseMatrix& grad, PoolingKind pooling,
                            float lr);
 
+  /// Full weight matrix (hash_size x dim) — the bitwise-equality
+  /// surface of the distributed determinism tests.
+  [[nodiscard]] const DenseMatrix& weights() const { return weights_; }
+
   [[nodiscard]] const OpStats& stats() const { return stats_; }
   void ResetStats() { stats_ = {}; }
 

@@ -1,0 +1,56 @@
+#include "nn/embedding_shard.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace recd::nn {
+
+void EmbeddingShardView::AddTable(std::size_t table_id,
+                                  EmbeddingTable table) {
+  const auto [it, inserted] = tables_.emplace(table_id, std::move(table));
+  (void)it;
+  if (!inserted) {
+    throw std::invalid_argument("EmbeddingShardView: duplicate table id " +
+                                std::to_string(table_id));
+  }
+}
+
+bool EmbeddingShardView::Owns(std::size_t table_id) const {
+  return tables_.contains(table_id);
+}
+
+EmbeddingTable& EmbeddingShardView::Table(std::size_t table_id) {
+  const auto it = tables_.find(table_id);
+  if (it == tables_.end()) {
+    throw std::out_of_range("EmbeddingShardView: table id " +
+                            std::to_string(table_id) +
+                            " is not in this shard");
+  }
+  return it->second;
+}
+
+const EmbeddingTable& EmbeddingShardView::Table(std::size_t table_id) const {
+  const auto it = tables_.find(table_id);
+  if (it == tables_.end()) {
+    throw std::out_of_range("EmbeddingShardView: table id " +
+                            std::to_string(table_id) +
+                            " is not in this shard");
+  }
+  return it->second;
+}
+
+std::vector<std::size_t> EmbeddingShardView::table_ids() const {
+  std::vector<std::size_t> ids;
+  ids.reserve(tables_.size());
+  for (const auto& [id, table] : tables_) ids.push_back(id);
+  return ids;
+}
+
+std::size_t EmbeddingShardView::param_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [id, table] : tables_) bytes += table.param_bytes();
+  return bytes;
+}
+
+}  // namespace recd::nn

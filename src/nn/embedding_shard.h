@@ -1,0 +1,47 @@
+// EmbeddingShardView: one rank's model-parallel embedding shard.
+//
+// The executed hybrid-parallel trainer shards embedding tables across
+// ranks by table id (whole tables; a sync group's tables are placed
+// together so the group's shared inverse_lookup stays rank-local, see
+// docs/ARCHITECTURE.md §10). This view holds exactly the tables a rank
+// owns. Accessing an unowned table id throws — an out-of-shard lookup
+// is a sharding bug and must never be silently served from a replica
+// that does not exist.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "nn/embedding.h"
+
+namespace recd::nn {
+
+class EmbeddingShardView {
+ public:
+  EmbeddingShardView() = default;
+
+  /// Takes ownership of `table` as global `table_id`. Throws
+  /// std::invalid_argument if the id is already in the shard.
+  void AddTable(std::size_t table_id, EmbeddingTable table);
+
+  [[nodiscard]] bool Owns(std::size_t table_id) const;
+
+  /// Owned-table access. Throws std::out_of_range for table ids this
+  /// shard does not own.
+  [[nodiscard]] EmbeddingTable& Table(std::size_t table_id);
+  [[nodiscard]] const EmbeddingTable& Table(std::size_t table_id) const;
+
+  [[nodiscard]] std::size_t num_tables() const { return tables_.size(); }
+
+  /// Owned table ids in ascending order.
+  [[nodiscard]] std::vector<std::size_t> table_ids() const;
+
+  /// Parameter bytes held by this shard.
+  [[nodiscard]] std::size_t param_bytes() const;
+
+ private:
+  std::map<std::size_t, EmbeddingTable> tables_;
+};
+
+}  // namespace recd::nn

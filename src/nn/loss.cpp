@@ -13,12 +13,12 @@ float Sigmoid(float x) {
   return e / (1.0f + e);
 }
 
-float BceWithLogitsLoss(const DenseMatrix& logits,
-                        std::span<const float> labels) {
+double BceWithLogitsLossSum(const DenseMatrix& logits,
+                            std::span<const float> labels) {
   if (logits.rows() != labels.size() || logits.cols() != 1) {
-    throw std::invalid_argument("BceWithLogitsLoss: shape mismatch");
+    throw std::invalid_argument("BceWithLogitsLossSum: shape mismatch");
   }
-  // loss = max(z,0) - z*y + log(1 + exp(-|z|)) (stable form).
+  // loss term = max(z,0) - z*y + log(1 + exp(-|z|)) (stable form).
   double total = 0.0;
   for (std::size_t r = 0; r < logits.rows(); ++r) {
     const float z = logits.at(r, 0);
@@ -26,20 +26,35 @@ float BceWithLogitsLoss(const DenseMatrix& logits,
     total += std::max(z, 0.0f) - z * y +
              std::log1p(std::exp(-std::abs(z)));
   }
-  return static_cast<float>(total / static_cast<double>(logits.rows()));
+  return total;
+}
+
+float BceWithLogitsLoss(const DenseMatrix& logits,
+                        std::span<const float> labels) {
+  return static_cast<float>(BceWithLogitsLossSum(logits, labels) /
+                            static_cast<double>(logits.rows()));
 }
 
 DenseMatrix BceWithLogitsGrad(const DenseMatrix& logits,
-                              std::span<const float> labels) {
+                              std::span<const float> labels,
+                              std::size_t denom) {
   if (logits.rows() != labels.size() || logits.cols() != 1) {
     throw std::invalid_argument("BceWithLogitsGrad: shape mismatch");
   }
+  if (denom == 0) {
+    throw std::invalid_argument("BceWithLogitsGrad: zero denominator");
+  }
   DenseMatrix grad(logits.rows(), 1);
-  const float inv_n = 1.0f / static_cast<float>(logits.rows());
+  const float inv_n = 1.0f / static_cast<float>(denom);
   for (std::size_t r = 0; r < logits.rows(); ++r) {
     grad.at(r, 0) = (Sigmoid(logits.at(r, 0)) - labels[r]) * inv_n;
   }
   return grad;
+}
+
+DenseMatrix BceWithLogitsGrad(const DenseMatrix& logits,
+                              std::span<const float> labels) {
+  return BceWithLogitsGrad(logits, labels, logits.rows());
 }
 
 }  // namespace recd::nn

@@ -1,6 +1,7 @@
 #include "nn/mlp.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace recd::nn {
 
@@ -66,6 +67,29 @@ DenseMatrix Linear::Backward(const DenseMatrix& grad_out) {
   return grad_in;
 }
 
+std::pair<DenseMatrix, std::vector<float>> Linear::TakeGradients() {
+  std::pair<DenseMatrix, std::vector<float>> out{std::move(grad_w_),
+                                                 std::move(grad_b_)};
+  grad_w_ = DenseMatrix(w_.rows(), w_.cols());
+  grad_b_.assign(b_.size(), 0.0f);
+  return out;
+}
+
+void Linear::AccumulateGradients(const DenseMatrix& grad_w,
+                                 std::span<const float> grad_b) {
+  if (grad_w.rows() != w_.rows() || grad_w.cols() != w_.cols() ||
+      grad_b.size() != b_.size()) {
+    throw std::invalid_argument(
+        "Linear::AccumulateGradients: shape mismatch");
+  }
+  auto gw = grad_w_.data();
+  const auto in = grad_w.data();
+  for (std::size_t i = 0; i < gw.size(); ++i) gw[i] += in[i];
+  for (std::size_t i = 0; i < grad_b_.size(); ++i) {
+    grad_b_[i] += grad_b[i];
+  }
+}
+
 void Linear::Step(float lr) {
   auto wd = w_.data();
   const auto gw = grad_w_.data();
@@ -102,6 +126,58 @@ DenseMatrix Mlp::Backward(const DenseMatrix& grad_out) {
 
 void Mlp::Step(float lr) {
   for (auto& layer : layers_) layer.Step(lr);
+}
+
+void MlpGradients::Add(const MlpGradients& other) {
+  if (other.grad_w.size() != grad_w.size() ||
+      other.grad_b.size() != grad_b.size()) {
+    throw std::invalid_argument("MlpGradients::Add: layer count mismatch");
+  }
+  for (std::size_t l = 0; l < grad_w.size(); ++l) {
+    auto dst = grad_w[l].data();
+    const auto src = other.grad_w[l].data();
+    if (src.size() != dst.size() ||
+        other.grad_b[l].size() != grad_b[l].size()) {
+      throw std::invalid_argument("MlpGradients::Add: shape mismatch");
+    }
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+    for (std::size_t i = 0; i < grad_b[l].size(); ++i) {
+      grad_b[l][i] += other.grad_b[l][i];
+    }
+  }
+}
+
+MlpGradients Mlp::TakeGradients() {
+  MlpGradients out;
+  out.grad_w.reserve(layers_.size());
+  out.grad_b.reserve(layers_.size());
+  for (auto& layer : layers_) {
+    auto [gw, gb] = layer.TakeGradients();
+    out.grad_w.push_back(std::move(gw));
+    out.grad_b.push_back(std::move(gb));
+  }
+  return out;
+}
+
+MlpGradients Mlp::ZeroGradients() const {
+  MlpGradients out;
+  out.grad_w.reserve(layers_.size());
+  out.grad_b.reserve(layers_.size());
+  for (const auto& layer : layers_) {
+    out.grad_w.emplace_back(layer.out_dim(), layer.in_dim());
+    out.grad_b.emplace_back(layer.out_dim(), 0.0f);
+  }
+  return out;
+}
+
+void Mlp::AccumulateGradients(const MlpGradients& grads) {
+  if (grads.grad_w.size() != layers_.size()) {
+    throw std::invalid_argument(
+        "Mlp::AccumulateGradients: layer count mismatch");
+  }
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].AccumulateGradients(grads.grad_w[l], grads.grad_b[l]);
+  }
 }
 
 std::size_t Mlp::num_params() const {

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -31,8 +33,20 @@ class Linear {
   /// SGD update; zeroes accumulated gradients.
   void Step(float lr);
 
+  /// Moves out the accumulated (dW, db) and zeroes the internal
+  /// buffers — the per-chunk gradient capture of the deterministic
+  /// blocked reduction (train::kGradChunks).
+  [[nodiscard]] std::pair<DenseMatrix, std::vector<float>> TakeGradients();
+
+  /// Elementwise-adds into the accumulated gradients (the chunk
+  /// combine; a following Step applies the total).
+  void AccumulateGradients(const DenseMatrix& grad_w,
+                           std::span<const float> grad_b);
+
   [[nodiscard]] std::size_t in_dim() const { return w_.cols(); }
   [[nodiscard]] std::size_t out_dim() const { return w_.rows(); }
+  [[nodiscard]] const DenseMatrix& weights() const { return w_; }
+  [[nodiscard]] std::span<const float> bias() const { return b_; }
   [[nodiscard]] std::size_t num_params() const {
     return w_.size() + b_.size();
   }
@@ -50,6 +64,17 @@ class Linear {
   OpStats stats_;
 };
 
+/// Per-layer gradient snapshot of an Mlp (see Mlp::TakeGradients):
+/// the all-reduce payload of the executed distributed trainer and the
+/// chunk partial of the deterministic blocked reduction.
+struct MlpGradients {
+  std::vector<DenseMatrix> grad_w;
+  std::vector<std::vector<float>> grad_b;
+
+  /// Elementwise += of another snapshot with identical shapes.
+  void Add(const MlpGradients& other);
+};
+
 /// Stack of Linear layers; ReLU between layers, none after the last.
 class Mlp {
  public:
@@ -59,6 +84,18 @@ class Mlp {
   [[nodiscard]] DenseMatrix Forward(const DenseMatrix& x);
   [[nodiscard]] DenseMatrix Backward(const DenseMatrix& grad_out);
   void Step(float lr);
+
+  /// Per-layer gradient capture; internal accumulators end up zeroed.
+  [[nodiscard]] MlpGradients TakeGradients();
+  /// Zero-shaped snapshot, the start value of a chunk reduction.
+  [[nodiscard]] MlpGradients ZeroGradients() const;
+  /// Elementwise-adds a snapshot into the internal accumulators.
+  void AccumulateGradients(const MlpGradients& grads);
+
+  [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
+  [[nodiscard]] const Linear& layer(std::size_t i) const {
+    return layers_[i];
+  }
 
   [[nodiscard]] std::size_t num_params() const;
   [[nodiscard]] OpStats stats() const;

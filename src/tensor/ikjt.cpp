@@ -143,6 +143,36 @@ InverseKeyedJaggedTensor DeduplicateGroup(
       stats);
 }
 
+InverseKeyedJaggedTensor SliceIkjt(const InverseKeyedJaggedTensor& ikjt,
+                                   std::size_t lo, std::size_t hi) {
+  if (lo > hi || hi > ikjt.batch_size()) {
+    throw std::out_of_range("SliceIkjt: bad row range");
+  }
+  const auto inverse = ikjt.inverse_lookup();
+  // Renumber the unique rows the slice touches, in first-appearance
+  // order — the order DeduplicateRows would assign over the slice.
+  std::vector<std::int64_t> old_to_new(ikjt.unique_rows(), -1);
+  std::vector<std::int64_t> kept;  // new index -> old index
+  std::vector<std::int64_t> new_inverse;
+  new_inverse.reserve(hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const auto old = inverse[i];
+    if (old_to_new[static_cast<std::size_t>(old)] < 0) {
+      old_to_new[static_cast<std::size_t>(old)] =
+          static_cast<std::int64_t>(kept.size());
+      kept.push_back(old);
+    }
+    new_inverse.push_back(old_to_new[static_cast<std::size_t>(old)]);
+  }
+  std::vector<JaggedTensor> unique;
+  unique.reserve(ikjt.num_keys());
+  for (std::size_t k = 0; k < ikjt.num_keys(); ++k) {
+    unique.push_back(JaggedIndexSelect(ikjt.unique(k), kept));
+  }
+  return InverseKeyedJaggedTensor(ikjt.keys(), std::move(unique),
+                                  std::move(new_inverse));
+}
+
 KeyedJaggedTensor ExpandToKjt(const InverseKeyedJaggedTensor& ikjt) {
   KeyedJaggedTensor out;
   for (std::size_t k = 0; k < ikjt.num_keys(); ++k) {

@@ -120,4 +120,14 @@ using GroupRowAccessor =
 [[nodiscard]] KeyedJaggedTensor ExpandToKjt(
     const InverseKeyedJaggedTensor& ikjt);
 
+/// Restriction of `ikjt` to batch rows [lo, hi): the inverse slice is
+/// rebased onto a compacted unique set (kept rows renumbered in
+/// first-appearance order) and every feature keeps exactly the unique
+/// rows the slice references. Produces the same IKJT that deduplicating
+/// the sliced expanded rows from scratch would — the per-rank split of
+/// the dedup-aware sparse all-to-all. Throws std::out_of_range unless
+/// lo <= hi <= batch_size().
+[[nodiscard]] InverseKeyedJaggedTensor SliceIkjt(
+    const InverseKeyedJaggedTensor& ikjt, std::size_t lo, std::size_t hi);
+
 }  // namespace recd::tensor

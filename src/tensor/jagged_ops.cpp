@@ -29,6 +29,22 @@ JaggedTensor JaggedIndexSelect(const JaggedTensor& src,
   return JaggedTensor(std::move(values), std::move(offsets));
 }
 
+JaggedTensor SliceJaggedRows(const JaggedTensor& src, std::size_t lo,
+                             std::size_t hi) {
+  if (lo > hi || hi > src.num_rows()) {
+    throw std::out_of_range("SliceJaggedRows: bad row range");
+  }
+  std::vector<Id> values;
+  std::vector<Offset> offsets;
+  offsets.reserve(hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) {
+    offsets.push_back(static_cast<Offset>(values.size()));
+    const auto r = src.row(i);
+    values.insert(values.end(), r.begin(), r.end());
+  }
+  return JaggedTensor(std::move(values), std::move(offsets));
+}
+
 PaddedDense JaggedToPaddedDense(const JaggedTensor& src, Id pad) {
   PaddedDense out;
   out.rows = src.num_rows();

@@ -20,6 +20,13 @@ namespace recd::tensor {
 [[nodiscard]] JaggedTensor JaggedIndexSelect(
     const JaggedTensor& src, std::span<const std::int64_t> indices);
 
+/// Rows [lo, hi) of `src` as a standalone tensor (offsets rebased to
+/// start at 0). The per-rank/per-chunk batch split of the executed
+/// distributed trainer. Throws std::out_of_range unless
+/// lo <= hi <= src.num_rows().
+[[nodiscard]] JaggedTensor SliceJaggedRows(const JaggedTensor& src,
+                                           std::size_t lo, std::size_t hi);
+
 /// Baseline path (pre-O6): a jagged tensor padded to a dense
 /// [rows x max_len] matrix with explicit per-row lengths.
 struct PaddedDense {

@@ -1,0 +1,21 @@
+#include "train/collective_group.h"
+
+namespace recd::train {
+
+CollectiveGroup::CollectiveGroup(std::size_t num_ranks)
+    : num_ranks_(num_ranks),
+      barrier_(num_ranks == 0 ? 1 : num_ranks),
+      bytes_sent_(num_ranks, 0) {
+  if (num_ranks == 0) {
+    throw std::invalid_argument("CollectiveGroup: need at least one rank");
+  }
+  mail_.reserve(num_ranks * num_ranks);
+  for (std::size_t i = 0; i < num_ranks * num_ranks; ++i) {
+    // Capacity 4: at most two messages are ever in flight per (src,
+    // dst) pair (one unreceived round plus one posted round ahead);
+    // double that for slack.
+    mail_.push_back(std::make_unique<Mail>(4));
+  }
+}
+
+}  // namespace recd::train

@@ -1,0 +1,218 @@
+// CollectiveGroup: real executed in-memory collectives for N ranks
+// running as threads — the communication layer of the executed
+// hybrid-parallel trainer (docs/ARCHITECTURE.md §10). Complements the
+// alpha-beta *cost models* in train/collectives.h: those predict time,
+// this one actually moves the bytes.
+//
+// Transport is one bounded common::Channel per (src, dst) pair plus a
+// common::Barrier between the send and receive halves of every
+// exchange, so receives never block on an unsent message and
+// consecutive exchange rounds cannot interleave (FIFO order per pair
+// handles a rank racing one round ahead; channel capacity covers the
+// at-most-two messages then in flight per pair).
+//
+// Determinism contract: AllToAll returns peer payloads indexed by
+// source rank, and AllReduceSum reduces labeled chunk partials in
+// ascending chunk order starting from zeros — the same float-op
+// sequence on every rank, for every rank count, regardless of thread
+// timing. No atomics anywhere on an accumulation path; per-rank byte
+// counters are written only by their own rank's thread (read them
+// after the ranks have joined).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/barrier.h"
+#include "common/channel.h"
+
+namespace recd::train {
+
+class CollectiveGroup {
+ public:
+  explicit CollectiveGroup(std::size_t num_ranks);
+
+  [[nodiscard]] std::size_t num_ranks() const { return num_ranks_; }
+
+  /// Blocks until every rank has arrived (reusable).
+  void Barrier() { barrier_.Arrive(); }
+
+  /// Poisons the group after a rank has failed mid-exchange: aborts
+  /// the barrier and closes every mailbox, so peers blocked anywhere
+  /// in a collective throw instead of waiting forever. Irreversible,
+  /// idempotent.
+  void Abort() {
+    barrier_.Abort();
+    for (auto& mail : mail_) mail->Close();
+  }
+
+  /// All-to-all: `send[p]` is this rank's payload for peer p (self
+  /// included); the result's entry p is what peer p sent to this rank.
+  /// Off-rank payload bytes are added to this rank's sent counter.
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> AllToAll(
+      std::size_t rank, std::vector<std::vector<T>> send) {
+    if (send.size() != num_ranks_) {
+      throw std::invalid_argument("CollectiveGroup::AllToAll: need one "
+                                  "payload per rank");
+    }
+    for (std::size_t p = 0; p < num_ranks_; ++p) {
+      if (p != rank) bytes_sent_[rank] += send[p].size() * sizeof(T);
+      // Byte payloads move straight through; other element types get
+      // one serialization copy.
+      bool pushed = false;
+      if constexpr (std::is_same_v<T, std::byte>) {
+        pushed = Mailbox(rank, p).Push(std::move(send[p]));
+      } else {
+        pushed = Mailbox(rank, p).Push(ToBytes<T>(send[p]));
+      }
+      if (!pushed) {
+        throw std::runtime_error("CollectiveGroup::AllToAll: closed");
+      }
+    }
+    barrier_.Arrive();  // all sends posted before any receive
+    std::vector<std::vector<T>> recv(num_ranks_);
+    for (std::size_t p = 0; p < num_ranks_; ++p) {
+      auto msg = Mailbox(p, rank).Pop();
+      if (!msg.has_value()) {
+        throw std::runtime_error("CollectiveGroup::AllToAll: closed");
+      }
+      if constexpr (std::is_same_v<T, std::byte>) {
+        recv[p] = std::move(*msg);
+      } else {
+        recv[p] = FromBytes<T>(*msg);
+      }
+    }
+    return recv;
+  }
+
+  /// Order-deterministic sum all-reduce over labeled chunk partials.
+  /// Each rank contributes its chunks as (global chunk id, values) with
+  /// every values vector of length `width`; chunk ids must be globally
+  /// unique. Every rank returns the identical elementwise sum,
+  /// accumulated from zeros in ascending chunk-id order — bitwise
+  /// independent of which rank held which chunk. Implemented as an
+  /// all-gather (payload counted per rank) plus a local fixed-order
+  /// reduce.
+  template <typename T>
+  [[nodiscard]] std::vector<T> AllReduceSum(
+      std::size_t rank,
+      const std::vector<std::pair<std::size_t, std::vector<T>>>& chunks,
+      std::size_t width) {
+    // Frame: per chunk, [id, count] header then the data.
+    std::vector<std::byte> frame;
+    for (const auto& [id, data] : chunks) {
+      if (data.size() != width) {
+        throw std::invalid_argument(
+            "CollectiveGroup::AllReduceSum: chunk width mismatch");
+      }
+      AppendScalar(frame, static_cast<std::uint64_t>(id));
+      AppendScalar(frame, static_cast<std::uint64_t>(data.size()));
+      const auto* raw = reinterpret_cast<const std::byte*>(data.data());
+      frame.insert(frame.end(), raw, raw + data.size() * sizeof(T));
+    }
+    std::vector<std::vector<std::byte>> send(num_ranks_);
+    for (std::size_t p = 0; p + 1 < num_ranks_; ++p) send[p] = frame;
+    send[num_ranks_ - 1] = std::move(frame);
+    auto gathered = AllToAll<std::byte>(rank, std::move(send));
+
+    std::vector<std::pair<std::size_t, std::vector<T>>> all;
+    for (const auto& buf : gathered) {
+      std::size_t pos = 0;
+      while (pos < buf.size()) {
+        const auto id = ReadScalar(buf, pos);
+        const auto count = ReadScalar(buf, pos);
+        // Overflow-safe bounds check before sizing anything by a
+        // frame-decoded count.
+        if (count > (buf.size() - pos) / sizeof(T)) {
+          throw std::runtime_error(
+              "CollectiveGroup::AllReduceSum: truncated frame");
+        }
+        std::vector<T> data(count);
+        std::memcpy(data.data(), buf.data() + pos, count * sizeof(T));
+        pos += count * sizeof(T);
+        all.emplace_back(static_cast<std::size_t>(id), std::move(data));
+      }
+    }
+    std::sort(all.begin(), all.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t i = 1; i < all.size(); ++i) {
+      if (all[i].first == all[i - 1].first) {
+        throw std::invalid_argument(
+            "CollectiveGroup::AllReduceSum: duplicate chunk id");
+      }
+    }
+    std::vector<T> acc(width, T{});
+    for (const auto& [id, data] : all) {
+      for (std::size_t i = 0; i < width; ++i) acc[i] += data[i];
+    }
+    return acc;
+  }
+
+  /// Bytes this rank has sent to peers (self-sends excluded). Only
+  /// meaningful once the rank threads have joined.
+  [[nodiscard]] std::size_t bytes_sent(std::size_t rank) const {
+    return bytes_sent_.at(rank);
+  }
+  void ResetBytes() {
+    std::fill(bytes_sent_.begin(), bytes_sent_.end(), 0);
+  }
+
+ private:
+  using Mail = common::Channel<std::vector<std::byte>>;
+
+  [[nodiscard]] Mail& Mailbox(std::size_t src, std::size_t dst) {
+    return *mail_[src * num_ranks_ + dst];
+  }
+
+  template <typename T>
+  [[nodiscard]] static std::vector<std::byte> ToBytes(
+      const std::vector<T>& v) {
+    std::vector<std::byte> out(v.size() * sizeof(T));
+    if (!v.empty()) std::memcpy(out.data(), v.data(), out.size());
+    return out;
+  }
+
+  template <typename T>
+  [[nodiscard]] static std::vector<T> FromBytes(
+      const std::vector<std::byte>& b) {
+    if (b.size() % sizeof(T) != 0) {
+      throw std::runtime_error("CollectiveGroup: payload size not a "
+                               "multiple of the element size");
+    }
+    std::vector<T> out(b.size() / sizeof(T));
+    if (!b.empty()) std::memcpy(out.data(), b.data(), b.size());
+    return out;
+  }
+
+  static void AppendScalar(std::vector<std::byte>& buf,
+                           std::uint64_t value) {
+    const auto* raw = reinterpret_cast<const std::byte*>(&value);
+    buf.insert(buf.end(), raw, raw + sizeof(value));
+  }
+
+  [[nodiscard]] static std::uint64_t ReadScalar(
+      const std::vector<std::byte>& buf, std::size_t& pos) {
+    if (pos + sizeof(std::uint64_t) > buf.size()) {
+      throw std::runtime_error("CollectiveGroup: truncated frame header");
+    }
+    std::uint64_t value = 0;
+    std::memcpy(&value, buf.data() + pos, sizeof(value));
+    pos += sizeof(value);
+    return value;
+  }
+
+  std::size_t num_ranks_;
+  common::Barrier barrier_;
+  std::vector<std::unique_ptr<Mail>> mail_;
+  std::vector<std::size_t> bytes_sent_;  // each slot written by its rank only
+};
+
+}  // namespace recd::train

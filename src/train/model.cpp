@@ -33,6 +33,49 @@ std::vector<std::size_t> ModelConfig::TopMlpDims() const {
   return dims;
 }
 
+std::vector<std::string> ModelTableOrder(const ModelConfig& model) {
+  std::vector<std::string> order;
+  order.reserve(model.num_tables());
+  for (const auto& g : model.sequence_groups) {
+    order.insert(order.end(), g.features.begin(), g.features.end());
+  }
+  order.insert(order.end(), model.elementwise_features.begin(),
+               model.elementwise_features.end());
+  order.insert(order.end(), model.plain_features.begin(),
+               model.plain_features.end());
+  return order;
+}
+
+std::vector<PlacementUnit> ModelPlacementUnits(const ModelConfig& model) {
+  std::vector<PlacementUnit> units;
+  units.reserve(model.num_interaction_inputs() - 1);
+  std::size_t next_table = 0;
+  for (const auto& g : model.sequence_groups) {
+    PlacementUnit u;
+    u.kind = PlacementUnit::Kind::kSequenceGroup;
+    u.features = g.features;
+    for (std::size_t k = 0; k < g.features.size(); ++k) {
+      u.table_ids.push_back(next_table++);
+    }
+    units.push_back(std::move(u));
+  }
+  for (const auto& f : model.elementwise_features) {
+    PlacementUnit u;
+    u.kind = PlacementUnit::Kind::kElementwise;
+    u.features = {f};
+    u.table_ids = {next_table++};
+    units.push_back(std::move(u));
+  }
+  for (const auto& f : model.plain_features) {
+    PlacementUnit u;
+    u.kind = PlacementUnit::Kind::kPlain;
+    u.features = {f};
+    u.table_ids = {next_table++};
+    units.push_back(std::move(u));
+  }
+  return units;
+}
+
 ModelConfig RmModel(datagen::RmKind kind,
                     const datagen::DatasetSpec& dataset) {
   ModelConfig model;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,36 @@ struct ModelConfig {
   /// Full top-MLP layer dims: {interaction_dim, hidden..., 1}.
   [[nodiscard]] std::vector<std::size_t> TopMlpDims() const;
 };
+
+/// Canonical table order of a model: sequence-group features (in group
+/// order), then element-wise, then plain. ReferenceDlrm builds its
+/// tables in this order with one shared RNG stream, and the
+/// distributed trainer shards tables by their index in this list — so
+/// a sharded table and its single-rank counterpart are initialized
+/// identically.
+[[nodiscard]] std::vector<std::string> ModelTableOrder(
+    const ModelConfig& model);
+
+/// One model-parallel placement unit of the distributed trainer: the
+/// granularity at which embedding tables are assigned to ranks. A
+/// sequence group's tables place together (the group shares one IKJT
+/// and one inverse_lookup, and its concatenated-sequence pooling must
+/// run on one rank); element-wise and plain features place singly.
+/// Pooled unit outputs appear in unit order, matching the interaction
+/// input order of ReferenceDlrm (bottom, groups, element-wise, plain).
+struct PlacementUnit {
+  enum class Kind : std::uint8_t { kSequenceGroup, kElementwise, kPlain };
+  Kind kind = Kind::kPlain;
+  std::vector<std::string> features;
+  /// Indices into ModelTableOrder, one per feature.
+  std::vector<std::size_t> table_ids;
+  /// Dedup-eligible: in RecD mode the sparse exchange ships this
+  /// unit's unique (IKJT) rows only. Plain features never dedup.
+  [[nodiscard]] bool deduplicated() const { return kind != Kind::kPlain; }
+};
+
+[[nodiscard]] std::vector<PlacementUnit> ModelPlacementUnits(
+    const ModelConfig& model);
 
 /// Builds the RM model preset over the matching dataset spec (paper §6.1:
 /// RM1 pools several user sequence features with transformers; RM2/RM3

@@ -1,10 +1,21 @@
 #include "train/reference.h"
 
+#include <algorithm>
+#include <cstddef>
+#include <span>
 #include <stdexcept>
 
 #include "tensor/jagged_ops.h"
 
 namespace recd::train {
+
+std::vector<std::size_t> GradChunkBounds(std::size_t batch_size) {
+  std::vector<std::size_t> bounds(kGradChunks + 1);
+  for (std::size_t c = 0; c <= kGradChunks; ++c) {
+    bounds[c] = c * batch_size / kGradChunks;
+  }
+  return bounds;
+}
 
 tensor::JaggedTensor ExpandedFeature(const reader::PreprocessedBatch& batch,
                                      const std::string& feature) {
@@ -34,6 +45,28 @@ nn::DenseMatrix ExpandRows(const nn::DenseMatrix& pooled,
   return out;
 }
 
+nn::DenseMatrix SumPoolConcatGroup(
+    const std::vector<const tensor::JaggedTensor*>& jts,
+    const std::vector<const nn::EmbeddingTable*>& tables) {
+  if (jts.empty() || jts.size() != tables.size()) {
+    throw std::invalid_argument(
+        "SumPoolConcatGroup: need one table per jagged tensor");
+  }
+  const std::size_t rows = jts.front()->num_rows();
+  const std::size_t d = tables.front()->dim();
+  nn::DenseMatrix pooled(rows, d);
+  for (std::size_t r = 0; r < rows; ++r) {
+    auto prow = pooled.row(r);
+    for (std::size_t k = 0; k < jts.size(); ++k) {
+      for (const auto id : jts[k]->row(r)) {
+        const auto w = tables[k]->Lookup(id);
+        for (std::size_t c = 0; c < d; ++c) prow[c] += w[c];
+      }
+    }
+  }
+  return pooled;
+}
+
 namespace {
 
 const tensor::InverseKeyedJaggedTensor* FindGroupByFirstKey(
@@ -60,20 +93,26 @@ ReferenceDlrm::ReferenceDlrm(ModelConfig model, std::uint64_t seed)
         auto rng = MakeRng(seed + 1);
         return nn::Mlp(model_.TopMlpDims(), rng);
       }()),
-      attention_(model_.emb_dim) {
+      attention_(model_.emb_dim),
+      table_order_(ModelTableOrder(model_)) {
+  // One shared RNG stream across tables, in canonical order — the same
+  // stream the distributed trainer consumes when sharding.
   auto rng = MakeRng(seed + 2);
-  auto add_table = [&](const std::string& feature) {
-    table_order_.push_back(feature);
+  tables_.reserve(table_order_.size());
+  for (std::size_t i = 0; i < table_order_.size(); ++i) {
     tables_.emplace_back(model_.emb_hash_size, model_.emb_dim, rng);
-  };
-  for (const auto& g : model_.sequence_groups) {
-    for (const auto& f : g.features) add_table(f);
   }
-  for (const auto& f : model_.elementwise_features) add_table(f);
-  for (const auto& f : model_.plain_features) add_table(f);
 }
 
 nn::EmbeddingTable& ReferenceDlrm::Table(const std::string& feature) {
+  for (std::size_t i = 0; i < table_order_.size(); ++i) {
+    if (table_order_[i] == feature) return tables_[i];
+  }
+  throw std::out_of_range("ReferenceDlrm: no table for feature " + feature);
+}
+
+const nn::EmbeddingTable& ReferenceDlrm::table(
+    const std::string& feature) const {
   for (std::size_t i = 0; i < table_order_.size(); ++i) {
     if (table_order_[i] == feature) return tables_[i];
   }
@@ -180,49 +219,149 @@ nn::DenseMatrix ReferenceDlrm::Forward(
 
 float ReferenceDlrm::TrainStep(const reader::PreprocessedBatch& batch,
                                float lr) {
-  // Forward with sum pooling everywhere (attention backward unsupported).
-  nn::DenseMatrix bottom = BottomForward(batch);
-  PooledInputs pooled = PoolSparse(batch, /*recd=*/false,
-                                   /*attention_ok=*/false);
-  pooled.pointers.push_back(&bottom);
-  for (const auto& m : pooled.matrices) pooled.pointers.push_back(&m);
-  nn::DenseMatrix interacted = interaction_.Forward(pooled.pointers);
-  nn::DenseMatrix logits = top_mlp_.Forward(interacted);
-  const float loss = nn::BceWithLogitsLoss(logits, batch.labels);
+  // Sum pooling everywhere (attention backward unsupported). The step
+  // runs per canonical chunk (kGradChunks): forward + backward on each
+  // chunk's rows, per-chunk gradient/loss partials, then a fixed-order
+  // combine — the reduction tree the distributed all-reduce replays.
+  const std::size_t batch_size = batch.batch_size;
+  if (batch.dense.size() != batch_size * model_.dense_dim) {
+    throw std::invalid_argument("ReferenceDlrm: dense size mismatch");
+  }
+  if (batch.labels.size() != batch_size) {
+    throw std::invalid_argument("ReferenceDlrm: labels size mismatch");
+  }
 
-  // Backward.
-  nn::DenseMatrix grad_logits = nn::BceWithLogitsGrad(logits, batch.labels);
-  nn::DenseMatrix grad_interacted = top_mlp_.Backward(grad_logits);
-  std::vector<nn::DenseMatrix> grad_inputs;
-  interaction_.Backward(grad_interacted, pooled.pointers, grad_inputs);
-  (void)bottom_mlp_.Backward(grad_inputs[0]);
-
-  // Sparse updates: every pooled input after index 0 corresponds to a
-  // model input in PoolSparse order (groups, elementwise, plain).
-  std::size_t gi = 1;
+  // Expand every model feature once (integer work; identical ids for
+  // KJT and IKJT batch forms).
+  std::vector<std::vector<tensor::JaggedTensor>> group_feats;
   for (const auto& group : model_.sequence_groups) {
-    // The concatenated-group sum pool distributes the same row gradient
-    // to every feature's IDs.
+    std::vector<tensor::JaggedTensor> feats;
+    feats.reserve(group.features.size());
     for (const auto& f : group.features) {
-      Table(f).ApplyPooledGradient(ExpandedFeature(batch, f),
-                                   grad_inputs[gi], nn::PoolingKind::kSum,
-                                   lr);
+      feats.push_back(ExpandedFeature(batch, f));
     }
-    ++gi;
+    group_feats.push_back(std::move(feats));
   }
-  for (const auto& f : model_.elementwise_features) {
-    Table(f).ApplyPooledGradient(ExpandedFeature(batch, f),
-                                 grad_inputs[gi], nn::PoolingKind::kSum, lr);
-    ++gi;
+  std::vector<std::string> single_order = model_.elementwise_features;
+  single_order.insert(single_order.end(), model_.plain_features.begin(),
+                      model_.plain_features.end());
+  std::vector<tensor::JaggedTensor> single_feats;
+  single_feats.reserve(single_order.size());
+  for (const auto& f : single_order) {
+    single_feats.push_back(ExpandedFeature(batch, f));
   }
-  for (const auto& f : model_.plain_features) {
-    Table(f).ApplyPooledGradient(ExpandedFeature(batch, f),
-                                 grad_inputs[gi], nn::PoolingKind::kSum, lr);
-    ++gi;
+
+  struct ChunkCapture {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    nn::MlpGradients bottom;
+    nn::MlpGradients top;
+    std::vector<nn::DenseMatrix> grad_inputs;
+    // Sliced jagged inputs, kept for the sparse-update pass.
+    std::vector<std::vector<tensor::JaggedTensor>> group_slices;
+    std::vector<tensor::JaggedTensor> single_slices;
+    double loss_sum = 0.0;
+  };
+  std::vector<ChunkCapture> caps;
+
+  nn::DenseMatrix dense_all(batch_size, model_.dense_dim);
+  std::copy(batch.dense.begin(), batch.dense.end(),
+            dense_all.data().begin());
+
+  const auto bounds = GradChunkBounds(batch_size);
+  for (std::size_t c = 0; c < kGradChunks; ++c) {
+    const std::size_t lo = bounds[c];
+    const std::size_t hi = bounds[c + 1];
+    if (lo == hi) continue;
+    const std::size_t rows = hi - lo;
+    ChunkCapture cap;
+    cap.lo = lo;
+    cap.hi = hi;
+
+    nn::DenseMatrix bottom =
+        bottom_mlp_.Forward(nn::SliceRows(dense_all, lo, hi));
+
+    std::vector<nn::DenseMatrix> pooled;
+    pooled.reserve(model_.num_interaction_inputs() - 1);
+    for (std::size_t g = 0; g < group_feats.size(); ++g) {
+      std::vector<tensor::JaggedTensor> slices;
+      slices.reserve(group_feats[g].size());
+      for (const auto& jt : group_feats[g]) {
+        slices.push_back(tensor::SliceJaggedRows(jt, lo, hi));
+      }
+      std::vector<const tensor::JaggedTensor*> jts;
+      std::vector<const nn::EmbeddingTable*> tables;
+      for (std::size_t k = 0; k < slices.size(); ++k) {
+        jts.push_back(&slices[k]);
+        tables.push_back(&Table(model_.sequence_groups[g].features[k]));
+      }
+      pooled.push_back(SumPoolConcatGroup(jts, tables));
+      cap.group_slices.push_back(std::move(slices));
+    }
+    for (std::size_t s = 0; s < single_feats.size(); ++s) {
+      cap.single_slices.push_back(
+          tensor::SliceJaggedRows(single_feats[s], lo, hi));
+      pooled.push_back(Table(single_order[s])
+                           .PooledForward(cap.single_slices.back(),
+                                          nn::PoolingKind::kSum));
+    }
+
+    std::vector<const nn::DenseMatrix*> ptrs;
+    ptrs.push_back(&bottom);
+    for (const auto& m : pooled) ptrs.push_back(&m);
+    nn::DenseMatrix interacted = interaction_.Forward(ptrs);
+    nn::DenseMatrix logits = top_mlp_.Forward(interacted);
+    const auto labels =
+        std::span<const float>(batch.labels).subspan(lo, rows);
+    cap.loss_sum = nn::BceWithLogitsLossSum(logits, labels);
+
+    nn::DenseMatrix grad_logits =
+        nn::BceWithLogitsGrad(logits, labels, batch_size);
+    nn::DenseMatrix grad_interacted = top_mlp_.Backward(grad_logits);
+    interaction_.Backward(grad_interacted, ptrs, cap.grad_inputs);
+    (void)bottom_mlp_.Backward(cap.grad_inputs[0]);
+    cap.bottom = bottom_mlp_.TakeGradients();
+    cap.top = top_mlp_.TakeGradients();
+    caps.push_back(std::move(cap));
+  }
+
+  // Fixed-order chunk combine, from zeros in ascending chunk order
+  // (mirrors CollectiveGroup::AllReduceSum bitwise).
+  nn::MlpGradients bottom_total = bottom_mlp_.ZeroGradients();
+  nn::MlpGradients top_total = top_mlp_.ZeroGradients();
+  double loss_total = 0.0;
+  for (const auto& cap : caps) {
+    bottom_total.Add(cap.bottom);
+    top_total.Add(cap.top);
+    loss_total += cap.loss_sum;
+  }
+  bottom_mlp_.AccumulateGradients(bottom_total);
+  top_mlp_.AccumulateGradients(top_total);
+
+  // Sparse updates after every chunk's forward has run: chunk-major =
+  // batch-row order per feature. The concatenated-group sum pool
+  // distributes the same row gradient to every feature's IDs.
+  for (const auto& cap : caps) {
+    std::size_t gi = 1;
+    for (std::size_t g = 0; g < cap.group_slices.size(); ++g) {
+      for (std::size_t k = 0; k < cap.group_slices[g].size(); ++k) {
+        Table(model_.sequence_groups[g].features[k])
+            .ApplyPooledGradient(cap.group_slices[g][k],
+                                 cap.grad_inputs[gi],
+                                 nn::PoolingKind::kSum, lr);
+      }
+      ++gi;
+    }
+    for (std::size_t s = 0; s < cap.single_slices.size(); ++s) {
+      Table(single_order[s])
+          .ApplyPooledGradient(cap.single_slices[s], cap.grad_inputs[gi],
+                               nn::PoolingKind::kSum, lr);
+      ++gi;
+    }
   }
   bottom_mlp_.Step(lr);
   top_mlp_.Step(lr);
-  return loss;
+  return static_cast<float>(loss_total / static_cast<double>(batch_size));
 }
 
 float ReferenceDlrm::EvalLoss(const reader::PreprocessedBatch& batch) {

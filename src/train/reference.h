@@ -22,6 +22,21 @@
 
 namespace recd::train {
 
+/// The canonical accumulation granularity of training-step reductions
+/// (per-layer dW/db sums and the batch loss sum). Both
+/// ReferenceDlrm::TrainStep and the executed distributed trainer
+/// compute per-chunk partials (chunk c covers batch rows
+/// [floor(c*B/K), floor((c+1)*B/K))) and combine them from zeros in
+/// ascending chunk order, so any rank count that divides kGradChunks
+/// produces bitwise-identical weights and losses (float sums are not
+/// associative; a fixed reduction tree makes the split invisible).
+inline constexpr std::size_t kGradChunks = 4;
+
+/// Row boundaries of the canonical chunks: kGradChunks + 1 entries,
+/// bounds[c] = floor(c * batch_size / kGradChunks).
+[[nodiscard]] std::vector<std::size_t> GradChunkBounds(
+    std::size_t batch_size);
+
 /// Looks up the expanded (batch-rows) jagged tensor of `feature` in a
 /// batch, reconstructing from an IKJT when the feature was deduplicated.
 [[nodiscard]] tensor::JaggedTensor ExpandedFeature(
@@ -31,6 +46,17 @@ namespace recd::train {
 /// expansion (dense index-select through the local inverse_lookup).
 [[nodiscard]] nn::DenseMatrix ExpandRows(
     const nn::DenseMatrix& pooled, std::span<const std::int64_t> inverse);
+
+/// Sum-pools the concatenation of a sequence group's per-feature
+/// sequences: out(r, :) = sum of every looked-up embedding of row r
+/// across the group's features, in concatenation order. The TrainStep
+/// pooling path for sequence groups (attention backward is out of
+/// scope), shared with the distributed trainer so the sharded owner
+/// runs the identical float-op sequence. `jts` and `tables` pair up
+/// per feature and must all have the same row count and dim.
+[[nodiscard]] nn::DenseMatrix SumPoolConcatGroup(
+    const std::vector<const tensor::JaggedTensor*>& jts,
+    const std::vector<const nn::EmbeddingTable*>& tables);
 
 class ReferenceDlrm {
  public:
@@ -44,13 +70,22 @@ class ReferenceDlrm {
 
   /// One SGD step (forward, BCE loss, backward, update). Uses sum
   /// pooling for sequence groups regardless of the attention flag
-  /// (attention backward is out of scope). Returns the batch loss.
+  /// (attention backward is out of scope). Gradient and loss sums
+  /// accumulate per canonical chunk (kGradChunks) and combine in fixed
+  /// chunk order — the single-rank gold standard the distributed
+  /// trainer must match bitwise. Returns the batch loss.
   float TrainStep(const reader::PreprocessedBatch& batch, float lr);
 
   /// Mean BCE loss without updating parameters.
   [[nodiscard]] float EvalLoss(const reader::PreprocessedBatch& batch);
 
   [[nodiscard]] const ModelConfig& model() const { return model_; }
+
+  /// Parameter access for the distributed bitwise-equality tests.
+  [[nodiscard]] const nn::Mlp& bottom_mlp() const { return bottom_mlp_; }
+  [[nodiscard]] const nn::Mlp& top_mlp() const { return top_mlp_; }
+  [[nodiscard]] const nn::EmbeddingTable& table(
+      const std::string& feature) const;
 
   /// Aggregate op counters since the last reset (drives micro-benches).
   [[nodiscard]] nn::OpStats Stats() const;

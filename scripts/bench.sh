@@ -11,7 +11,7 @@ cd "$(dirname "$0")/.."
 cmake --preset release
 cmake --build build -j --target bench_fig7_end_to_end \
   bench_fig10_reader_breakdown bench_stream_window_sweep bench_serve_qps \
-  bench_dist_train
+  bench_dist_train bench_checkpoint
 
 # Context recorded into the JSON reports (see bench::JsonReport). The
 # -dirty suffix marks results measured from uncommitted code.
@@ -30,7 +30,8 @@ export RECD_BENCH_COMMIT RECD_BENCH_DATE RECD_BENCH_CORES \
 ./build/bench_stream_window_sweep --json BENCH_stream_window_sweep.json
 ./build/bench_serve_qps --json BENCH_serve_qps.json
 ./build/bench_dist_train --json BENCH_dist_train.json
+./build/bench_checkpoint --json BENCH_checkpoint.json
 
 echo "bench.sh: wrote BENCH_fig7_end_to_end.json," \
   "BENCH_fig10_reader_breakdown.json, BENCH_stream_window_sweep.json," \
-  "BENCH_serve_qps.json, and BENCH_dist_train.json"
+  "BENCH_serve_qps.json, BENCH_dist_train.json, and BENCH_checkpoint.json"

@@ -9,6 +9,10 @@
 #   sanitizers  ASan full suite, TSan concurrency suites (including the
 #               distributed-trainer suites), then every bench target in
 #               smoke mode
+#   recovery    the fault-injection / checkpoint-recovery suites under
+#               ThreadSanitizer — kill, straggler, dead-peer, and
+#               restore-determinism paths are the most thread-hostile
+#               code in the repo, so they get a dedicated racing pass
 #   lint        BENCH_*.json schema lint (validate_bench_json.py)
 #
 # Honors CMAKE_CXX_COMPILER_LAUNCHER (the workflow sets it to ccache),
@@ -28,6 +32,13 @@ stage_sanitizers() {
   ./scripts/check.sh --smoke
 }
 
+stage_recovery() {
+  cmake --preset tsan
+  cmake --build build-tsan -j
+  ctest --test-dir build-tsan --output-on-failure -j 2 \
+    -R 'Checkpoint|Checksum|Fault|DeadPeer|Straggler'
+}
+
 stage_lint() {
   python3 ./scripts/validate_bench_json.py BENCH_*.json
 }
@@ -35,15 +46,17 @@ stage_lint() {
 case "${1:-all}" in
   core)       stage_core ;;
   sanitizers) stage_sanitizers ;;
+  recovery)   stage_recovery ;;
   lint)       stage_lint ;;
   all)
     stage_core
     stage_sanitizers
+    stage_recovery
     stage_lint
     echo "ci.sh: all stages passed"
     ;;
   *)
-    echo "usage: $0 [core|sanitizers|lint|all]" >&2
+    echo "usage: $0 [core|sanitizers|recovery|lint|all]" >&2
     exit 2
     ;;
 esac

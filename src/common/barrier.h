@@ -10,6 +10,7 @@
 // from round g cannot be confused with a waiter of round g+1.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
@@ -47,6 +48,37 @@ class Barrier {
     if (generation_ == generation) {
       throw std::runtime_error("Barrier: aborted");
     }
+  }
+
+  /// Arrive with a deadline: like Arrive, but returns false if the
+  /// round did not complete within `timeout` — the waiter withdraws
+  /// (its arrival is rescinded) so the count stays consistent for
+  /// whoever shows up later. Returning false means a participant is
+  /// missing or late; callers that cannot tolerate that should Abort()
+  /// the barrier and surface the failure (train::CollectiveGroup turns
+  /// it into RankFailure). Throws std::runtime_error on abort.
+  [[nodiscard]] bool ArriveFor(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (aborted_) throw std::runtime_error("Barrier: aborted");
+    const std::size_t generation = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++generation_;
+      lock.unlock();
+      released_.notify_all();
+      return true;
+    }
+    const bool released = released_.wait_for(
+        lock, timeout,
+        [&] { return generation_ != generation || aborted_; });
+    if (aborted_ && generation_ == generation) {
+      throw std::runtime_error("Barrier: aborted");
+    }
+    if (!released) {
+      --waiting_;  // withdraw: this round never completed for us
+      return false;
+    }
+    return true;
   }
 
   /// Poisons the barrier: every current and future Arrive throws. The

@@ -13,6 +13,7 @@
 // exhausted.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -65,6 +66,26 @@ class Channel {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Pop with a deadline: blocks at most `timeout`. Returns the item,
+  /// or nullopt with `*timed_out = true` if the deadline passed with
+  /// the channel still open and empty, or nullopt with `*timed_out =
+  /// false` once the channel is closed and drained. The poll path that
+  /// lets a consumer detect a dead producer instead of blocking
+  /// forever (train::CollectiveGroup's peer deadline).
+  std::optional<T> PopFor(std::chrono::milliseconds timeout,
+                          bool* timed_out = nullptr) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const bool ready = not_empty_.wait_for(
+        lock, timeout, [this] { return closed_ || !items_.empty(); });
+    if (timed_out != nullptr) *timed_out = !ready;
+    if (!ready || items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
     lock.unlock();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace recd::nn {
 
@@ -11,6 +12,15 @@ EmbeddingTable::EmbeddingTable(std::size_t hash_size, std::size_t dim,
     throw std::invalid_argument("EmbeddingTable: zero hash_size or dim");
   }
   weights_ = DenseMatrix::Xavier(hash_size, dim, rng);
+}
+
+void EmbeddingTable::LoadWeights(DenseMatrix weights) {
+  if (weights.rows() != weights_.rows() ||
+      weights.cols() != weights_.cols()) {
+    throw std::invalid_argument("EmbeddingTable::LoadWeights: shape "
+                                "mismatch");
+  }
+  weights_ = std::move(weights);
 }
 
 std::size_t EmbeddingTable::RowIndex(tensor::Id id) const {

@@ -54,6 +54,11 @@ class EmbeddingTable {
   /// surface of the distributed determinism tests.
   [[nodiscard]] const DenseMatrix& weights() const { return weights_; }
 
+  /// Replaces the table's weights — the checkpoint-restore path
+  /// (train/checkpoint.h). The shape must match this table exactly;
+  /// throws std::invalid_argument otherwise.
+  void LoadWeights(DenseMatrix weights);
+
   [[nodiscard]] const OpStats& stats() const { return stats_; }
   void ResetStats() { stats_ = {}; }
 

@@ -90,6 +90,17 @@ void Linear::AccumulateGradients(const DenseMatrix& grad_w,
   }
 }
 
+void Linear::LoadParameters(DenseMatrix weights, std::vector<float> bias) {
+  if (weights.rows() != w_.rows() || weights.cols() != w_.cols() ||
+      bias.size() != b_.size()) {
+    throw std::invalid_argument("Linear::LoadParameters: shape mismatch");
+  }
+  w_ = std::move(weights);
+  b_ = std::move(bias);
+  grad_w_.Fill(0.0f);
+  std::fill(grad_b_.begin(), grad_b_.end(), 0.0f);
+}
+
 void Linear::Step(float lr) {
   auto wd = w_.data();
   const auto gw = grad_w_.data();
@@ -168,6 +179,14 @@ MlpGradients Mlp::ZeroGradients() const {
     out.grad_b.emplace_back(layer.out_dim(), 0.0f);
   }
   return out;
+}
+
+void Mlp::LoadLayerParameters(std::size_t i, DenseMatrix weights,
+                              std::vector<float> bias) {
+  if (i >= layers_.size()) {
+    throw std::invalid_argument("Mlp::LoadLayerParameters: no such layer");
+  }
+  layers_[i].LoadParameters(std::move(weights), std::move(bias));
 }
 
 void Mlp::AccumulateGradients(const MlpGradients& grads) {

@@ -43,6 +43,12 @@ class Linear {
   void AccumulateGradients(const DenseMatrix& grad_w,
                            std::span<const float> grad_b);
 
+  /// Replaces the layer's weights and bias — the checkpoint-restore
+  /// path (train/checkpoint.h). Shapes must match the layer exactly;
+  /// throws std::invalid_argument otherwise. Accumulated gradients are
+  /// zeroed: restored state is the state *after* an update.
+  void LoadParameters(DenseMatrix weights, std::vector<float> bias);
+
   [[nodiscard]] std::size_t in_dim() const { return w_.cols(); }
   [[nodiscard]] std::size_t out_dim() const { return w_.rows(); }
   [[nodiscard]] const DenseMatrix& weights() const { return w_; }
@@ -91,6 +97,10 @@ class Mlp {
   [[nodiscard]] MlpGradients ZeroGradients() const;
   /// Elementwise-adds a snapshot into the internal accumulators.
   void AccumulateGradients(const MlpGradients& grads);
+
+  /// Checkpoint-restore into layer `i` (see Linear::LoadParameters).
+  void LoadLayerParameters(std::size_t i, DenseMatrix weights,
+                           std::vector<float> bias);
 
   [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
   [[nodiscard]] const Linear& layer(std::size_t i) const {

@@ -1,0 +1,335 @@
+#include "train/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/checksum_file.h"
+#include "train/reference.h"
+
+namespace recd::train {
+namespace {
+
+// "RCKP" — the trainer-checkpoint envelope magic.
+constexpr std::uint32_t kCheckpointMagic = 0x52434B50u;
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+void PutMatrix(common::ByteWriter& w, const nn::DenseMatrix& m) {
+  w.PutVarint(m.rows());
+  w.PutVarint(m.cols());
+  // Raw IEEE-754 bits, native byte order — bitwise exact; foreign-
+  // endian files are rejected up front by the envelope's marker.
+  w.PutBytes(std::as_bytes(m.data()));
+}
+
+nn::DenseMatrix GetMatrix(common::ByteReader& r) {
+  const auto rows = static_cast<std::size_t>(r.GetVarint());
+  const auto cols = static_cast<std::size_t>(r.GetVarint());
+  const std::size_t max_floats = r.remaining() / sizeof(float);
+  if (rows == 0 || cols == 0 || cols > max_floats || rows > max_floats / cols) {
+    throw CheckpointError(
+        "checkpoint payload: matrix header implies more data than present");
+  }
+  nn::DenseMatrix m(rows, cols);
+  const auto raw = r.GetBytes(rows * cols * sizeof(float));
+  std::memcpy(m.data().data(), raw.data(), raw.size());
+  return m;
+}
+
+void PutFloats(common::ByteWriter& w, std::span<const float> v) {
+  w.PutVarint(v.size());
+  w.PutBytes(std::as_bytes(v));
+}
+
+std::vector<float> GetFloats(common::ByteReader& r) {
+  const auto n = static_cast<std::size_t>(r.GetVarint());
+  if (n > r.remaining() / sizeof(float)) {
+    throw CheckpointError(
+        "checkpoint payload: vector header implies more data than present");
+  }
+  std::vector<float> v(n);
+  const auto raw = r.GetBytes(n * sizeof(float));
+  std::memcpy(v.data(), raw.data(), raw.size());
+  return v;
+}
+
+void PutDims(common::ByteWriter& w, const std::vector<std::uint64_t>& dims) {
+  w.PutVarint(dims.size());
+  for (const auto d : dims) w.PutVarint(d);
+}
+
+std::vector<std::uint64_t> GetDims(common::ByteReader& r) {
+  const auto n = static_cast<std::size_t>(r.GetVarint());
+  if (n > r.remaining()) {
+    throw CheckpointError(
+        "checkpoint payload: dim-list header implies more data than present");
+  }
+  std::vector<std::uint64_t> dims(n);
+  for (auto& d : dims) d = r.GetVarint();
+  return dims;
+}
+
+void PutMlp(common::ByteWriter& w, const std::vector<nn::DenseMatrix>& weights,
+            const std::vector<std::vector<float>>& biases) {
+  w.PutVarint(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    PutMatrix(w, weights[i]);
+    PutFloats(w, biases[i]);
+  }
+}
+
+void GetMlp(common::ByteReader& r, std::vector<nn::DenseMatrix>& weights,
+            std::vector<std::vector<float>>& biases) {
+  const auto n = static_cast<std::size_t>(r.GetVarint());
+  if (n > r.remaining()) {
+    throw CheckpointError(
+        "checkpoint payload: MLP layer count implies more data than present");
+  }
+  weights.reserve(n);
+  biases.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights.push_back(GetMatrix(r));
+    biases.push_back(GetFloats(r));
+  }
+}
+
+std::vector<std::uint64_t> ToU64(const std::vector<std::size_t>& v) {
+  return {v.begin(), v.end()};
+}
+
+}  // namespace
+
+std::size_t TrainerCheckpoint::StateBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& t : tables) bytes += t.byte_size();
+  for (const auto& w : bottom_w) bytes += w.byte_size();
+  for (const auto& b : bottom_b) bytes += b.size() * sizeof(float);
+  for (const auto& w : top_w) bytes += w.byte_size();
+  for (const auto& b : top_b) bytes += b.size() * sizeof(float);
+  return bytes;
+}
+
+TrainerCheckpoint CaptureCheckpoint(const DistributedTrainer& trainer,
+                                    std::uint64_t next_step) {
+  const ModelConfig& model = trainer.model();
+  TrainerCheckpoint ck;
+  ck.next_step = next_step;
+  ck.seed = trainer.config().seed;
+  ck.lr = trainer.config().lr;
+  ck.emb_dim = model.emb_dim;
+  ck.emb_hash_size = model.emb_hash_size;
+  ck.bottom_dims = ToU64(model.BottomMlpDims());
+  ck.top_dims = ToU64(model.TopMlpDims());
+
+  // Tables in ModelTableOrder — the trainer resolves each id to the
+  // owning rank's shard, so the capture is rank-placement-free.
+  const std::size_t num_tables = model.num_tables();
+  ck.tables.reserve(num_tables);
+  for (std::size_t t = 0; t < num_tables; ++t) {
+    ck.tables.push_back(trainer.table(t).weights());
+  }
+
+  // One MLP copy suffices: replicas are bitwise identical per the
+  // distributed determinism contract.
+  const nn::Mlp& bottom = trainer.bottom_mlp(0);
+  for (std::size_t i = 0; i < bottom.num_layers(); ++i) {
+    const nn::Linear& layer = bottom.layer(i);
+    ck.bottom_w.push_back(layer.weights());
+    ck.bottom_b.emplace_back(layer.bias().begin(), layer.bias().end());
+  }
+  const nn::Mlp& top = trainer.top_mlp(0);
+  for (std::size_t i = 0; i < top.num_layers(); ++i) {
+    const nn::Linear& layer = top.layer(i);
+    ck.top_w.push_back(layer.weights());
+    ck.top_b.emplace_back(layer.bias().begin(), layer.bias().end());
+  }
+  return ck;
+}
+
+std::vector<std::byte> SerializeCheckpoint(const TrainerCheckpoint& ck) {
+  common::ByteWriter w;
+  w.PutU64(ck.next_step);
+  w.PutU64(ck.seed);
+  w.PutF32(ck.lr);
+  w.PutVarint(ck.emb_dim);
+  w.PutVarint(ck.emb_hash_size);
+  PutDims(w, ck.bottom_dims);
+  PutDims(w, ck.top_dims);
+  w.PutVarint(ck.tables.size());
+  for (const auto& t : ck.tables) PutMatrix(w, t);
+  PutMlp(w, ck.bottom_w, ck.bottom_b);
+  PutMlp(w, ck.top_w, ck.top_b);
+  return std::move(w).Take();
+}
+
+TrainerCheckpoint DeserializeCheckpoint(std::span<const std::byte> payload) {
+  try {
+    common::ByteReader r(payload);
+    TrainerCheckpoint ck;
+    ck.next_step = r.GetU64();
+    ck.seed = r.GetU64();
+    ck.lr = r.GetF32();
+    ck.emb_dim = r.GetVarint();
+    ck.emb_hash_size = r.GetVarint();
+    ck.bottom_dims = GetDims(r);
+    ck.top_dims = GetDims(r);
+    const auto num_tables = static_cast<std::size_t>(r.GetVarint());
+    if (num_tables > r.remaining()) {
+      throw CheckpointError(
+          "checkpoint payload: table count implies more data than present");
+    }
+    ck.tables.reserve(num_tables);
+    for (std::size_t t = 0; t < num_tables; ++t) {
+      ck.tables.push_back(GetMatrix(r));
+    }
+    GetMlp(r, ck.bottom_w, ck.bottom_b);
+    GetMlp(r, ck.top_w, ck.top_b);
+    if (!r.AtEnd()) {
+      throw CheckpointError(
+          "checkpoint payload: trailing bytes after the final section");
+    }
+    return ck;
+  } catch (const common::ByteStreamError& e) {
+    throw CheckpointError(std::string("checkpoint payload malformed: ") +
+                          e.what());
+  }
+}
+
+void SaveCheckpoint(const TrainerCheckpoint& ck, const std::string& path) {
+  common::WriteChecksummedFile(path, kCheckpointMagic, kCheckpointVersion,
+                               SerializeCheckpoint(ck));
+}
+
+TrainerCheckpoint LoadCheckpoint(const std::string& path) {
+  std::vector<std::byte> payload;
+  try {
+    payload =
+        common::ReadChecksummedFile(path, kCheckpointMagic, kCheckpointVersion);
+  } catch (const common::ChecksumError& e) {
+    throw CheckpointError(std::string("checkpoint rejected: ") + e.what());
+  }
+  return DeserializeCheckpoint(payload);
+}
+
+FaultTolerantRunner::FaultTolerantRunner(ModelConfig model,
+                                         ElasticRunOptions options,
+                                         FaultInjector* injector)
+    : model_(std::move(model)),
+      options_(std::move(options)),
+      injector_(injector) {
+  if (options_.total_steps == 0) {
+    throw std::invalid_argument("FaultTolerantRunner: total_steps == 0");
+  }
+  if (options_.checkpoint_every == 0) {
+    throw std::invalid_argument("FaultTolerantRunner: checkpoint_every == 0");
+  }
+  if (options_.rank_schedule.empty()) {
+    throw std::invalid_argument("FaultTolerantRunner: empty rank_schedule");
+  }
+  for (const auto n : options_.rank_schedule) {
+    if (n == 0 || kGradChunks % n != 0) {
+      throw std::invalid_argument(
+          "FaultTolerantRunner: rank_schedule entries must divide "
+          "kGradChunks (" +
+          std::to_string(kGradChunks) + ")");
+    }
+  }
+  if (options_.checkpoint_dir.empty()) {
+    throw std::invalid_argument("FaultTolerantRunner: empty checkpoint_dir");
+  }
+  std::filesystem::create_directories(options_.checkpoint_dir);
+  Rebuild(options_.rank_schedule.front());
+}
+
+FaultTolerantRunner::~FaultTolerantRunner() = default;
+
+const DistributedTrainer& FaultTolerantRunner::trainer() const {
+  return *trainer_;
+}
+
+std::string FaultTolerantRunner::CheckpointPath(std::size_t step) const {
+  return options_.checkpoint_dir + "/ckpt_" + std::to_string(step) + ".rckp";
+}
+
+void FaultTolerantRunner::Rebuild(std::size_t num_ranks) {
+  DistributedConfig config = options_.trainer;
+  config.num_ranks = num_ranks;
+  if (injector_ != nullptr) config.injector = injector_;
+  // A fresh trainer *is* the seed state: construction replays the
+  // ReferenceDlrm init streams, so "restore from seed" needs no file.
+  trainer_ = std::make_unique<DistributedTrainer>(model_, config);
+}
+
+std::size_t FaultTolerantRunner::RestoreLatest(std::size_t from_step,
+                                               ElasticRunResult& result) {
+  for (auto it = checkpoint_steps_.rbegin(); it != checkpoint_steps_.rend();
+       ++it) {
+    if (*it > from_step) continue;
+    try {
+      const TrainerCheckpoint ck = LoadCheckpoint(CheckpointPath(*it));
+      trainer_->LoadState(ck);
+      return static_cast<std::size_t>(ck.next_step);
+    } catch (const CheckpointError&) {
+      // Damaged (or fault-injected) checkpoint: never a silent wrong
+      // restore — skip it and walk further back.
+      ++result.corrupt_checkpoints_skipped;
+    }
+  }
+  ++result.seed_restores;
+  return 0;  // the freshly rebuilt trainer already holds the seed state
+}
+
+ElasticRunResult FaultTolerantRunner::Run(const BatchProvider& batch_for_step) {
+  ElasticRunResult result;
+  result.losses.assign(options_.total_steps, 0.0f);
+  std::vector<bool> completed(options_.total_steps, false);
+
+  const auto write_checkpoint = [&](std::size_t next_step) {
+    SaveCheckpoint(CaptureCheckpoint(*trainer_, next_step),
+                   CheckpointPath(next_step));
+    if (std::find(checkpoint_steps_.begin(), checkpoint_steps_.end(),
+                  next_step) == checkpoint_steps_.end()) {
+      checkpoint_steps_.push_back(next_step);
+      std::sort(checkpoint_steps_.begin(), checkpoint_steps_.end());
+    }
+    ++result.checkpoints_written;
+    if (injector_ != nullptr) {
+      injector_->MaybeCorruptCheckpoint(CheckpointPath(next_step), next_step);
+    }
+  };
+
+  write_checkpoint(0);  // rollback is always possible, even at step 0
+  std::size_t step = 0;
+  std::size_t schedule_index = 0;
+  while (step < options_.total_steps) {
+    if (injector_ != nullptr) injector_->BeginStep(step);
+    float loss = 0.0f;
+    try {
+      loss = trainer_->Step(batch_for_step(step));
+    } catch (const std::exception&) {
+      ++result.failures;
+      if (result.failures > options_.max_failures) throw;
+      // Elastic recovery: next incarnation takes the next rank count
+      // in the schedule (the last entry repeats), restores the newest
+      // loadable checkpoint, and replays from its cursor.
+      schedule_index =
+          std::min(schedule_index + 1, options_.rank_schedule.size() - 1);
+      Rebuild(options_.rank_schedule[schedule_index]);
+      step = RestoreLatest(step, result);
+      continue;
+    }
+    if (completed[step]) ++result.steps_replayed;
+    completed[step] = true;
+    result.losses[step] = loss;
+    ++step;
+    if (step < options_.total_steps && step % options_.checkpoint_every == 0) {
+      write_checkpoint(step);
+    }
+  }
+  return result;
+}
+
+}  // namespace recd::train

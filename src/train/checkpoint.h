@@ -1,0 +1,185 @@
+// Deterministic checkpoint/restore + the fault-tolerant elastic runner
+// for the executed hybrid-parallel trainer (docs/ARCHITECTURE.md §11).
+//
+// A TrainerCheckpoint captures everything a run needs to continue:
+// the sharded embedding tables (keyed by ModelTableOrder id — i.e. at
+// placement-unit granularity, so ownership can be re-derived for any
+// rank count), one copy of the replicated bottom/top MLPs (replicas
+// are bitwise identical by the distributed determinism rule), the
+// optimizer hyperparameters (plain SGD carries no momentum state; the
+// format is sectioned so future optimizers can append theirs), and the
+// data cursor `next_step`. Serialization is exact — raw IEEE-754 bits,
+// no text round trip — and lands on disk under the checksummed
+// envelope of common/checksum_file.h.
+//
+// The restore-determinism rule this module is built around: *kill at
+// step j, restore, run to step K* produces weights and losses bitwise
+// identical to an uninterrupted K-step run — for any kill rank, any of
+// the four exchanges, and any restore rank count in {1, 2, 4}, baseline
+// and RecD mode alike. It holds because (a) every step is bitwise
+// rank-count-invariant (§10), so state at step j is a pure function of
+// (seed, batches 0..j); (b) the checkpoint reproduces that state
+// exactly; and (c) a corrupt or truncated checkpoint is *rejected* by
+// the checksum envelope, never partially loaded — recovery falls back
+// to an older checkpoint or to the seed (step 0), both of which are
+// also exact.
+//
+// FaultTolerantRunner drives the loop production infrastructure runs:
+// step, checkpoint every `checkpoint_every` steps, and on a failed
+// step (RankFailure from a dead peer, or any rank error) rebuild the
+// trainer at the next rank count in `rank_schedule`, restore the
+// newest loadable checkpoint, and replay forward.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nn/dense_matrix.h"
+#include "reader/batch.h"
+#include "train/distributed.h"
+#include "train/fault.h"
+
+namespace recd::train {
+
+/// A checkpoint could not be decoded or does not fit the trainer it
+/// was offered to. Always thrown *instead of* a partial restore.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// In-memory image of a checkpoint. `tables[t]` is the weight matrix
+/// of ModelTableOrder table t — rank-placement-free, which is what
+/// makes restore-at-a-different-rank-count a pure re-mapping.
+struct TrainerCheckpoint {
+  /// Data cursor: the first step index not yet applied to the weights.
+  std::uint64_t next_step = 0;
+  /// Model-init seed (restores must agree; a mismatch is a fingerprint
+  /// error, because weights from a different seed lineage would still
+  /// "fit" shape-wise).
+  std::uint64_t seed = 0;
+  /// Optimizer section (plain SGD: hyperparameters only).
+  float lr = 0.0f;
+
+  /// Model fingerprint, validated on restore.
+  std::uint64_t emb_dim = 0;
+  std::uint64_t emb_hash_size = 0;
+  std::vector<std::uint64_t> bottom_dims;
+  std::vector<std::uint64_t> top_dims;
+
+  /// State: embedding tables in ModelTableOrder, then the two MLPs.
+  std::vector<nn::DenseMatrix> tables;
+  std::vector<nn::DenseMatrix> bottom_w;
+  std::vector<std::vector<float>> bottom_b;
+  std::vector<nn::DenseMatrix> top_w;
+  std::vector<std::vector<float>> top_b;
+
+  /// Total parameter bytes captured (tables + MLPs).
+  [[nodiscard]] std::size_t StateBytes() const;
+};
+
+/// Snapshots a trainer's full state. `next_step` is the caller's data
+/// cursor (steps already applied). Rank-count independent: the same
+/// trainer state checkpointed at rank counts 1, 2, and 4 serializes to
+/// identical bytes.
+[[nodiscard]] TrainerCheckpoint CaptureCheckpoint(
+    const DistributedTrainer& trainer, std::uint64_t next_step);
+
+/// Exact (bitwise) serialization to/from the in-memory payload.
+[[nodiscard]] std::vector<std::byte> SerializeCheckpoint(
+    const TrainerCheckpoint& checkpoint);
+[[nodiscard]] TrainerCheckpoint DeserializeCheckpoint(
+    std::span<const std::byte> payload);
+
+/// File round trip under the checksummed envelope. LoadCheckpoint
+/// throws CheckpointError on any damage — wrong magic, truncation,
+/// checksum mismatch, foreign endianness, unsupported version, or a
+/// malformed payload.
+void SaveCheckpoint(const TrainerCheckpoint& checkpoint,
+                    const std::string& path);
+[[nodiscard]] TrainerCheckpoint LoadCheckpoint(const std::string& path);
+
+/// Maps `step` to the batch to train on — the runner's data plane.
+/// Deterministic per step (the replay after a restore re-requests the
+/// same indices).
+using BatchProvider =
+    std::function<const reader::PreprocessedBatch&(std::size_t step)>;
+
+struct ElasticRunOptions {
+  std::size_t total_steps = 0;
+  /// Checkpoint cadence in steps (a checkpoint also lands at step 0,
+  /// before training, so rollback is always possible).
+  std::size_t checkpoint_every = 1;
+  /// Directory for ckpt_<step>.rckp files; created if missing.
+  std::string checkpoint_dir;
+  /// Rank count per incarnation: entry 0 starts the run, entry i runs
+  /// after the i-th failure (the last entry repeats) — elasticity as a
+  /// schedule. Every entry must divide kGradChunks.
+  std::vector<std::size_t> rank_schedule = {1};
+  /// Give up (rethrow) after this many recovered failures.
+  std::size_t max_failures = 8;
+  /// Template for every trainer incarnation (lr, seed, recd,
+  /// peer_timeout, injector); num_ranks comes from rank_schedule.
+  DistributedConfig trainer;
+};
+
+struct ElasticRunResult {
+  /// Final per-step losses, 0..total_steps-1. Replayed steps overwrite
+  /// their slot with bitwise-identical values (asserted in tests).
+  std::vector<float> losses;
+  std::size_t failures = 0;
+  std::size_t steps_replayed = 0;
+  std::size_t checkpoints_written = 0;
+  /// Damaged checkpoints skipped while walking back during restores.
+  std::size_t corrupt_checkpoints_skipped = 0;
+  /// Restores that fell all the way back to the seed (step 0 state
+  /// rebuilt from RNG because no checkpoint would load).
+  std::size_t seed_restores = 0;
+};
+
+class FaultTolerantRunner {
+ public:
+  /// `injector`, when set, is installed into every trainer incarnation
+  /// and offered each written checkpoint file for corruption. Throws
+  /// std::invalid_argument on an empty schedule, a rank count that
+  /// does not divide kGradChunks, or total_steps == 0.
+  FaultTolerantRunner(ModelConfig model, ElasticRunOptions options,
+                      FaultInjector* injector = nullptr);
+  ~FaultTolerantRunner();
+
+  FaultTolerantRunner(const FaultTolerantRunner&) = delete;
+  FaultTolerantRunner& operator=(const FaultTolerantRunner&) = delete;
+
+  /// Runs to total_steps, recovering from failed steps by restoring
+  /// the newest loadable checkpoint (or the seed) into a fresh trainer
+  /// at the scheduled rank count. Rethrows the last failure once
+  /// max_failures is exceeded.
+  ElasticRunResult Run(const BatchProvider& batch_for_step);
+
+  /// The surviving trainer after Run — the bitwise-equality surface of
+  /// the recovery tests.
+  [[nodiscard]] const DistributedTrainer& trainer() const;
+
+  /// ckpt_<step>.rckp path inside checkpoint_dir (exposed for tests).
+  [[nodiscard]] std::string CheckpointPath(std::size_t step) const;
+
+ private:
+  void Rebuild(std::size_t num_ranks);
+  /// Restores the newest loadable checkpoint <= from_step into the
+  /// current trainer; returns the restored cursor (0 on seed restore).
+  std::size_t RestoreLatest(std::size_t from_step, ElasticRunResult& result);
+
+  ModelConfig model_;
+  ElasticRunOptions options_;
+  FaultInjector* injector_;
+  std::vector<std::size_t> checkpoint_steps_;  // ascending, written this run
+  std::unique_ptr<DistributedTrainer> trainer_;
+};
+
+}  // namespace recd::train

@@ -2,8 +2,10 @@
 
 namespace recd::train {
 
-CollectiveGroup::CollectiveGroup(std::size_t num_ranks)
+CollectiveGroup::CollectiveGroup(std::size_t num_ranks,
+                                 CollectiveOptions options)
     : num_ranks_(num_ranks),
+      options_(options),
       barrier_(num_ranks == 0 ? 1 : num_ranks),
       bytes_sent_(num_ranks, 0) {
   if (num_ranks == 0) {

@@ -18,13 +18,26 @@
 // timing. No atomics anywhere on an accumulation path; per-rank byte
 // counters are written only by their own rank's thread (read them
 // after the ranks have joined).
+//
+// Failure model: a configurable peer deadline (CollectiveOptions::
+// peer_timeout) bounds every blocking wait inside a collective. A rank
+// whose peer dies mid-exchange — killed by the fault injector, OOM'd,
+// or simply never started — used to block in the barrier or a Channel
+// pop forever; with a deadline it aborts the group and throws
+// RankFailure instead, so the failure surfaces to whoever supervises
+// the ranks (train::FaultTolerantRunner rolls back to the last
+// checkpoint). An optional train::FaultInjector hook fires at the
+// start of every tagged exchange, making kill/straggler scenarios
+// scriptable in tests.
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <type_traits>
 #include <utility>
@@ -32,14 +45,28 @@
 
 #include "common/barrier.h"
 #include "common/channel.h"
+#include "train/fault.h"
 
 namespace recd::train {
 
+struct CollectiveOptions {
+  /// Upper bound on any single wait for a peer inside a collective;
+  /// zero means wait forever (the pre-fault-tolerance behavior). On
+  /// expiry the whole group is aborted and the waiter throws
+  /// RankFailure — a dead peer must never silently hang its survivors.
+  std::chrono::milliseconds peer_timeout{0};
+  /// Optional fault hook, fired at the start of every tagged exchange
+  /// on every rank. Not owned; must outlive the group.
+  FaultInjector* injector = nullptr;
+};
+
 class CollectiveGroup {
  public:
-  explicit CollectiveGroup(std::size_t num_ranks);
+  explicit CollectiveGroup(std::size_t num_ranks,
+                           CollectiveOptions options = {});
 
   [[nodiscard]] std::size_t num_ranks() const { return num_ranks_; }
+  [[nodiscard]] const CollectiveOptions& options() const { return options_; }
 
   /// Blocks until every rank has arrived (reusable).
   void Barrier() { barrier_.Arrive(); }
@@ -56,12 +83,22 @@ class CollectiveGroup {
   /// All-to-all: `send[p]` is this rank's payload for peer p (self
   /// included); the result's entry p is what peer p sent to this rank.
   /// Off-rank payload bytes are added to this rank's sent counter.
+  /// `tag` names the trainer exchange this call implements — the fault
+  /// injector's match key; kNone for untagged collectives. Throws
+  /// RankFailure when a peer misses the configured deadline (the group
+  /// is aborted first so every survivor unwinds).
   template <typename T>
   [[nodiscard]] std::vector<std::vector<T>> AllToAll(
-      std::size_t rank, std::vector<std::vector<T>> send) {
+      std::size_t rank, std::vector<std::vector<T>> send,
+      Exchange tag = Exchange::kNone) {
     if (send.size() != num_ranks_) {
       throw std::invalid_argument("CollectiveGroup::AllToAll: need one "
                                   "payload per rank");
+    }
+    // The injection point: peers may already be mid-exchange, so a
+    // kill here strands them exactly like a real rank death would.
+    if (options_.injector != nullptr) {
+      options_.injector->MaybeInject(rank, tag);
     }
     for (std::size_t p = 0; p < num_ranks_; ++p) {
       if (p != rank) bytes_sent_[rank] += send[p].size() * sizeof(T);
@@ -77,10 +114,10 @@ class CollectiveGroup {
         throw std::runtime_error("CollectiveGroup::AllToAll: closed");
       }
     }
-    barrier_.Arrive();  // all sends posted before any receive
+    TimedArrive();  // all sends posted before any receive
     std::vector<std::vector<T>> recv(num_ranks_);
     for (std::size_t p = 0; p < num_ranks_; ++p) {
-      auto msg = Mailbox(p, rank).Pop();
+      auto msg = TimedPop(Mailbox(p, rank));
       if (!msg.has_value()) {
         throw std::runtime_error("CollectiveGroup::AllToAll: closed");
       }
@@ -105,7 +142,7 @@ class CollectiveGroup {
   [[nodiscard]] std::vector<T> AllReduceSum(
       std::size_t rank,
       const std::vector<std::pair<std::size_t, std::vector<T>>>& chunks,
-      std::size_t width) {
+      std::size_t width, Exchange tag = Exchange::kNone) {
     // Frame: per chunk, [id, count] header then the data.
     std::vector<std::byte> frame;
     for (const auto& [id, data] : chunks) {
@@ -121,7 +158,7 @@ class CollectiveGroup {
     std::vector<std::vector<std::byte>> send(num_ranks_);
     for (std::size_t p = 0; p + 1 < num_ranks_; ++p) send[p] = frame;
     send[num_ranks_ - 1] = std::move(frame);
-    auto gathered = AllToAll<std::byte>(rank, std::move(send));
+    auto gathered = AllToAll<std::byte>(rank, std::move(send), tag);
 
     std::vector<std::pair<std::size_t, std::vector<T>>> all;
     for (const auto& buf : gathered) {
@@ -172,6 +209,37 @@ class CollectiveGroup {
     return *mail_[src * num_ranks_ + dst];
   }
 
+  /// Barrier arrival bounded by the peer deadline: a missing peer
+  /// poisons the group and surfaces RankFailure here instead of a
+  /// silent hang.
+  void TimedArrive() {
+    if (options_.peer_timeout.count() <= 0) {
+      barrier_.Arrive();
+      return;
+    }
+    if (!barrier_.ArriveFor(options_.peer_timeout)) {
+      Abort();
+      throw RankFailure(
+          "CollectiveGroup: peer missed the exchange barrier within the "
+          "deadline (dead or stalled rank)");
+    }
+  }
+
+  /// Mailbox pop bounded by the peer deadline. nullopt still means
+  /// "closed" to the caller; a timeout aborts and throws instead.
+  [[nodiscard]] std::optional<std::vector<std::byte>> TimedPop(Mail& mail) {
+    if (options_.peer_timeout.count() <= 0) return mail.Pop();
+    bool timed_out = false;
+    auto msg = mail.PopFor(options_.peer_timeout, &timed_out);
+    if (timed_out) {
+      Abort();
+      throw RankFailure(
+          "CollectiveGroup: peer payload missed the deadline (dead or "
+          "stalled rank)");
+    }
+    return msg;
+  }
+
   template <typename T>
   [[nodiscard]] static std::vector<std::byte> ToBytes(
       const std::vector<T>& v) {
@@ -210,6 +278,7 @@ class CollectiveGroup {
   }
 
   std::size_t num_ranks_;
+  CollectiveOptions options_;
   common::Barrier barrier_;
   std::vector<std::unique_ptr<Mail>> mail_;
   std::vector<std::size_t> bytes_sent_;  // each slot written by its rank only

@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "tensor/jagged_ops.h"
+#include "train/checkpoint.h"
 #include "train/reference.h"
 
 namespace recd::train {
@@ -148,7 +149,9 @@ DistributedTrainer::DistributedTrainer(ModelConfig model,
     : model_(std::move(model)),
       config_(config),
       units_(ModelPlacementUnits(model_)),
-      group_(config.num_ranks == 0 ? 1 : config.num_ranks) {
+      group_(config.num_ranks == 0 ? 1 : config.num_ranks,
+             CollectiveOptions{.peer_timeout = config.peer_timeout,
+                               .injector = config.injector}) {
   if (config_.num_ranks == 0 || kGradChunks % config_.num_ranks != 0) {
     throw std::invalid_argument(
         "DistributedTrainer: num_ranks must divide kGradChunks (" +
@@ -202,6 +205,54 @@ const nn::Mlp& DistributedTrainer::top_mlp(std::size_t rank) const {
 const nn::EmbeddingTable& DistributedTrainer::table(
     std::size_t table_id) const {
   return ranks_.at(table_owner_.at(table_id))->shard.Table(table_id);
+}
+
+void DistributedTrainer::LoadState(const TrainerCheckpoint& checkpoint) {
+  // Fingerprint gate: a checkpoint from a different model (or seed
+  // lineage) must be rejected outright, never partially applied.
+  const auto to_u64 = [](const std::vector<std::size_t>& v) {
+    return std::vector<std::uint64_t>(v.begin(), v.end());
+  };
+  if (checkpoint.emb_dim != model_.emb_dim ||
+      checkpoint.emb_hash_size != model_.emb_hash_size ||
+      checkpoint.bottom_dims != to_u64(model_.BottomMlpDims()) ||
+      checkpoint.top_dims != to_u64(model_.TopMlpDims()) ||
+      checkpoint.tables.size() != model_.num_tables()) {
+    throw CheckpointError(
+        "DistributedTrainer::LoadState: checkpoint model fingerprint does "
+        "not match this trainer's model");
+  }
+  if (checkpoint.seed != config_.seed) {
+    throw CheckpointError(
+        "DistributedTrainer::LoadState: checkpoint seed " +
+        std::to_string(checkpoint.seed) + " != trainer seed " +
+        std::to_string(config_.seed) + " (different init lineage)");
+  }
+  if (checkpoint.bottom_w.size() != ranks_[0]->bottom.num_layers() ||
+      checkpoint.top_w.size() != ranks_[0]->top.num_layers()) {
+    throw CheckpointError(
+        "DistributedTrainer::LoadState: checkpoint MLP layer count does "
+        "not match this trainer's model");
+  }
+  // Reshard-restore: every rank's replicas take the dense weights, and
+  // each table (keyed by ModelTableOrder id) lands on whichever rank
+  // owns it under *this* trainer's placement — a checkpoint taken at
+  // rank count R restores at any valid R'. Shape mismatches surface as
+  // std::invalid_argument from the load paths below, but the
+  // fingerprint gate above makes them unreachable in practice.
+  for (auto& rank : ranks_) {
+    for (std::size_t i = 0; i < checkpoint.bottom_w.size(); ++i) {
+      rank->bottom.LoadLayerParameters(i, checkpoint.bottom_w[i],
+                                       checkpoint.bottom_b[i]);
+    }
+    for (std::size_t i = 0; i < checkpoint.top_w.size(); ++i) {
+      rank->top.LoadLayerParameters(i, checkpoint.top_w[i],
+                                    checkpoint.top_b[i]);
+    }
+  }
+  for (std::size_t t = 0; t < checkpoint.tables.size(); ++t) {
+    ranks_[table_owner_[t]]->shard.Table(t).LoadWeights(checkpoint.tables[t]);
+  }
 }
 
 float DistributedTrainer::Step(const reader::PreprocessedBatch& batch) {
@@ -363,7 +414,8 @@ void DistributedTrainer::RunRank(
       }
     }
   }
-  auto sdd_recv = group_.AllToAll<std::int64_t>(rank, std::move(sdd_send));
+  auto sdd_recv =
+      group_.AllToAll<std::int64_t>(rank, std::move(sdd_send), Exchange::kSdd);
   st.counters.sdd_bytes += take_bytes();
 
   // Parse what each source rank sent for the units this rank owns.
@@ -441,7 +493,8 @@ void DistributedTrainer::RunRank(
       emb_send[s].insert(emb_send[s].end(), data.begin(), data.end());
     }
   }
-  auto emb_recv = group_.AllToAll<float>(rank, std::move(emb_send));
+  auto emb_recv =
+      group_.AllToAll<float>(rank, std::move(emb_send), Exchange::kEmb);
   st.counters.emb_bytes += take_bytes();
 
   // Reassemble this rank's pooled inputs (one batch-rows x d matrix per
@@ -535,7 +588,8 @@ void DistributedTrainer::RunRank(
     grad_send[unit_owner_[u]].insert(grad_send[unit_owner_[u]].end(),
                                      data.begin(), data.end());
   }
-  auto grad_recv = group_.AllToAll<float>(rank, std::move(grad_send));
+  auto grad_recv =
+      group_.AllToAll<float>(rank, std::move(grad_send), Exchange::kGrad);
   st.counters.grad_bytes += take_bytes();
 
   std::vector<std::size_t> grad_pos(num_ranks, 0);
@@ -577,8 +631,10 @@ void DistributedTrainer::RunRank(
                                                st.top.ZeroGradients())
                                       .size()
                                 : grad_chunks.front().second.size();
-  auto reduced = group_.AllReduceSum<float>(rank, grad_chunks, width);
-  auto loss_reduced = group_.AllReduceSum<double>(rank, loss_chunks, 1);
+  auto reduced = group_.AllReduceSum<float>(rank, grad_chunks, width,
+                                           Exchange::kAllReduce);
+  auto loss_reduced = group_.AllReduceSum<double>(rank, loss_chunks, 1,
+                                                 Exchange::kAllReduce);
   st.counters.allreduce_bytes += take_bytes();
 
   nn::MlpGradients bottom_total = st.bottom.ZeroGradients();

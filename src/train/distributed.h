@@ -30,6 +30,7 @@
 // by the IKJT forward-equivalence tests).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -44,6 +45,8 @@
 
 namespace recd::train {
 
+struct TrainerCheckpoint;
+
 struct DistributedConfig {
   /// Rank count; must divide kGradChunks (i.e. 1, 2, or 4) so rank
   /// sub-batches align with the canonical reduction chunks.
@@ -55,6 +58,14 @@ struct DistributedConfig {
   /// Model initialization seed; rank replicas and the table shards
   /// reproduce ReferenceDlrm(model, seed) exactly.
   std::uint64_t seed = 0;
+  /// Peer deadline for every collective wait; zero waits forever. With
+  /// a deadline, a dead peer surfaces as RankFailure instead of a
+  /// hang (see CollectiveOptions::peer_timeout).
+  std::chrono::milliseconds peer_timeout{0};
+  /// Optional fault-injection hook, fired at the start of every
+  /// exchange on every rank (tests, chaos drills). Not owned; must
+  /// outlive the trainer.
+  FaultInjector* injector = nullptr;
 };
 
 /// Per-rank bytes sent on each of the four exchanges, plus the sparse
@@ -121,6 +132,15 @@ class DistributedTrainer {
   [[nodiscard]] const nn::Mlp& top_mlp(std::size_t rank) const;
   /// The (single) sharded copy of table `table_id`, wherever it lives.
   [[nodiscard]] const nn::EmbeddingTable& table(std::size_t table_id) const;
+
+  /// Restores a checkpoint into this trainer: every rank's MLP
+  /// replicas take the checkpointed dense weights, and each
+  /// checkpointed table lands on whichever rank owns it *here* —
+  /// tables are keyed by ModelTableOrder id, so a checkpoint taken at
+  /// rank count R reshard-restores at any valid rank count R'. Throws
+  /// CheckpointError when the checkpoint's model fingerprint does not
+  /// match this trainer's model (never a silent wrong restore).
+  void LoadState(const TrainerCheckpoint& checkpoint);
 
  private:
   struct RankState;

@@ -165,6 +165,31 @@ TEST(ChannelTest, PushBlocksOnBackpressureUntilPop) {
   EXPECT_EQ(ch.Pop().value(), 2);
 }
 
+TEST(ChannelTest, PopForTimesOutOnlyWhileOpenAndEmpty) {
+  Channel<int> ch(2);
+  // Deadline passes with the channel open and empty: timed out.
+  bool timed_out = false;
+  EXPECT_FALSE(ch.PopFor(10ms, &timed_out).has_value());
+  EXPECT_TRUE(timed_out);
+  // An available item returns immediately, no timeout flag.
+  EXPECT_TRUE(ch.Push(7));
+  EXPECT_EQ(ch.PopFor(10ms, &timed_out).value(), 7);
+  EXPECT_FALSE(timed_out);
+  // An item arriving within the deadline wakes the waiter.
+  std::thread producer([&] {
+    std::this_thread::sleep_for(20ms);
+    EXPECT_TRUE(ch.Push(8));
+  });
+  EXPECT_EQ(ch.PopFor(10s, &timed_out).value(), 8);
+  EXPECT_FALSE(timed_out);
+  producer.join();
+  // Closed and drained is end-of-stream, *not* a timeout — the caller
+  // must be able to tell a dead producer from a finished one.
+  ch.Close();
+  EXPECT_FALSE(ch.PopFor(10ms, &timed_out).has_value());
+  EXPECT_FALSE(timed_out);
+}
+
 TEST(ChannelTest, CloseDrainsThenEndsStream) {
   Channel<int> ch(4);
   EXPECT_TRUE(ch.Push(1));

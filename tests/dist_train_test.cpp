@@ -9,6 +9,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -21,8 +24,10 @@
 #include "storage/table.h"
 #include "tensor/ikjt.h"
 #include "tensor/jagged_ops.h"
+#include "train/checkpoint.h"
 #include "train/collective_group.h"
 #include "train/distributed.h"
+#include "train/fault.h"
 #include "train/model.h"
 #include "train/reference.h"
 
@@ -53,6 +58,17 @@ TEST(BarrierTest, ReleasesAllPartiesAcrossRounds) {
 
 TEST(BarrierTest, ZeroPartiesThrows) {
   EXPECT_THROW(common::Barrier(0), std::invalid_argument);
+}
+
+TEST(BarrierTest, ArriveForTimesOutAndWithdrawsTheArrival) {
+  common::Barrier barrier(2);
+  // Alone at the barrier: the deadline passes and the arrival is
+  // withdrawn, so the barrier's count stays consistent...
+  EXPECT_FALSE(barrier.ArriveFor(std::chrono::milliseconds(20)));
+  // ...and a later full round still needs both parties and completes.
+  std::thread peer([&] { barrier.Arrive(); });
+  EXPECT_TRUE(barrier.ArriveFor(std::chrono::seconds(10)));
+  peer.join();
 }
 
 // -------------------------------------------------------- CollectiveGroup --
@@ -175,6 +191,22 @@ TEST(CollectiveGroupTest, AbortUnblocksAStrandedRank) {
   // The group stays poisoned: later collectives fail fast.
   std::vector<std::vector<float>> send(2);
   EXPECT_THROW((void)group.AllToAll<float>(1, std::move(send)),
+               std::runtime_error);
+}
+
+TEST(CollectiveGroupTest, DeadPeerRaisesRankFailureInsteadOfHanging) {
+  // Regression: before the peer deadline existed this scenario hung
+  // forever — rank 0 waited at the exchange barrier for a peer that
+  // never arrives (a dead rank with nobody calling Abort).
+  CollectiveGroup group(
+      2, CollectiveOptions{.peer_timeout = std::chrono::milliseconds(200)});
+  std::vector<std::vector<float>> send(2);
+  send[1] = {1.0f};
+  EXPECT_THROW((void)group.AllToAll<float>(0, std::move(send)), RankFailure);
+  // The deadline aborted the group, so a late peer fails fast instead
+  // of waiting for a partner that already gave up.
+  std::vector<std::vector<float>> late(2);
+  EXPECT_THROW((void)group.AllToAll<float>(1, std::move(late)),
                std::runtime_error);
 }
 
@@ -440,6 +472,114 @@ TEST(DistributedTrainerTest, InvalidConfigurationsThrow) {
   DistributedTrainer base(fx.model, base_config);
   reader::PreprocessedBatch empty;
   EXPECT_THROW((void)base.Step(empty), std::invalid_argument);
+}
+
+// ------------------------------------------------------ fault tolerance --
+
+// Tiny model variant for the fault/recovery matrix: dozens of runner
+// incarnations each write checkpoint files, so shrink the tables and
+// MLPs (batches are id-level and unaffected — tables hash ids by
+// modulo at lookup).
+Fixture MakeTinyFixture() {
+  auto fx = MakeFixture(64);
+  fx.model.emb_hash_size = 500;
+  fx.model.emb_dim = 32;
+  fx.model.bottom_mlp_hidden = {64};
+  fx.model.top_mlp_hidden = {64, 32};
+  return fx;
+}
+
+TEST(DistributedTrainerTest, StragglerDelayChangesTimingNotResults) {
+  auto fx = MakeTinyFixture();
+  ReferenceDlrm ref(fx.model, /*seed=*/42);
+  std::vector<float> ref_losses;
+  for (int k = 0; k < kSteps; ++k) {
+    ref_losses.push_back(ref.TrainStep(fx.base_batch, kLr));
+  }
+
+  FaultInjector injector;
+  injector.Arm(Fault{.kind = Fault::Kind::kDelayRank,
+                     .step = 1,
+                     .rank = 1,
+                     .exchange = Exchange::kEmb,
+                     .delay = std::chrono::milliseconds(100)});
+  DistributedConfig config;
+  config.num_ranks = 2;
+  config.lr = kLr;
+  config.seed = 42;
+  // Generous deadline: a straggler is slow, not dead — the run must
+  // absorb the delay without declaring a failure.
+  config.peer_timeout = std::chrono::seconds(60);
+  config.injector = &injector;
+  DistributedTrainer dist(fx.model, config);
+  for (int k = 0; k < kSteps; ++k) {
+    injector.BeginStep(static_cast<std::size_t>(k));
+    EXPECT_EQ(dist.Step(fx.base_batch),
+              ref_losses[static_cast<std::size_t>(k)])
+        << "straggler: loss differs at step " << k;
+  }
+  EXPECT_EQ(injector.faults_fired(), 1u);
+  ExpectMatchesReference(dist, ref, "straggler");
+}
+
+// The recovery-determinism matrix: kill any rank at any of the four
+// exchanges of step 1, restore at any valid rank count, base and RecD
+// mode alike — the recovered run's losses and final weights must be
+// bitwise identical to an uninterrupted reference run.
+TEST(FaultToleranceTest, KillRestoreMatrixIsBitwiseDeterministic) {
+  auto fx = MakeTinyFixture();
+  ReferenceDlrm ref(fx.model, /*seed=*/42);
+  std::vector<float> ref_losses;
+  for (int k = 0; k < kSteps; ++k) {
+    ref_losses.push_back(ref.TrainStep(fx.base_batch, kLr));
+  }
+
+  const Exchange kExchanges[] = {Exchange::kSdd, Exchange::kEmb,
+                                 Exchange::kGrad, Exchange::kAllReduce};
+  int combo = 0;
+  for (const bool recd : {false, true}) {
+    for (const std::size_t kill_rank : {0u, 1u}) {
+      for (const Exchange exchange : kExchanges) {
+        for (const std::size_t restore_ranks : {1u, 2u, 4u}) {
+          const std::string what =
+              std::string(recd ? "recd" : "base") + ": kill rank " +
+              std::to_string(kill_rank) + " at " + ExchangeName(exchange) +
+              ", restore at " + std::to_string(restore_ranks) + " ranks";
+          FaultInjector injector;
+          injector.Arm(Fault{.kind = Fault::Kind::kKillRank,
+                             .step = 1,
+                             .rank = kill_rank,
+                             .exchange = exchange});
+          ElasticRunOptions options;
+          options.total_steps = static_cast<std::size_t>(kSteps);
+          options.checkpoint_every = 1;
+          options.checkpoint_dir = ::testing::TempDir() + "/recd_matrix_" +
+                                   std::to_string(combo++);
+          std::filesystem::remove_all(options.checkpoint_dir);
+          options.rank_schedule = {2, restore_ranks};
+          options.trainer.lr = kLr;
+          options.trainer.seed = 42;
+          options.trainer.recd = recd;
+          FaultTolerantRunner runner(fx.model, options, &injector);
+          const auto result = runner.Run(
+              [&](std::size_t) -> const reader::PreprocessedBatch& {
+                return recd ? fx.recd_batch : fx.base_batch;
+              });
+          EXPECT_EQ(result.failures, 1u) << what;
+          EXPECT_EQ(injector.faults_fired(), 1u) << what;
+          EXPECT_EQ(runner.trainer().config().num_ranks, restore_ranks)
+              << what;
+          ASSERT_EQ(result.losses.size(), ref_losses.size()) << what;
+          for (std::size_t k = 0; k < ref_losses.size(); ++k) {
+            EXPECT_EQ(result.losses[k], ref_losses[k])
+                << what << ": loss differs at step " << k;
+          }
+          ExpectMatchesReference(runner.trainer(), ref, what);
+          std::filesystem::remove_all(options.checkpoint_dir);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

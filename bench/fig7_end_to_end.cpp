@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "kernels/backend.h"
 #include "reader/reader_tier.h"
 
 int main(int argc, char** argv) {
@@ -13,6 +14,8 @@ int main(int argc, char** argv) {
   bench::JsonReport report("bench_fig7_end_to_end");
   // RmBench::MakeRunner leaves PipelineOptions::num_threads at 1.
   report.SetHostField("num_threads", 1);
+  // Which kernel backend the measured paths dispatched to (§12).
+  report.SetHostField("avx2", kernels::VectorizedAvailable() ? 1 : 0);
   bench::PrintHeader(
       "Figure 7: end-to-end RecD gains, normalized to baseline");
   std::printf("%-4s %-22s %10s %12s\n", "RM", "metric", "measured",

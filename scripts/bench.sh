@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Benchmark runner: builds the release preset, runs the end-to-end,
-# reader-breakdown, streaming window-sweep, serving-QPS, and executed
-# distributed-training harnesses, and records the corresponding
+# iteration-breakdown, reader-breakdown, streaming window-sweep,
+# serving-QPS, executed distributed-training, and micro-kernel
+# harnesses, and records the corresponding
 # BENCH_*.json files at the repository root per the docs/BENCHMARKS.md
 # convention. Full-pipeline benches take minutes.
 set -eu
@@ -10,8 +11,9 @@ cd "$(dirname "$0")/.."
 
 cmake --preset release
 cmake --build build -j --target bench_fig7_end_to_end \
-  bench_fig10_reader_breakdown bench_stream_window_sweep bench_serve_qps \
-  bench_dist_train bench_checkpoint
+  bench_fig8_iteration_breakdown bench_fig10_reader_breakdown \
+  bench_stream_window_sweep bench_serve_qps bench_dist_train \
+  bench_checkpoint bench_micro_kernels
 
 # Context recorded into the JSON reports (see bench::JsonReport). The
 # -dirty suffix marks results measured from uncommitted code.
@@ -26,12 +28,15 @@ export RECD_BENCH_COMMIT RECD_BENCH_DATE RECD_BENCH_CORES \
   RECD_BENCH_CPU RECD_BENCH_BUILD_TYPE
 
 ./build/bench_fig7_end_to_end --json BENCH_fig7_end_to_end.json
+./build/bench_fig8_iteration_breakdown --json BENCH_fig8_iteration_breakdown.json
 ./build/bench_fig10_reader_breakdown --json BENCH_fig10_reader_breakdown.json
 ./build/bench_stream_window_sweep --json BENCH_stream_window_sweep.json
 ./build/bench_serve_qps --json BENCH_serve_qps.json
 ./build/bench_dist_train --json BENCH_dist_train.json
 ./build/bench_checkpoint --json BENCH_checkpoint.json
+./build/bench_micro_kernels --json BENCH_micro_kernels.json
 
 echo "bench.sh: wrote BENCH_fig7_end_to_end.json," \
-  "BENCH_fig10_reader_breakdown.json, BENCH_stream_window_sweep.json," \
-  "BENCH_serve_qps.json, BENCH_dist_train.json, and BENCH_checkpoint.json"
+  "BENCH_fig8_iteration_breakdown.json, BENCH_fig10_reader_breakdown.json," \
+  "BENCH_stream_window_sweep.json, BENCH_serve_qps.json," \
+  "BENCH_dist_train.json, BENCH_checkpoint.json, and BENCH_micro_kernels.json"

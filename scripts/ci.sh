@@ -13,6 +13,10 @@
 #               ThreadSanitizer — kill, straggler, dead-peer, and
 #               restore-determinism paths are the most thread-hostile
 #               code in the repo, so they get a dedicated racing pass
+#   kernels     the SIMD-layer bitwise-parity suites under ASan and
+#               TSan (the vectorized backend must equal the scalar
+#               oracle bit for bit, with no new memory or race bugs),
+#               plus a scalar-vs-vectorized fig8 smoke run
 #   lint        BENCH_*.json schema lint (validate_bench_json.py)
 #
 # Honors CMAKE_CXX_COMPILER_LAUNCHER (the workflow sets it to ccache),
@@ -39,6 +43,21 @@ stage_recovery() {
     -R 'Checkpoint|Checksum|Fault|DeadPeer|Straggler'
 }
 
+stage_kernels() {
+  cmake --preset asan
+  cmake --build build-asan -j
+  ctest --test-dir build-asan --output-on-failure -j 2 -R 'Kernel'
+  cmake --preset tsan
+  cmake --build build-tsan -j
+  ctest --test-dir build-tsan --output-on-failure -j 2 -R 'Kernel'
+  # The measured section of fig8 runs real TrainSteps on both backends
+  # and exits nonzero if their losses ever differ — a cheap end-to-end
+  # bitwise check on an optimized (non-sanitizer) build.
+  cmake -B build -S .
+  cmake --build build -j --target bench_fig8_iteration_breakdown
+  RECD_SMOKE=1 ./build/bench_fig8_iteration_breakdown
+}
+
 stage_lint() {
   python3 ./scripts/validate_bench_json.py BENCH_*.json
 }
@@ -47,16 +66,18 @@ case "${1:-all}" in
   core)       stage_core ;;
   sanitizers) stage_sanitizers ;;
   recovery)   stage_recovery ;;
+  kernels)    stage_kernels ;;
   lint)       stage_lint ;;
   all)
     stage_core
     stage_sanitizers
     stage_recovery
+    stage_kernels
     stage_lint
     echo "ci.sh: all stages passed"
     ;;
   *)
-    echo "usage: $0 [core|sanitizers|recovery|lint|all]" >&2
+    echo "usage: $0 [core|sanitizers|recovery|kernels|lint|all]" >&2
     exit 2
     ;;
 esac

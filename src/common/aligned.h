@@ -1,0 +1,48 @@
+// 64-byte-aligned allocator for dense float storage. The kernel layer
+// (src/kernels/) uses unaligned loads so alignment is never required
+// for correctness, but cacheline-aligned rows avoid split loads on the
+// hot GEMM and pooling paths and keep aliasing with neighbouring heap
+// blocks out of benchmark noise.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace recd::common {
+
+inline constexpr std::size_t kCachelineAlign = 64;
+
+template <typename T, std::size_t Align = kCachelineAlign>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}  // NOLINT
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// std::vector with cacheline-aligned storage. Element access, spans,
+/// and value semantics are unchanged from std::vector<T>.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace recd::common

@@ -1,0 +1,45 @@
+#include "kernels/backend.h"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace recd::kernels {
+
+bool VectorizedAvailable() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  static const bool avx2 = __builtin_cpu_supports("avx2") != 0;
+  return avx2;
+#else
+  return false;
+#endif
+}
+
+KernelBackend ParseBackend(std::string_view name) {
+  if (name == "scalar") return KernelBackend::kScalar;
+  if (name == "vectorized") return KernelBackend::kVectorized;
+  throw std::invalid_argument(
+      "ParseBackend: expected 'scalar' or 'vectorized', got '" +
+      std::string(name) + "'");
+}
+
+const char* BackendName(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kScalar:
+      return "scalar";
+    case KernelBackend::kVectorized:
+      return "vectorized";
+  }
+  return "?";
+}
+
+KernelBackend DefaultBackend() {
+  static const KernelBackend def = [] {
+    const char* v = std::getenv("RECD_KERNEL_BACKEND");
+    if (v != nullptr && *v != '\0') return ParseBackend(v);
+    return KernelBackend::kVectorized;
+  }();
+  return def;
+}
+
+}  // namespace recd::kernels

@@ -1,0 +1,476 @@
+// AVX2 implementations of the kernel layer.
+//
+// Bitwise contract with the scalar oracle (kernels.cpp): SIMD lanes run
+// only across non-reduction axes, so every output element sees exactly
+// the scalar path's float-op sequence —
+//   * pooling / SGD / elementwise ops: 8 dim-columns per lane set, ids
+//     and rows still visited in scalar order;
+//   * MatmulABt: 8 j-columns per lane set; each lane's k-chain is the
+//     scalar `acc += a*b` chain in ascending k (b is packed k-major per
+//     j-tile so the inner loads are contiguous — the cache-blocking);
+//   * MatmulAB / AccumulateOuter: 8 j-columns per lane set with the
+//     scalar zero-skip applied per (i,k) before broadcasting;
+//   * comparisons (max pooling, ReLU, clamp) use cmp+blend/andnot
+//     sequences chosen to reproduce the scalar branch bit-for-bit,
+//     including -0.0 and NaN behavior (documented per helper).
+// Separate mul/add intrinsics (never FMA) pair with the tree-wide
+// -ffp-contract=off so neither path contracts where the other does not.
+//
+// Tails (dim % 8, n % 8) fall back to the scalar loop over the exact
+// remaining elements — per-element order unchanged.
+//
+// Everything is compiled for the baseline target; the AVX2 functions
+// carry a per-function target attribute and are only reached when
+// VectorizedAvailable() said the CPU can run them.
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "kernels/impl.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define RECD_KERNELS_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace recd::kernels::simd {
+
+#if defined(RECD_KERNELS_AVX2)
+
+#define RECD_AVX2 __attribute__((target("avx2")))
+
+namespace {
+
+constexpr std::size_t kLanes = 8;
+
+// dst[0..d) += src[0..d)
+RECD_AVX2 inline void AddRows(float* dst, const float* src,
+                              std::size_t d) {
+  std::size_t c = 0;
+  for (; c + kLanes <= d; c += kLanes) {
+    _mm256_storeu_ps(dst + c,
+                     _mm256_add_ps(_mm256_loadu_ps(dst + c),
+                                   _mm256_loadu_ps(src + c)));
+  }
+  for (; c < d; ++c) dst[c] += src[c];
+}
+
+// dst[0..d) = max(dst, src) with std::max(a,b) = (a<b)?b:a semantics:
+// blendv picks src only where dst < src (ordered, quiet), so NaN in
+// either operand and ±0 ties resolve exactly like the scalar branch.
+RECD_AVX2 inline void MaxRows(float* dst, const float* src,
+                              std::size_t d) {
+  std::size_t c = 0;
+  for (; c + kLanes <= d; c += kLanes) {
+    const __m256 a = _mm256_loadu_ps(dst + c);
+    const __m256 b = _mm256_loadu_ps(src + c);
+    const __m256 lt = _mm256_cmp_ps(a, b, _CMP_LT_OQ);
+    _mm256_storeu_ps(dst + c, _mm256_blendv_ps(a, b, lt));
+  }
+  for (; c < d; ++c) dst[c] = std::max(dst[c], src[c]);
+}
+
+// dst[0..d) *= s
+RECD_AVX2 inline void ScaleRow(float* dst, float s, std::size_t d) {
+  const __m256 sv = _mm256_set1_ps(s);
+  std::size_t c = 0;
+  for (; c + kLanes <= d; c += kLanes) {
+    _mm256_storeu_ps(dst + c,
+                     _mm256_mul_ps(_mm256_loadu_ps(dst + c), sv));
+  }
+  for (; c < d; ++c) dst[c] *= s;
+}
+
+// dst[0..d) -= s * src[0..d)  (mul then sub, like the scalar update)
+RECD_AVX2 inline void SubScaledRow(float* dst, const float* src, float s,
+                                   std::size_t d) {
+  const __m256 sv = _mm256_set1_ps(s);
+  std::size_t c = 0;
+  for (; c + kLanes <= d; c += kLanes) {
+    _mm256_storeu_ps(
+        dst + c,
+        _mm256_sub_ps(_mm256_loadu_ps(dst + c),
+                      _mm256_mul_ps(sv, _mm256_loadu_ps(src + c))));
+  }
+  for (; c < d; ++c) dst[c] -= s * src[c];
+}
+
+// dst[0..d) += s * src[0..d)
+RECD_AVX2 inline void AddScaledRow(float* dst, const float* src, float s,
+                                   std::size_t d) {
+  const __m256 sv = _mm256_set1_ps(s);
+  std::size_t c = 0;
+  for (; c + kLanes <= d; c += kLanes) {
+    _mm256_storeu_ps(
+        dst + c,
+        _mm256_add_ps(_mm256_loadu_ps(dst + c),
+                      _mm256_mul_ps(sv, _mm256_loadu_ps(src + c))));
+  }
+  for (; c < d; ++c) dst[c] += s * src[c];
+}
+
+}  // namespace
+
+RECD_AVX2 void PooledLookup(const tensor::JaggedTensor& batch,
+                            const float* weights, std::size_t hash_size,
+                            std::size_t dim, Pool pool, float* out) {
+  const std::size_t rows = batch.num_rows();
+  std::memset(out, 0, rows * dim * sizeof(float));
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto ids = batch.row(r);
+    if (ids.empty()) continue;
+    float* orow = out + r * dim;
+    switch (pool) {
+      case Pool::kSum:
+      case Pool::kMean: {
+        for (const auto id : ids) {
+          AddRows(orow, weights + TableRow(id, hash_size) * dim, dim);
+        }
+        if (pool == Pool::kMean) {
+          ScaleRow(orow, 1.0f / static_cast<float>(ids.size()), dim);
+        }
+        break;
+      }
+      case Pool::kMax: {
+        std::memcpy(orow, weights + TableRow(ids[0], hash_size) * dim,
+                    dim * sizeof(float));
+        for (std::size_t i = 1; i < ids.size(); ++i) {
+          MaxRows(orow, weights + TableRow(ids[i], hash_size) * dim, dim);
+        }
+        break;
+      }
+    }
+  }
+}
+
+RECD_AVX2 void SumPoolGroup(std::span<const GroupFeature> group,
+                            std::size_t dim, float* out) {
+  const std::size_t rows = group.front().jt->num_rows();
+  std::memset(out, 0, rows * dim * sizeof(float));
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* orow = out + r * dim;
+    for (const auto& f : group) {
+      for (const auto id : f.jt->row(r)) {
+        AddRows(orow, f.weights + TableRow(id, f.hash_size) * dim, dim);
+      }
+    }
+  }
+}
+
+RECD_AVX2 void FusedPooledLookup(std::span<const GroupFeature> group,
+                                 std::span<const std::int64_t> inverse,
+                                 std::size_t dim, float* out) {
+  const std::size_t unique_rows = group.front().jt->num_rows();
+  const detail::InverseBuckets buckets =
+      detail::BucketInverse(inverse, unique_rows);
+  std::vector<float> buf(dim);
+  for (std::size_t u = 0; u < unique_rows; ++u) {
+    std::memset(buf.data(), 0, dim * sizeof(float));
+    for (const auto& f : group) {
+      for (const auto id : f.jt->row(u)) {
+        AddRows(buf.data(), f.weights + TableRow(id, f.hash_size) * dim,
+                dim);
+      }
+    }
+    for (std::size_t s = buckets.offsets[u]; s < buckets.offsets[u + 1];
+         ++s) {
+      std::memcpy(out + static_cast<std::size_t>(buckets.slots[s]) * dim,
+                  buf.data(), dim * sizeof(float));
+    }
+  }
+}
+
+RECD_AVX2 void ScatterSgdUpdate(const tensor::JaggedTensor& batch,
+                                const float* grad, Pool pool, float lr,
+                                float* weights, std::size_t hash_size,
+                                std::size_t dim) {
+  const std::size_t rows = batch.num_rows();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto ids = batch.row(r);
+    if (ids.empty()) continue;
+    const float* g = grad + r * dim;
+    const float scale = pool == Pool::kMean
+                            ? lr / static_cast<float>(ids.size())
+                            : lr;
+    for (const auto id : ids) {
+      SubScaledRow(weights + TableRow(id, hash_size) * dim, g, scale, dim);
+    }
+  }
+}
+
+RECD_AVX2 void MatmulABt(const float* a, std::size_t m, std::size_t k,
+                         const float* b, std::size_t n, float* c) {
+  // Pack 8 rows of b (8 output columns) k-major, then every a-row runs
+  // 8 independent k-chains out of one contiguous stream. The pack is
+  // reused across all m rows — the cache-blocking that makes the
+  // column-major access pattern disappear.
+  std::vector<float> pack(k * kLanes);
+  for (std::size_t j0 = 0; j0 < n; j0 += kLanes) {
+    const std::size_t jw = std::min(kLanes, n - j0);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      float* p = pack.data() + kk * kLanes;
+      for (std::size_t jj = 0; jj < jw; ++jj) {
+        p[jj] = b[(j0 + jj) * k + kk];
+      }
+      for (std::size_t jj = jw; jj < kLanes; ++jj) p[jj] = 0.0f;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* ar = a + i * k;
+      __m256 acc = _mm256_setzero_ps();
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const __m256 av = _mm256_set1_ps(ar[kk]);
+        const __m256 bv = _mm256_loadu_ps(pack.data() + kk * kLanes);
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(av, bv));
+      }
+      float* cr = c + i * n + j0;
+      if (jw == kLanes) {
+        _mm256_storeu_ps(cr, acc);
+      } else {
+        float tmp[kLanes];
+        _mm256_storeu_ps(tmp, acc);
+        std::memcpy(cr, tmp, jw * sizeof(float));
+      }
+    }
+  }
+}
+
+RECD_AVX2 void MatmulAB(const float* a, std::size_t m, std::size_t k,
+                        const float* b, std::size_t n, float* c) {
+  std::memset(c, 0, m * n * sizeof(float));
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* ar = a + i * k;
+    float* cr = c + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = ar[kk];
+      if (av == 0.0f) continue;
+      AddScaledRow(cr, b + kk * n, av, n);
+    }
+  }
+}
+
+RECD_AVX2 void AccumulateOuter(const float* g, std::size_t rows,
+                               std::size_t out_dim, const float* x,
+                               std::size_t in_dim, float* grad_w,
+                               float* grad_b) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* gr = g + r * out_dim;
+    const float* xr = x + r * in_dim;
+    for (std::size_t o = 0; o < out_dim; ++o) {
+      const float gv = gr[o];
+      if (gv == 0.0f) continue;
+      AddScaledRow(grad_w + o * in_dim, xr, gv, in_dim);
+      grad_b[o] += gv;
+    }
+  }
+}
+
+RECD_AVX2 double BceLossSum(const float* logits, const float* labels,
+                            std::size_t n) {
+  // SIMD computes the algebraic parts alg = max(z,0) - z*y and
+  // t = -|z|; log1p/exp stay scalar libm (a vector exp would not be
+  // bit-identical). The double accumulation runs in row order, and
+  // alg + log1p(exp(t)) reproduces the scalar expression's float
+  // evaluation order.
+  constexpr std::size_t kBlock = 256;
+  alignas(32) float alg[kBlock];
+  alignas(32) float t[kBlock];
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  double total = 0.0;
+  for (std::size_t base = 0; base < n; base += kBlock) {
+    const std::size_t len = std::min(kBlock, n - base);
+    std::size_t i = 0;
+    for (; i + kLanes <= len; i += kLanes) {
+      const __m256 z = _mm256_loadu_ps(logits + base + i);
+      const __m256 y = _mm256_loadu_ps(labels + base + i);
+      // max(z, 0.0f) as vmaxps(0, z): ±0 and NaN resolve to the second
+      // operand, matching std::max's (a<b)?b:a with a==z.
+      const __m256 mz = _mm256_max_ps(zero, z);
+      _mm256_storeu_ps(alg + i,
+                       _mm256_sub_ps(mz, _mm256_mul_ps(z, y)));
+      // -|z| = z with the sign bit forced on — bit-exact.
+      _mm256_storeu_ps(t + i, _mm256_or_ps(_mm256_andnot_ps(sign, z),
+                                           sign));
+    }
+    for (; i < len; ++i) {
+      const float z = logits[base + i];
+      alg[i] = std::max(z, 0.0f) - z * labels[base + i];
+      t[i] = -std::abs(z);
+    }
+    for (std::size_t r = 0; r < len; ++r) {
+      total += alg[r] + std::log1p(std::exp(t[r]));
+    }
+  }
+  return total;
+}
+
+RECD_AVX2 void BceGrad(const float* logits, const float* labels,
+                       std::size_t n, float inv_denom, float* grad) {
+  // The branchy stable sigmoid stays scalar; the (s - y) * inv_denom
+  // epilogue runs vectorized over rows (elementwise — no reduction).
+  for (std::size_t r = 0; r < n; ++r) {
+    const float z = logits[r];
+    if (z >= 0.0f) {
+      grad[r] = 1.0f / (1.0f + std::exp(-z));
+    } else {
+      const float e = std::exp(z);
+      grad[r] = e / (1.0f + e);
+    }
+  }
+  const __m256 inv = _mm256_set1_ps(inv_denom);
+  std::size_t r = 0;
+  for (; r + kLanes <= n; r += kLanes) {
+    const __m256 s = _mm256_loadu_ps(grad + r);
+    const __m256 y = _mm256_loadu_ps(labels + r);
+    _mm256_storeu_ps(grad + r,
+                     _mm256_mul_ps(_mm256_sub_ps(s, y), inv));
+  }
+  for (; r < n; ++r) grad[r] = (grad[r] - labels[r]) * inv_denom;
+}
+
+RECD_AVX2 void SgdUpdate(float* w, const float* g, std::size_t n,
+                         float lr) {
+  SubScaledRow(w, g, lr, n);
+}
+
+RECD_AVX2 void AddInPlace(float* dst, const float* src, std::size_t n) {
+  AddRows(dst, src, n);
+}
+
+RECD_AVX2 void AddRowBias(float* y, std::size_t rows, std::size_t cols,
+                          const float* bias) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    AddRows(y + r * cols, bias, cols);
+  }
+}
+
+RECD_AVX2 void ReluInPlace(float* v, std::size_t n) {
+  // Zero exactly where v < 0 (ordered: NaN stays, -0 stays) — the
+  // scalar branch, lane-parallel.
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256 x = _mm256_loadu_ps(v + i);
+    const __m256 neg = _mm256_cmp_ps(x, zero, _CMP_LT_OQ);
+    _mm256_storeu_ps(v + i, _mm256_andnot_ps(neg, x));
+  }
+  for (; i < n; ++i) {
+    if (v[i] < 0.0f) v[i] = 0.0f;
+  }
+}
+
+RECD_AVX2 void ReluMask(float* g, const float* pre, std::size_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256 p = _mm256_loadu_ps(pre + i);
+    const __m256 off = _mm256_cmp_ps(p, zero, _CMP_LE_OQ);
+    _mm256_storeu_ps(g + i,
+                     _mm256_andnot_ps(off, _mm256_loadu_ps(g + i)));
+  }
+  for (; i < n; ++i) {
+    if (pre[i] <= 0.0f) g[i] = 0.0f;
+  }
+}
+
+RECD_AVX2 void DenseNormalize(float* x, std::size_t n, float mean,
+                              float inv_scale) {
+  const __m256 mv = _mm256_set1_ps(mean);
+  const __m256 iv = _mm256_set1_ps(inv_scale);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm256_storeu_ps(
+        x + i,
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(x + i), mv), iv));
+  }
+  for (; i < n; ++i) x[i] = (x[i] - mean) * inv_scale;
+}
+
+RECD_AVX2 void DenseClamp(float* x, std::size_t n, float lo, float hi) {
+  // std::clamp is (v < lo) ? lo : (hi < v) ? hi : v — apply the hi
+  // replacement first, then lo, so lo has the same priority as the
+  // nested ternary; NaN fails both ordered compares and passes through.
+  const __m256 lov = _mm256_set1_ps(lo);
+  const __m256 hiv = _mm256_set1_ps(hi);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 gt = _mm256_cmp_ps(hiv, v, _CMP_LT_OQ);
+    const __m256 lt = _mm256_cmp_ps(v, lov, _CMP_LT_OQ);
+    __m256 r = _mm256_blendv_ps(v, hiv, gt);
+    r = _mm256_blendv_ps(r, lov, lt);
+    _mm256_storeu_ps(x + i, r);
+  }
+  for (; i < n; ++i) x[i] = std::clamp(x[i], lo, hi);
+}
+
+#undef RECD_AVX2
+
+#else  // !RECD_KERNELS_AVX2
+
+// Non-x86 (or non-GNU) builds: the dispatcher never selects simd::
+// (VectorizedAvailable() is false), but the symbols must exist.
+void PooledLookup(const tensor::JaggedTensor& batch, const float* weights,
+                  std::size_t hash_size, std::size_t dim, Pool pool,
+                  float* out) {
+  detail::PooledLookup(batch, weights, hash_size, dim, pool, out);
+}
+void SumPoolGroup(std::span<const GroupFeature> group, std::size_t dim,
+                  float* out) {
+  detail::SumPoolGroup(group, dim, out);
+}
+void FusedPooledLookup(std::span<const GroupFeature> group,
+                       std::span<const std::int64_t> inverse,
+                       std::size_t dim, float* out) {
+  detail::FusedPooledLookup(group, inverse, dim, out);
+}
+void ScatterSgdUpdate(const tensor::JaggedTensor& batch, const float* grad,
+                      Pool pool, float lr, float* weights,
+                      std::size_t hash_size, std::size_t dim) {
+  detail::ScatterSgdUpdate(batch, grad, pool, lr, weights, hash_size, dim);
+}
+void MatmulABt(const float* a, std::size_t m, std::size_t k, const float* b,
+               std::size_t n, float* c) {
+  detail::MatmulABt(a, m, k, b, n, c);
+}
+void MatmulAB(const float* a, std::size_t m, std::size_t k, const float* b,
+              std::size_t n, float* c) {
+  detail::MatmulAB(a, m, k, b, n, c);
+}
+void AccumulateOuter(const float* g, std::size_t rows, std::size_t out_dim,
+                     const float* x, std::size_t in_dim, float* grad_w,
+                     float* grad_b) {
+  detail::AccumulateOuter(g, rows, out_dim, x, in_dim, grad_w, grad_b);
+}
+double BceLossSum(const float* logits, const float* labels, std::size_t n) {
+  return detail::BceLossSum(logits, labels, n);
+}
+void BceGrad(const float* logits, const float* labels, std::size_t n,
+             float inv_denom, float* grad) {
+  detail::BceGrad(logits, labels, n, inv_denom, grad);
+}
+void SgdUpdate(float* w, const float* g, std::size_t n, float lr) {
+  detail::SgdUpdate(w, g, n, lr);
+}
+void AddInPlace(float* dst, const float* src, std::size_t n) {
+  detail::AddInPlace(dst, src, n);
+}
+void AddRowBias(float* y, std::size_t rows, std::size_t cols,
+                const float* bias) {
+  detail::AddRowBias(y, rows, cols, bias);
+}
+void ReluInPlace(float* v, std::size_t n) { detail::ReluInPlace(v, n); }
+void ReluMask(float* g, const float* pre, std::size_t n) {
+  detail::ReluMask(g, pre, n);
+}
+void DenseNormalize(float* x, std::size_t n, float mean, float inv_scale) {
+  detail::DenseNormalize(x, n, mean, inv_scale);
+}
+void DenseClamp(float* x, std::size_t n, float lo, float hi) {
+  detail::DenseClamp(x, n, lo, hi);
+}
+
+#endif  // RECD_KERNELS_AVX2
+
+}  // namespace recd::kernels::simd

@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <stdexcept>
 
+#include "kernels/kernels.h"
+
 namespace recd::nn {
 
 DenseMatrix DenseMatrix::Xavier(std::size_t rows, std::size_t cols,
@@ -23,15 +25,8 @@ void MatmulABt(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c) {
     throw std::invalid_argument("MatmulABt: inner dimension mismatch");
   }
   c = DenseMatrix(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const auto ar = a.row(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const auto br = b.row(j);
-      float acc = 0.0f;
-      for (std::size_t k = 0; k < a.cols(); ++k) acc += ar[k] * br[k];
-      c.at(i, j) = acc;
-    }
-  }
+  kernels::MatmulABt(kernels::DefaultBackend(), a.data().data(), a.rows(),
+                     a.cols(), b.data().data(), b.rows(), c.data().data());
 }
 
 void MatmulAB(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c) {
@@ -39,16 +34,8 @@ void MatmulAB(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix& c) {
     throw std::invalid_argument("MatmulAB: inner dimension mismatch");
   }
   c = DenseMatrix(a.rows(), b.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const auto ar = a.row(i);
-    auto cr = c.row(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const float av = ar[k];
-      if (av == 0.0f) continue;
-      const auto br = b.row(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) cr[j] += av * br[j];
-    }
-  }
+  kernels::MatmulAB(kernels::DefaultBackend(), a.data().data(), a.rows(),
+                    a.cols(), b.data().data(), b.cols(), c.data().data());
 }
 
 DenseMatrix SliceRows(const DenseMatrix& m, std::size_t lo,

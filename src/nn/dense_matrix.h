@@ -4,8 +4,8 @@
 
 #include <cstddef>
 #include <span>
-#include <vector>
 
+#include "common/aligned.h"
 #include "common/rng.h"
 
 namespace recd::nn {
@@ -48,7 +48,7 @@ class DenseMatrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<float> data_;
+  common::AlignedVector<float> data_;
 };
 
 /// C = A * B^T  (A: m x k, B: n x k, C: m x n). The GEMM shape used by

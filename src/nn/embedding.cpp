@@ -4,7 +4,20 @@
 #include <stdexcept>
 #include <utility>
 
+#include "kernels/kernels.h"
+
 namespace recd::nn {
+
+namespace {
+kernels::Pool ToKernelPool(PoolingKind pooling) {
+  switch (pooling) {
+    case PoolingKind::kSum: return kernels::Pool::kSum;
+    case PoolingKind::kMean: return kernels::Pool::kMean;
+    case PoolingKind::kMax: return kernels::Pool::kMax;
+  }
+  throw std::invalid_argument("EmbeddingTable: unknown pooling kind");
+}
+}  // namespace
 
 EmbeddingTable::EmbeddingTable(std::size_t hash_size, std::size_t dim,
                                common::Rng& rng) {
@@ -36,40 +49,31 @@ DenseMatrix EmbeddingTable::PooledForward(const tensor::JaggedTensor& batch,
                                           PoolingKind pooling) {
   const std::size_t d = dim();
   DenseMatrix out(batch.num_rows(), d);
-  for (std::size_t r = 0; r < batch.num_rows(); ++r) {
-    const auto ids = batch.row(r);
-    auto orow = out.row(r);
-    if (ids.empty()) continue;
-    switch (pooling) {
-      case PoolingKind::kSum:
-      case PoolingKind::kMean: {
-        for (const auto id : ids) {
-          const auto w = Lookup(id);
-          for (std::size_t c = 0; c < d; ++c) orow[c] += w[c];
-        }
-        if (pooling == PoolingKind::kMean) {
-          const float inv = 1.0f / static_cast<float>(ids.size());
-          for (std::size_t c = 0; c < d; ++c) orow[c] *= inv;
-        }
-        break;
-      }
-      case PoolingKind::kMax: {
-        std::copy(Lookup(ids[0]).begin(), Lookup(ids[0]).end(),
-                  orow.begin());
-        for (std::size_t i = 1; i < ids.size(); ++i) {
-          const auto w = Lookup(ids[i]);
-          for (std::size_t c = 0; c < d; ++c) {
-            orow[c] = std::max(orow[c], w[c]);
-          }
-        }
-        break;
-      }
-    }
-  }
+  kernels::PooledLookup(backend_, batch, weights_.data().data(),
+                        weights_.rows(), d, ToKernelPool(pooling),
+                        out.data().data());
   stats_.lookups += batch.total_values();
   stats_.flops += 2ull * batch.total_values() * d;
   stats_.bytes_read += batch.total_values() * d * sizeof(float);
   stats_.bytes_written += out.byte_size();
+  return out;
+}
+
+DenseMatrix EmbeddingTable::FusedPooledForward(
+    const tensor::JaggedTensor& unique,
+    std::span<const std::int64_t> inverse) {
+  const std::size_t d = dim();
+  DenseMatrix out(inverse.size(), d);
+  const kernels::GroupFeature gf[] = {
+      {&unique, weights_.data().data(), weights_.rows()}};
+  kernels::FusedPooledLookup(backend_, gf, inverse, d, out.data().data());
+  // Same accounting as PooledForward on the unique rows (the gather
+  // writes no new float math and the old two-step path counted only the
+  // unique-row pooling).
+  stats_.lookups += unique.total_values();
+  stats_.flops += 2ull * unique.total_values() * d;
+  stats_.bytes_read += unique.total_values() * d * sizeof(float);
+  stats_.bytes_written += unique.num_rows() * d * sizeof(float);
   return out;
 }
 
@@ -102,19 +106,9 @@ void EmbeddingTable::ApplyPooledGradient(const tensor::JaggedTensor& batch,
     throw std::invalid_argument(
         "EmbeddingTable: max pooling backward unsupported");
   }
-  for (std::size_t r = 0; r < batch.num_rows(); ++r) {
-    const auto ids = batch.row(r);
-    if (ids.empty()) continue;
-    const auto g = grad.row(r);
-    const float scale =
-        pooling == PoolingKind::kMean
-            ? lr / static_cast<float>(ids.size())
-            : lr;
-    for (const auto id : ids) {
-      auto w = weights_.row(RowIndex(id));
-      for (std::size_t c = 0; c < w.size(); ++c) w[c] -= scale * g[c];
-    }
-  }
+  kernels::ScatterSgdUpdate(backend_, batch, grad.data().data(),
+                            ToKernelPool(pooling), lr,
+                            weights_.data().data(), weights_.rows(), dim());
 }
 
 }  // namespace recd::nn

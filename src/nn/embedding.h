@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "kernels/backend.h"
 #include "nn/dense_matrix.h"
 #include "nn/op_stats.h"
 #include "tensor/jagged.h"
@@ -44,6 +45,16 @@ class EmbeddingTable {
   /// value in the jagged batch (feeds attention pooling).
   [[nodiscard]] DenseMatrix SequenceForward(const tensor::JaggedTensor& batch);
 
+  /// Fused dedup-aware sum-pooled lookup (RecD O5+O7 in one pass):
+  /// pools each *unique* row once and writes the pooled vector into
+  /// every batch slot i with inverse[i] == u — bitwise-identical to
+  /// PooledForward(unique, kSum) followed by a row gather through
+  /// `inverse`, without materializing the unique-row matrix. Every
+  /// inverse entry must be in [0, unique.num_rows()).
+  [[nodiscard]] DenseMatrix FusedPooledForward(
+      const tensor::JaggedTensor& unique,
+      std::span<const std::int64_t> inverse);
+
   /// Sparse SGD for sum/mean pooling: applies -lr * grad(r) to every ID
   /// of row r (scaled by 1/len for mean). Max pooling is forward-only.
   void ApplyPooledGradient(const tensor::JaggedTensor& batch,
@@ -62,11 +73,18 @@ class EmbeddingTable {
   [[nodiscard]] const OpStats& stats() const { return stats_; }
   void ResetStats() { stats_ = {}; }
 
+  /// Kernel backend for lookups/updates (defaults to the process-wide
+  /// kernels::DefaultBackend()). Both backends are bitwise-identical;
+  /// the setter exists so parity tests can pin each path explicitly.
+  void set_backend(kernels::KernelBackend b) { backend_ = b; }
+  [[nodiscard]] kernels::KernelBackend backend() const { return backend_; }
+
  private:
   [[nodiscard]] std::size_t RowIndex(tensor::Id id) const;
 
   DenseMatrix weights_;
   OpStats stats_;
+  kernels::KernelBackend backend_ = kernels::DefaultBackend();
 };
 
 }  // namespace recd::nn

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/kernels.h"
+
 namespace recd::nn {
 
 float Sigmoid(float x) {
@@ -13,20 +15,20 @@ float Sigmoid(float x) {
   return e / (1.0f + e);
 }
 
-double BceWithLogitsLossSum(const DenseMatrix& logits,
+double BceWithLogitsLossSum(kernels::KernelBackend backend,
+                            const DenseMatrix& logits,
                             std::span<const float> labels) {
   if (logits.rows() != labels.size() || logits.cols() != 1) {
     throw std::invalid_argument("BceWithLogitsLossSum: shape mismatch");
   }
   // loss term = max(z,0) - z*y + log(1 + exp(-|z|)) (stable form).
-  double total = 0.0;
-  for (std::size_t r = 0; r < logits.rows(); ++r) {
-    const float z = logits.at(r, 0);
-    const float y = labels[r];
-    total += std::max(z, 0.0f) - z * y +
-             std::log1p(std::exp(-std::abs(z)));
-  }
-  return total;
+  return kernels::BceLossSum(backend, logits.data().data(), labels.data(),
+                             labels.size());
+}
+
+double BceWithLogitsLossSum(const DenseMatrix& logits,
+                            std::span<const float> labels) {
+  return BceWithLogitsLossSum(kernels::DefaultBackend(), logits, labels);
 }
 
 float BceWithLogitsLoss(const DenseMatrix& logits,
@@ -35,7 +37,8 @@ float BceWithLogitsLoss(const DenseMatrix& logits,
                             static_cast<double>(logits.rows()));
 }
 
-DenseMatrix BceWithLogitsGrad(const DenseMatrix& logits,
+DenseMatrix BceWithLogitsGrad(kernels::KernelBackend backend,
+                              const DenseMatrix& logits,
                               std::span<const float> labels,
                               std::size_t denom) {
   if (logits.rows() != labels.size() || logits.cols() != 1) {
@@ -46,10 +49,16 @@ DenseMatrix BceWithLogitsGrad(const DenseMatrix& logits,
   }
   DenseMatrix grad(logits.rows(), 1);
   const float inv_n = 1.0f / static_cast<float>(denom);
-  for (std::size_t r = 0; r < logits.rows(); ++r) {
-    grad.at(r, 0) = (Sigmoid(logits.at(r, 0)) - labels[r]) * inv_n;
-  }
+  kernels::BceGrad(backend, logits.data().data(), labels.data(),
+                   labels.size(), inv_n, grad.data().data());
   return grad;
+}
+
+DenseMatrix BceWithLogitsGrad(const DenseMatrix& logits,
+                              std::span<const float> labels,
+                              std::size_t denom) {
+  return BceWithLogitsGrad(kernels::DefaultBackend(), logits, labels,
+                           denom);
 }
 
 DenseMatrix BceWithLogitsGrad(const DenseMatrix& logits,

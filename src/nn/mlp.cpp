@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "kernels/kernels.h"
+
 namespace recd::nn {
 
 Linear::Linear(std::size_t in_dim, std::size_t out_dim, bool relu,
@@ -18,17 +20,14 @@ DenseMatrix Linear::Forward(const DenseMatrix& x) {
     throw std::invalid_argument("Linear::Forward: input dim mismatch");
   }
   last_input_ = x;
-  DenseMatrix y;
-  MatmulABt(x, w_, y);
-  for (std::size_t r = 0; r < y.rows(); ++r) {
-    auto yr = y.row(r);
-    for (std::size_t c = 0; c < y.cols(); ++c) yr[c] += b_[c];
-  }
+  DenseMatrix y(x.rows(), w_.rows());
+  kernels::MatmulABt(backend_, x.data().data(), x.rows(), x.cols(),
+                     w_.data().data(), w_.rows(), y.data().data());
+  kernels::AddRowBias(backend_, y.data().data(), y.rows(), y.cols(),
+                      b_.data());
   last_pre_act_ = y;
   if (relu_) {
-    for (auto& v : y.data()) {
-      if (v < 0.0f) v = 0.0f;
-    }
+    kernels::ReluInPlace(backend_, y.data().data(), y.size());
   }
   stats_.flops += 2ull * x.rows() * x.cols() * w_.rows();
   stats_.bytes_read += (x.byte_size() + w_.byte_size());
@@ -43,26 +42,16 @@ DenseMatrix Linear::Backward(const DenseMatrix& grad_out) {
   }
   DenseMatrix g = grad_out;
   if (relu_) {
-    const auto pre = last_pre_act_.data();
-    auto gd = g.data();
-    for (std::size_t i = 0; i < gd.size(); ++i) {
-      if (pre[i] <= 0.0f) gd[i] = 0.0f;
-    }
+    kernels::ReluMask(backend_, g.data().data(),
+                      last_pre_act_.data().data(), g.size());
   }
   // dW += g^T X ; db += colsum g ; dX = g W
-  for (std::size_t r = 0; r < g.rows(); ++r) {
-    const auto gr = g.row(r);
-    const auto xr = last_input_.row(r);
-    for (std::size_t o = 0; o < w_.rows(); ++o) {
-      const float gv = gr[o];
-      if (gv == 0.0f) continue;
-      auto wr = grad_w_.row(o);
-      for (std::size_t i = 0; i < w_.cols(); ++i) wr[i] += gv * xr[i];
-      grad_b_[o] += gv;
-    }
-  }
-  DenseMatrix grad_in;
-  MatmulAB(g, w_, grad_in);
+  kernels::AccumulateOuter(backend_, g.data().data(), g.rows(), w_.rows(),
+                           last_input_.data().data(), w_.cols(),
+                           grad_w_.data().data(), grad_b_.data());
+  DenseMatrix grad_in(g.rows(), w_.cols());
+  kernels::MatmulAB(backend_, g.data().data(), g.rows(), g.cols(),
+                    w_.data().data(), w_.cols(), grad_in.data().data());
   stats_.flops += 4ull * g.rows() * g.cols() * w_.cols();
   return grad_in;
 }
@@ -82,12 +71,10 @@ void Linear::AccumulateGradients(const DenseMatrix& grad_w,
     throw std::invalid_argument(
         "Linear::AccumulateGradients: shape mismatch");
   }
-  auto gw = grad_w_.data();
-  const auto in = grad_w.data();
-  for (std::size_t i = 0; i < gw.size(); ++i) gw[i] += in[i];
-  for (std::size_t i = 0; i < grad_b_.size(); ++i) {
-    grad_b_[i] += grad_b[i];
-  }
+  kernels::AddInPlace(backend_, grad_w_.data().data(),
+                      grad_w.data().data(), grad_w_.size());
+  kernels::AddInPlace(backend_, grad_b_.data(), grad_b.data(),
+                      grad_b_.size());
 }
 
 void Linear::LoadParameters(DenseMatrix weights, std::vector<float> bias) {
@@ -102,10 +89,9 @@ void Linear::LoadParameters(DenseMatrix weights, std::vector<float> bias) {
 }
 
 void Linear::Step(float lr) {
-  auto wd = w_.data();
-  const auto gw = grad_w_.data();
-  for (std::size_t i = 0; i < wd.size(); ++i) wd[i] -= lr * gw[i];
-  for (std::size_t i = 0; i < b_.size(); ++i) b_[i] -= lr * grad_b_[i];
+  kernels::SgdUpdate(backend_, w_.data().data(), grad_w_.data().data(),
+                     w_.size(), lr);
+  kernels::SgdUpdate(backend_, b_.data(), grad_b_.data(), b_.size(), lr);
   grad_w_.Fill(0.0f);
   std::fill(grad_b_.begin(), grad_b_.end(), 0.0f);
 }
@@ -151,10 +137,10 @@ void MlpGradients::Add(const MlpGradients& other) {
         other.grad_b[l].size() != grad_b[l].size()) {
       throw std::invalid_argument("MlpGradients::Add: shape mismatch");
     }
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
-    for (std::size_t i = 0; i < grad_b[l].size(); ++i) {
-      grad_b[l][i] += other.grad_b[l][i];
-    }
+    kernels::AddInPlace(kernels::DefaultBackend(), dst.data(), src.data(),
+                        dst.size());
+    kernels::AddInPlace(kernels::DefaultBackend(), grad_b[l].data(),
+                        other.grad_b[l].data(), grad_b[l].size());
   }
 }
 
@@ -213,6 +199,10 @@ OpStats Mlp::stats() const {
 
 void Mlp::ResetStats() {
   for (auto& layer : layers_) layer.ResetStats();
+}
+
+void Mlp::set_backend(kernels::KernelBackend b) {
+  for (auto& layer : layers_) layer.set_backend(b);
 }
 
 }  // namespace recd::nn

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "kernels/backend.h"
 #include "nn/dense_matrix.h"
 #include "nn/op_stats.h"
 
@@ -59,7 +60,13 @@ class Linear {
   [[nodiscard]] const OpStats& stats() const { return stats_; }
   void ResetStats() { stats_ = {}; }
 
+  /// Kernel backend for the layer's GEMMs/updates (defaults to the
+  /// process-wide kernels::DefaultBackend()); bitwise-neutral.
+  void set_backend(kernels::KernelBackend b) { backend_ = b; }
+  [[nodiscard]] kernels::KernelBackend backend() const { return backend_; }
+
  private:
+  kernels::KernelBackend backend_ = kernels::DefaultBackend();
   DenseMatrix w_;  // out x in
   std::vector<float> b_;
   bool relu_;
@@ -110,6 +117,9 @@ class Mlp {
   [[nodiscard]] std::size_t num_params() const;
   [[nodiscard]] OpStats stats() const;
   void ResetStats();
+
+  /// Propagates a kernel backend to every layer (parity tests).
+  void set_backend(kernels::KernelBackend b);
 
   [[nodiscard]] std::size_t in_dim() const { return layers_.front().in_dim(); }
   [[nodiscard]] std::size_t out_dim() const {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/hash.h"
+#include "kernels/kernels.h"
 
 namespace recd::reader {
 
@@ -40,7 +41,8 @@ void ApplySparseTransform(const TransformSpec& spec,
   }
 }
 
-void ApplyDenseTransform(const TransformSpec& spec, std::span<float> dense) {
+void ApplyDenseTransform(kernels::KernelBackend backend,
+                         const TransformSpec& spec, std::span<float> dense) {
   switch (spec.kind) {
     case TransformKind::kDenseNormalize: {
       if (spec.b == 0) {
@@ -48,13 +50,14 @@ void ApplyDenseTransform(const TransformSpec& spec, std::span<float> dense) {
       }
       const float mean = static_cast<float>(spec.a);
       const float inv = 1.0f / static_cast<float>(spec.b);
-      for (auto& v : dense) v = (v - mean) * inv;
+      kernels::DenseNormalize(backend, dense.data(), dense.size(), mean,
+                              inv);
       return;
     }
     case TransformKind::kDenseClamp: {
       const float lo = static_cast<float>(spec.a);
       const float hi = static_cast<float>(spec.b);
-      for (auto& v : dense) v = std::clamp(v, lo, hi);
+      kernels::DenseClamp(backend, dense.data(), dense.size(), lo, hi);
       return;
     }
     case TransformKind::kSparseHash:
@@ -62,6 +65,10 @@ void ApplyDenseTransform(const TransformSpec& spec, std::span<float> dense) {
       throw std::invalid_argument(
           "ApplyDenseTransform: sparse transform on dense values");
   }
+}
+
+void ApplyDenseTransform(const TransformSpec& spec, std::span<float> dense) {
+  ApplyDenseTransform(kernels::DefaultBackend(), spec, dense);
 }
 
 std::size_t SparseElementsTouched(const TransformSpec& spec,

@@ -81,6 +81,7 @@ void ModelServer::WorkerLoop() {
   try {
     pipeline.emplace(*schema_, *loader_, options_.recd);
     dlrm.emplace(*model_, options_.model_seed);
+    dlrm->SetKernelBackend(options_.backend);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!first_error_) first_error_ = std::current_exception();

@@ -26,6 +26,7 @@
 
 #include "common/channel.h"
 #include "common/histogram.h"
+#include "kernels/backend.h"
 #include "nn/op_stats.h"
 #include "reader/dataloader.h"
 #include "serve/batcher.h"
@@ -58,6 +59,10 @@ class ModelServer {
     bool recd = true;
     /// Seed for every worker's model replica (identical weights).
     std::uint64_t model_seed = 0x5eedf00d;
+    /// Kernel backend for every worker replica's forward math.
+    /// Bitwise-neutral; pinned so serve parity tests can cross
+    /// backends against each other.
+    kernels::KernelBackend backend = kernels::DefaultBackend();
     /// Bounded batch queue ahead of the workers.
     std::size_t channel_capacity = 4;
     /// Completion timestamps for latency accounting. Unset (replay

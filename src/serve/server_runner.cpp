@@ -51,6 +51,7 @@ ServeResult ServerRunner::Run(const ServeConfig& config) {
   server_options.num_workers = config.num_workers;
   server_options.recd = config.recd;
   server_options.model_seed = options_.model_seed;
+  server_options.backend = options_.backend;
   server_options.channel_capacity = options_.batch_channel_capacity;
   if (config.pace_arrivals) {
     server_options.completion_clock = [start] {

@@ -59,6 +59,8 @@ struct ServeOptions {
   QueryGenOptions query;
   std::uint64_t model_seed = 0x5eedf00d;
   std::size_t batch_channel_capacity = 4;
+  /// Kernel backend for the worker replicas (bitwise-neutral).
+  kernels::KernelBackend backend = kernels::DefaultBackend();
 };
 
 struct ServeStats {

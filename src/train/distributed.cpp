@@ -133,7 +133,8 @@ struct DistributedTrainer::RankState {
   nn::EmbeddingShardView shard;
   ExchangeCounters counters;
 
-  RankState(const ModelConfig& model, std::uint64_t seed)
+  RankState(const ModelConfig& model, std::uint64_t seed,
+            kernels::KernelBackend backend)
       : bottom([&] {
           common::Rng rng(seed);
           return nn::Mlp(model.BottomMlpDims(), rng);
@@ -141,7 +142,10 @@ struct DistributedTrainer::RankState {
         top([&] {
           common::Rng rng(seed + 1);
           return nn::Mlp(model.TopMlpDims(), rng);
-        }()) {}
+        }()) {
+    bottom.set_backend(backend);
+    top.set_backend(backend);
+  }
 };
 
 DistributedTrainer::DistributedTrainer(ModelConfig model,
@@ -159,7 +163,8 @@ DistributedTrainer::DistributedTrainer(ModelConfig model,
   }
   ranks_.reserve(config_.num_ranks);
   for (std::size_t r = 0; r < config_.num_ranks; ++r) {
-    ranks_.push_back(std::make_unique<RankState>(model_, config_.seed));
+    ranks_.push_back(std::make_unique<RankState>(model_, config_.seed,
+                                                 config_.backend));
   }
   // Shard the tables: one construction pass in canonical table order
   // from the shared stream (matching ReferenceDlrm), each table handed
@@ -171,6 +176,7 @@ DistributedTrainer::DistributedTrainer(ModelConfig model,
     unit_owner_[u] = u % config_.num_ranks;
     for (const auto tid : units_[u].table_ids) {
       nn::EmbeddingTable table(model_.emb_hash_size, model_.emb_dim, rng);
+      table.set_backend(config_.backend);
       ranks_[unit_owner_[u]]->shard.AddTable(tid, std::move(table));
       table_owner_[tid] = unit_owner_[u];
     }
@@ -484,7 +490,7 @@ void DistributedTrainer::RunRank(
           jts.push_back(&in.jts[k]);
           tables.push_back(&st.shard.Table(unit.table_ids[k]));
         }
-        pooled = SumPoolConcatGroup(jts, tables);
+        pooled = SumPoolConcatGroup(config_.backend, jts, tables);
       } else {
         pooled = st.shard.Table(unit.table_ids[0])
                      .PooledForward(in.jts[0], nn::PoolingKind::kSum);
@@ -559,10 +565,11 @@ void DistributedTrainer::RunRank(
     const auto labels =
         std::span<const float>(batch.labels).subspan(lo + clo, rows);
     loss_chunks.emplace_back(
-        c, std::vector<double>{nn::BceWithLogitsLossSum(logits, labels)});
+        c, std::vector<double>{
+               nn::BceWithLogitsLossSum(config_.backend, logits, labels)});
 
     nn::DenseMatrix grad_logits =
-        nn::BceWithLogitsGrad(logits, labels, batch_size);
+        nn::BceWithLogitsGrad(config_.backend, logits, labels, batch_size);
     nn::DenseMatrix grad_interacted = st.top.Backward(grad_logits);
     std::vector<nn::DenseMatrix> grad_inputs;
     st.interaction.Backward(grad_interacted, ptrs, grad_inputs);

@@ -36,6 +36,7 @@
 #include <memory>
 #include <vector>
 
+#include "kernels/backend.h"
 #include "nn/embedding_shard.h"
 #include "nn/interaction.h"
 #include "nn/mlp.h"
@@ -58,6 +59,11 @@ struct DistributedConfig {
   /// Model initialization seed; rank replicas and the table shards
   /// reproduce ReferenceDlrm(model, seed) exactly.
   std::uint64_t seed = 0;
+  /// Kernel backend for every rank's MLPs, shard tables, pooling, and
+  /// loss math. Bitwise-neutral (scalar and vectorized kernels are
+  /// bit-identical); pinned here so determinism sweeps can cross
+  /// backends against the single-rank reference.
+  kernels::KernelBackend backend = kernels::DefaultBackend();
   /// Peer deadline for every collective wait; zero waits forever. With
   /// a deadline, a dead peer surfaces as RankFailure instead of a
   /// hang (see CollectiveOptions::peer_timeout).

@@ -5,6 +5,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "kernels/kernels.h"
 #include "tensor/jagged_ops.h"
 
 namespace recd::train {
@@ -38,14 +39,29 @@ tensor::JaggedTensor ExpandedFeature(const reader::PreprocessedBatch& batch,
 nn::DenseMatrix ExpandRows(const nn::DenseMatrix& pooled,
                            std::span<const std::int64_t> inverse) {
   nn::DenseMatrix out(inverse.size(), pooled.cols());
-  for (std::size_t i = 0; i < inverse.size(); ++i) {
-    const auto src = pooled.row(static_cast<std::size_t>(inverse[i]));
-    std::copy(src.begin(), src.end(), out.row(i).begin());
-  }
+  kernels::GatherRows(kernels::DefaultBackend(), pooled.data().data(),
+                      pooled.cols(), inverse, out.data().data());
   return out;
 }
 
+namespace {
+
+std::vector<kernels::GroupFeature> MakeGroupFeatures(
+    const std::vector<const tensor::JaggedTensor*>& jts,
+    const std::vector<const nn::EmbeddingTable*>& tables) {
+  std::vector<kernels::GroupFeature> group;
+  group.reserve(jts.size());
+  for (std::size_t k = 0; k < jts.size(); ++k) {
+    group.push_back({jts[k], tables[k]->weights().data().data(),
+                     tables[k]->hash_size()});
+  }
+  return group;
+}
+
+}  // namespace
+
 nn::DenseMatrix SumPoolConcatGroup(
+    kernels::KernelBackend backend,
     const std::vector<const tensor::JaggedTensor*>& jts,
     const std::vector<const nn::EmbeddingTable*>& tables) {
   if (jts.empty() || jts.size() != tables.size()) {
@@ -55,16 +71,15 @@ nn::DenseMatrix SumPoolConcatGroup(
   const std::size_t rows = jts.front()->num_rows();
   const std::size_t d = tables.front()->dim();
   nn::DenseMatrix pooled(rows, d);
-  for (std::size_t r = 0; r < rows; ++r) {
-    auto prow = pooled.row(r);
-    for (std::size_t k = 0; k < jts.size(); ++k) {
-      for (const auto id : jts[k]->row(r)) {
-        const auto w = tables[k]->Lookup(id);
-        for (std::size_t c = 0; c < d; ++c) prow[c] += w[c];
-      }
-    }
-  }
+  const auto group = MakeGroupFeatures(jts, tables);
+  kernels::SumPoolGroup(backend, group, d, pooled.data().data());
   return pooled;
+}
+
+nn::DenseMatrix SumPoolConcatGroup(
+    const std::vector<const tensor::JaggedTensor*>& jts,
+    const std::vector<const nn::EmbeddingTable*>& tables) {
+  return SumPoolConcatGroup(kernels::DefaultBackend(), jts, tables);
 }
 
 namespace {
@@ -134,33 +149,38 @@ ReferenceDlrm::PooledInputs ReferenceDlrm::PoolSparse(
   PooledInputs out;
   const std::size_t d = model_.emb_dim;
 
+  // Table pointers of a group's features, hoisted out of the id loops.
+  auto group_tables = [&](const SequenceGroup& group) {
+    std::vector<const nn::EmbeddingTable*> tables;
+    tables.reserve(group.features.size());
+    for (const auto& f : group.features) tables.push_back(&Table(f));
+    return tables;
+  };
+
   // Pools a group of features over the given (possibly deduplicated)
   // per-feature jagged tensors: per row, the features' sequences are
   // concatenated and pooled by attention or summed.
   auto pool_group = [&](const SequenceGroup& group,
                         const std::vector<const tensor::JaggedTensor*>& jts)
       -> nn::DenseMatrix {
+    const auto tables = group_tables(group);
+    if (!(group.attention && attention_ok)) {
+      // Summing the concatenated sequence in order == summing each
+      // feature's lookups in concatenation order.
+      return SumPoolConcatGroup(backend_, jts, tables);
+    }
     const std::size_t rows = jts.front()->num_rows();
-    const bool use_attention = group.attention && attention_ok;
     nn::DenseMatrix pooled(rows, d);
     std::vector<float> seq;
     for (std::size_t r = 0; r < rows; ++r) {
       seq.clear();
       for (std::size_t k = 0; k < jts.size(); ++k) {
         for (const auto id : jts[k]->row(r)) {
-          const auto w = Table(group.features[k]).Lookup(id);
+          const auto w = tables[k]->Lookup(id);
           seq.insert(seq.end(), w.begin(), w.end());
         }
       }
-      const std::size_t len = seq.size() / d;
-      if (use_attention) {
-        attention_.PoolRow(seq, len, pooled.row(r));
-      } else {
-        auto prow = pooled.row(r);
-        for (std::size_t i = 0; i < len; ++i) {
-          for (std::size_t c = 0; c < d; ++c) prow[c] += seq[i * d + c];
-        }
-      }
+      attention_.PoolRow(seq, seq.size() / d, pooled.row(r));
     }
     return pooled;
   };
@@ -175,8 +195,18 @@ ReferenceDlrm::PooledInputs ReferenceDlrm::PoolSparse(
       // O7: pool unique rows, then expand through the shared lookup.
       std::vector<const tensor::JaggedTensor*> jts;
       for (const auto& f : group.features) jts.push_back(&ikjt->Unique(f));
-      out.matrices.push_back(
-          ExpandRows(pool_group(group, jts), ikjt->inverse_lookup()));
+      if (group.attention && attention_ok) {
+        out.matrices.push_back(
+            ExpandRows(pool_group(group, jts), ikjt->inverse_lookup()));
+      } else {
+        // Fused O5+O7: pool each unique row once, scatter into batch
+        // slots — no unique-row matrix, no separate gather pass.
+        const auto gf = MakeGroupFeatures(jts, group_tables(group));
+        nn::DenseMatrix m(ikjt->inverse_lookup().size(), d);
+        kernels::FusedPooledLookup(backend_, gf, ikjt->inverse_lookup(),
+                                   d, m.data().data());
+        out.matrices.push_back(std::move(m));
+      }
     } else {
       // Baseline: expand every feature to batch rows, pool everything.
       std::vector<tensor::JaggedTensor> expanded;
@@ -193,10 +223,8 @@ ReferenceDlrm::PooledInputs ReferenceDlrm::PoolSparse(
   auto pool_single = [&](const std::string& feature) {
     const auto* ikjt = FindGroupByFirstKey(batch, feature);
     if (recd && ikjt != nullptr) {
-      auto pooled = Table(feature).PooledForward(ikjt->Unique(feature),
-                                                 nn::PoolingKind::kSum);
-      out.matrices.push_back(
-          ExpandRows(pooled, ikjt->inverse_lookup()));
+      out.matrices.push_back(Table(feature).FusedPooledForward(
+          ikjt->Unique(feature), ikjt->inverse_lookup()));
     } else {
       out.matrices.push_back(Table(feature).PooledForward(
           ExpandedFeature(batch, feature), nn::PoolingKind::kSum));
@@ -295,7 +323,7 @@ float ReferenceDlrm::TrainStep(const reader::PreprocessedBatch& batch,
         jts.push_back(&slices[k]);
         tables.push_back(&Table(model_.sequence_groups[g].features[k]));
       }
-      pooled.push_back(SumPoolConcatGroup(jts, tables));
+      pooled.push_back(SumPoolConcatGroup(backend_, jts, tables));
       cap.group_slices.push_back(std::move(slices));
     }
     for (std::size_t s = 0; s < single_feats.size(); ++s) {
@@ -313,10 +341,10 @@ float ReferenceDlrm::TrainStep(const reader::PreprocessedBatch& batch,
     nn::DenseMatrix logits = top_mlp_.Forward(interacted);
     const auto labels =
         std::span<const float>(batch.labels).subspan(lo, rows);
-    cap.loss_sum = nn::BceWithLogitsLossSum(logits, labels);
+    cap.loss_sum = nn::BceWithLogitsLossSum(backend_, logits, labels);
 
     nn::DenseMatrix grad_logits =
-        nn::BceWithLogitsGrad(logits, labels, batch_size);
+        nn::BceWithLogitsGrad(backend_, logits, labels, batch_size);
     nn::DenseMatrix grad_interacted = top_mlp_.Backward(grad_logits);
     interaction_.Backward(grad_interacted, ptrs, cap.grad_inputs);
     (void)bottom_mlp_.Backward(cap.grad_inputs[0]);
@@ -391,6 +419,13 @@ void ReferenceDlrm::ResetStats() {
   interaction_.ResetStats();
   attention_.ResetStats();
   for (auto& t : tables_) t.ResetStats();
+}
+
+void ReferenceDlrm::SetKernelBackend(kernels::KernelBackend b) {
+  backend_ = b;
+  bottom_mlp_.set_backend(b);
+  top_mlp_.set_backend(b);
+  for (auto& t : tables_) t.set_backend(b);
 }
 
 }  // namespace recd::train

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "kernels/backend.h"
 #include "nn/attention.h"
 #include "nn/embedding.h"
 #include "nn/interaction.h"
@@ -58,6 +59,13 @@ inline constexpr std::size_t kGradChunks = 4;
     const std::vector<const tensor::JaggedTensor*>& jts,
     const std::vector<const nn::EmbeddingTable*>& tables);
 
+/// Backend-pinned variant (the overload above uses
+/// kernels::DefaultBackend()); bitwise-identical across backends.
+[[nodiscard]] nn::DenseMatrix SumPoolConcatGroup(
+    kernels::KernelBackend backend,
+    const std::vector<const tensor::JaggedTensor*>& jts,
+    const std::vector<const nn::EmbeddingTable*>& tables);
+
 class ReferenceDlrm {
  public:
   ReferenceDlrm(ModelConfig model, std::uint64_t seed);
@@ -91,6 +99,15 @@ class ReferenceDlrm {
   [[nodiscard]] nn::OpStats Stats() const;
   void ResetStats();
 
+  /// Pins the kernel backend for every MLP layer, embedding table, and
+  /// loss/pooling call of this model (default: the process-wide
+  /// kernels::DefaultBackend()). Both backends are bitwise-identical;
+  /// the parity tests compare them explicitly.
+  void SetKernelBackend(kernels::KernelBackend b);
+  [[nodiscard]] kernels::KernelBackend kernel_backend() const {
+    return backend_;
+  }
+
  private:
   struct PooledInputs {
     std::vector<nn::DenseMatrix> matrices;
@@ -102,6 +119,7 @@ class ReferenceDlrm {
       const reader::PreprocessedBatch& batch);
 
   ModelConfig model_;
+  kernels::KernelBackend backend_ = kernels::DefaultBackend();
   nn::Mlp bottom_mlp_;
   nn::Mlp top_mlp_;
   nn::FeatureInteraction interaction_;

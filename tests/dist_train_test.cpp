@@ -393,6 +393,43 @@ TEST(DistributedTrainerTest, BitwiseMatchesReferenceForEveryRankCount) {
   }
 }
 
+TEST(DistributedTrainerTest, VectorizedBackendBitwiseMatchesScalarReference) {
+  // The determinism matrix crossed with the kernel layer: a *scalar*
+  // single-rank reference against *vectorized* distributed runs at
+  // every rank count, both batch forms. Bitwise-equal losses and
+  // weights prove the SIMD kernels honor the reduction-order contract
+  // through the all-reduce and the sharded sparse updates.
+  auto fx = MakeFixture();
+  ReferenceDlrm ref(fx.model, /*seed=*/42);
+  ref.SetKernelBackend(kernels::KernelBackend::kScalar);
+  std::vector<float> ref_losses;
+  for (int k = 0; k < kSteps; ++k) {
+    ref_losses.push_back(ref.TrainStep(fx.base_batch, kLr));
+  }
+
+  for (const std::size_t n : {1u, 2u, 4u}) {
+    for (const bool recd : {false, true}) {
+      DistributedConfig config;
+      config.num_ranks = n;
+      config.recd = recd;
+      config.lr = kLr;
+      config.seed = 42;
+      config.backend = kernels::KernelBackend::kVectorized;
+      DistributedTrainer dist(fx.model, config);
+      const auto& batch = recd ? fx.recd_batch : fx.base_batch;
+      const std::string what = std::string("vectorized ") +
+                               (recd ? "recd" : "base") + "/" +
+                               std::to_string(n) + " ranks";
+      for (int k = 0; k < kSteps; ++k) {
+        const float loss = dist.Step(batch);
+        EXPECT_EQ(loss, ref_losses[static_cast<std::size_t>(k)])
+            << what << ": loss differs at step " << k;
+      }
+      ExpectMatchesReference(dist, ref, what);
+    }
+  }
+}
+
 TEST(DistributedTrainerTest, RecdShipsStrictlyFewerSparseBytes) {
   auto fx = MakeFixture();
   for (const std::size_t n : {2u, 4u}) {

@@ -230,6 +230,26 @@ TEST(ServerRunnerTest, BaselineAndRecdScoresAreBitwiseIdentical) {
   EXPECT_LT(recd.stats.flops, base.stats.flops);
 }
 
+TEST(ServerRunnerTest, ScoresBitwiseIdenticalAcrossKernelBackends) {
+  // Scalar and vectorized kernel backends must replay to identical
+  // scores, on both serving paths (the kernel layer's bitwise
+  // contract, observed end to end through the worker pool).
+  const auto spec = MakeSpec();
+  const auto model = MakeModel(spec);
+  ServeOptions scalar_options;
+  scalar_options.query = SmallQuery(48, 4);
+  scalar_options.backend = kernels::KernelBackend::kScalar;
+  ServeOptions vec_options = scalar_options;
+  vec_options.backend = kernels::KernelBackend::kVectorized;
+  ServerRunner scalar_runner(spec, model, scalar_options);
+  ServerRunner vec_runner(spec, model, vec_options);
+  for (const bool recd : {false, true}) {
+    const auto a = scalar_runner.Run(ReplayConfig(recd));
+    const auto b = vec_runner.Run(ReplayConfig(recd));
+    ExpectSameScores(a, b);
+  }
+}
+
 TEST(ServerRunnerTest, ParityHoldsWithAttentionPooling) {
   // RM1 pools sequence groups with self-attention: O7 at inference.
   const auto spec = MakeSpec(datagen::RmKind::kRm1, 0.05);

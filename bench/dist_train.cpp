@@ -153,6 +153,72 @@ int main(int argc, char** argv) {
                  std::nullopt, "x");
     }
   }
+  // ---- Tiered embedding store (docs/ARCHITECTURE.md §13) -------------
+  // Same model, batches, and seed, but every shard's tables sit behind
+  // the two-tier row store with a hot tier 1/16th of the table. The
+  // tier-placement determinism rule says the losses must match the
+  // dense r2 rows above bitwise; the tier counters say what that cost.
+  bench::PrintHeader("tiered embedding store (r2, hot = table/16)");
+  std::printf("%-12s %10s %8s %12s %10s %10s\n", "config", "step ms",
+              "hit%", "cold B", "cold rows", "evict");
+  bench::PrintRule();
+  for (const bool recd : {false, true}) {
+    auto tiered_model = model;
+    tiered_model.tiering.enabled = true;
+    tiered_model.tiering.hot_capacity_rows = model.emb_hash_size / 16;
+    tiered_model.tiering.rows_per_segment = 128;
+    train::DistributedConfig config;
+    config.num_ranks = 2;
+    config.recd = recd;
+    config.lr = 0.05f;
+    config.seed = 7;
+    train::DistributedTrainer trainer(tiered_model, config);
+    const auto& batch = recd ? recd_batch : base_batch;
+    common::Stopwatch sw;
+    float loss = 0;
+    for (int k = 0; k < steps; ++k) {
+      common::Stopwatch::Scope scope(sw);
+      loss = trainer.Step(batch);
+    }
+    const auto tier = trainer.TierStatsTotal();
+    const double step_ms = sw.seconds() * 1e3 / steps;
+    const std::string name =
+        (recd ? "recd" : "base") + std::string(" r2 tier");
+    std::printf("%-12s %10.1f %7.1f%% %12llu %10llu %10llu\n", name.c_str(),
+                step_ms, tier.hit_rate() * 100,
+                static_cast<unsigned long long>(tier.bytes_from_cold),
+                static_cast<unsigned long long>(tier.cold_fetches),
+                static_cast<unsigned long long>(tier.evictions));
+
+    const std::string prefix =
+        std::string(recd ? "recd" : "base") + "_r2_tier";
+    report.Add(prefix + "_step_ms", step_ms, std::nullopt, "ms");
+    report.Add(prefix + "_hit_rate", tier.hit_rate(), std::nullopt, "frac");
+    report.Add(prefix + "_hot_hits", static_cast<double>(tier.hot_hits),
+               std::nullopt, "rows");
+    report.Add(prefix + "_cold_fetches",
+               static_cast<double>(tier.cold_fetches), std::nullopt, "rows");
+    report.Add(prefix + "_evictions", static_cast<double>(tier.evictions),
+               std::nullopt, "rows");
+    report.Add(prefix + "_bytes_from_cold",
+               static_cast<double>(tier.bytes_from_cold), std::nullopt,
+               "bytes");
+
+    for (const auto& row : rows) {
+      if (row.ranks == 2 && row.recd == recd &&
+          row.final_loss != loss) {
+        std::printf("FAIL: tiered r2 loss diverged from dense (%g vs %g)\n",
+                    static_cast<double>(loss),
+                    static_cast<double>(row.final_loss));
+        ok = false;
+      }
+    }
+    if (tier.row_fetches == 0) {
+      std::printf("FAIL: tiered trainer reported no row fetches\n");
+      ok = false;
+    }
+  }
+
   std::printf("\nbase/recd losses %s; sparse exchange %s\n",
               ok ? "bitwise identical" : "MISMATCH",
               ok ? "shrinks under RecD" : "check FAILED");

@@ -64,6 +64,19 @@ void AddMetrics(JsonReport& report, const std::string& prefix,
   report.Add(prefix + "_embedding_lookups", s.embedding_lookups,
              std::nullopt, "rows");
   report.Add(prefix + "_flops", s.flops, std::nullopt, "flops");
+  // Embedding-tier counters (docs/ARCHITECTURE.md §13): all-zero when
+  // the replicas serve from dense tables, populated in the tiered sweep.
+  report.Add(prefix + "_tier_hit_rate", s.tier.hit_rate(), std::nullopt,
+             "frac");
+  report.Add(prefix + "_tier_hot_hits",
+             static_cast<double>(s.tier.hot_hits), std::nullopt, "rows");
+  report.Add(prefix + "_tier_cold_fetches",
+             static_cast<double>(s.tier.cold_fetches), std::nullopt, "rows");
+  report.Add(prefix + "_tier_evictions",
+             static_cast<double>(s.tier.evictions), std::nullopt, "rows");
+  report.Add(prefix + "_tier_bytes_from_cold",
+             static_cast<double>(s.tier.bytes_from_cold), std::nullopt,
+             "bytes");
 }
 
 }  // namespace
@@ -137,5 +150,61 @@ int main(int argc, char** argv) {
     }
   }
 
-  return report.WriteIfRequested(argc, argv) ? 0 : 1;
+  // ---- Sweep 3: tiered embedding store behind the replicas. ----------
+  // Each worker replica's tables run the two-tier row store
+  // (docs/ARCHITECTURE.md §13) with a hot tier far smaller than the
+  // table; scores stay bitwise equal to the dense replicas (the
+  // tier-placement determinism rule), so the sweep isolates the latency
+  // and hit-rate cost of serving from compressed cold segments.
+  PrintHeader("serving: tiered embedding store (window=5ms, K=8)");
+  std::printf("%-26s %7s %8s %9s %9s %9s %8s %12s\n", "config", "qps",
+              "b.rows", "p50us", "p95us", "p99us", "dedupe", "lookups");
+  PrintRule();
+  bool tier_ok = true;
+  {
+    serve::ServeOptions options;
+    options.query.num_requests = SmokeOr<std::size_t>(400, 32);
+    options.query.candidates = 8;
+    options.query.qps = qps;
+    for (const long cap : {0L, 512L}) {
+      auto model = b.model;
+      model.tiering.enabled = true;
+      model.tiering.hot_capacity_rows = static_cast<std::size_t>(cap);
+      model.tiering.rows_per_segment = 128;
+      serve::ServerRunner runner(b.spec, model, options);
+      for (const bool recd : {false, true}) {
+        auto cfg = recd ? serve::ServeConfig::Recd()
+                        : serve::ServeConfig::Baseline();
+        cfg.num_workers = workers;
+        cfg.pace_arrivals = true;
+        cfg.batcher.max_batch_requests = 16;
+        cfg.batcher.max_delay_us = 5'000;
+        const auto result = runner.Run(cfg);
+        const auto& s = result.stats;
+        const std::string label = std::string(recd ? "recd" : "base") +
+                                  "_tier_c" + std::to_string(cap);
+        PrintRow(label, s);
+        std::printf("  tier: %.1f%% hit, %zu cold fetches, %zu evictions, "
+                    "%zu cold B\n",
+                    s.tier.hit_rate() * 100,
+                    static_cast<std::size_t>(s.tier.cold_fetches),
+                    static_cast<std::size_t>(s.tier.evictions),
+                    static_cast<std::size_t>(s.tier.bytes_from_cold));
+        AddMetrics(report, label, s);
+        if (s.tier.row_fetches == 0) {
+          std::printf("FAIL: tiered replicas reported no row fetches "
+                      "(%s)\n", label.c_str());
+          tier_ok = false;
+        }
+        if (cap == 0 && s.tier.hot_hits != 0) {
+          std::printf("FAIL: capacity-0 replicas served hot hits (%s)\n",
+                      label.c_str());
+          tier_ok = false;
+        }
+      }
+    }
+  }
+
+  if (!report.WriteIfRequested(argc, argv)) return 1;
+  return tier_ok ? 0 : 1;
 }

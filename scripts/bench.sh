@@ -13,7 +13,7 @@ cmake --preset release
 cmake --build build -j --target bench_fig7_end_to_end \
   bench_fig8_iteration_breakdown bench_fig10_reader_breakdown \
   bench_stream_window_sweep bench_serve_qps bench_dist_train \
-  bench_checkpoint bench_micro_kernels
+  bench_checkpoint bench_micro_kernels bench_embstore_tiering
 
 # Context recorded into the JSON reports (see bench::JsonReport). The
 # -dirty suffix marks results measured from uncommitted code.
@@ -35,8 +35,14 @@ export RECD_BENCH_COMMIT RECD_BENCH_DATE RECD_BENCH_CORES \
 ./build/bench_dist_train --json BENCH_dist_train.json
 ./build/bench_checkpoint --json BENCH_checkpoint.json
 ./build/bench_micro_kernels --json BENCH_micro_kernels.json
+./build/bench_embstore_tiering --json BENCH_embstore_tiering.json
+
+# Recorded context must survive into every report (a report without
+# host/commit context is unreproducible — fail here, not in CI).
+./scripts/validate_bench_json.py
 
 echo "bench.sh: wrote BENCH_fig7_end_to_end.json," \
   "BENCH_fig8_iteration_breakdown.json, BENCH_fig10_reader_breakdown.json," \
   "BENCH_stream_window_sweep.json, BENCH_serve_qps.json," \
-  "BENCH_dist_train.json, BENCH_checkpoint.json, and BENCH_micro_kernels.json"
+  "BENCH_dist_train.json, BENCH_checkpoint.json, BENCH_micro_kernels.json," \
+  "and BENCH_embstore_tiering.json"

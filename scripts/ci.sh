@@ -17,6 +17,11 @@
 #               TSan (the vectorized backend must equal the scalar
 #               oracle bit for bit, with no new memory or race bugs),
 #               plus a scalar-vs-vectorized fig8 smoke run
+#   embstore    the tiered embedding-store suites under ASan (memory
+#               errors in the gather/eviction/writeback paths) and TSan
+#               (readers racing eviction), plus a tiering-bench smoke
+#               run whose built-in checks assert bitwise equality with
+#               the dense backend
 #   lint        BENCH_*.json schema lint (validate_bench_json.py)
 #
 # Honors CMAKE_CXX_COMPILER_LAUNCHER (the workflow sets it to ccache),
@@ -58,8 +63,25 @@ stage_kernels() {
   RECD_SMOKE=1 ./build/bench_fig8_iteration_breakdown
 }
 
+stage_embstore() {
+  cmake --preset asan
+  cmake --build build-asan -j
+  ctest --test-dir build-asan --output-on-failure -j 2 -R 'Embstore'
+  cmake --preset tsan
+  cmake --build build-tsan -j
+  ctest --test-dir build-tsan --output-on-failure -j 2 -R 'Embstore'
+  # The tiering bench checks bitwise equality against dense twins and
+  # sane tier counters in every mode, so its smoke run is a cheap
+  # end-to-end gate on an optimized (non-sanitizer) build.
+  cmake -B build -S .
+  cmake --build build -j --target bench_embstore_tiering
+  RECD_SMOKE=1 ./build/bench_embstore_tiering
+}
+
 stage_lint() {
-  python3 ./scripts/validate_bench_json.py BENCH_*.json
+  # No arguments: lints every BENCH_*.json in the repo root and fails
+  # on required reports that are missing entirely.
+  python3 ./scripts/validate_bench_json.py
 }
 
 case "${1:-all}" in
@@ -67,17 +89,19 @@ case "${1:-all}" in
   sanitizers) stage_sanitizers ;;
   recovery)   stage_recovery ;;
   kernels)    stage_kernels ;;
+  embstore)   stage_embstore ;;
   lint)       stage_lint ;;
   all)
     stage_core
     stage_sanitizers
     stage_recovery
     stage_kernels
+    stage_embstore
     stage_lint
     echo "ci.sh: all stages passed"
     ;;
   *)
-    echo "usage: $0 [core|sanitizers|recovery|kernels|lint|all]" >&2
+    echo "usage: $0 [core|sanitizers|recovery|kernels|embstore|lint|all]" >&2
     exit 2
     ;;
 esac

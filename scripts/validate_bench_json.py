@@ -26,6 +26,21 @@ HOST_FIELDS = {
     "commit": str,
 }
 
+# Reports scripts/bench.sh regenerates; a missing one means stale or
+# never-produced results, which must fail the lint rather than slip
+# through the glob (only enforced in default no-argument mode).
+REQUIRED_REPORTS = (
+    "BENCH_checkpoint.json",
+    "BENCH_dist_train.json",
+    "BENCH_embstore_tiering.json",
+    "BENCH_fig7_end_to_end.json",
+    "BENCH_fig8_iteration_breakdown.json",
+    "BENCH_fig10_reader_breakdown.json",
+    "BENCH_micro_kernels.json",
+    "BENCH_serve_qps.json",
+    "BENCH_stream_window_sweep.json",
+)
+
 
 def check_file(path):
     """Returns (errors, metric_count) for one report."""
@@ -84,6 +99,19 @@ def main(argv):
     if not paths:
         root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
         paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+        missing = [
+            name
+            for name in REQUIRED_REPORTS
+            if not os.path.exists(os.path.join(root, name))
+        ]
+        if missing:
+            for name in missing:
+                print(f"{name}: required report is missing", file=sys.stderr)
+            print(
+                "validate_bench_json: run scripts/bench.sh to regenerate",
+                file=sys.stderr,
+            )
+            return 1
     if not paths:
         print("validate_bench_json: no BENCH_*.json files found",
               file=sys.stderr)

@@ -1,0 +1,202 @@
+#include "embstore/cold_store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+
+#include "common/bytes.h"
+#include "common/checksum_file.h"
+#include "common/hash.h"
+
+namespace recd::embstore {
+
+namespace {
+
+// Checksummed-envelope tag of a file-backed cold segment ("RCLD").
+constexpr std::uint32_t kSegmentMagic = 0x52434c44u;
+constexpr std::uint32_t kSegmentVersion = 1;
+
+// Process-wide counter giving each store a unique subdirectory, so many
+// tables can point at one base cold_dir without colliding.
+std::atomic<std::uint64_t> g_store_counter{0};
+
+[[nodiscard]] std::span<const std::byte> AsBytes(
+    std::span<const float> data) {
+  return {reinterpret_cast<const std::byte*>(data.data()),
+          data.size() * sizeof(float)};
+}
+
+}  // namespace
+
+ColdStore::ColdStore(const nn::DenseMatrix& initial,
+                     std::size_t rows_per_segment,
+                     compress::CodecKind codec, const std::string& dir)
+    : rows_(initial.rows()),
+      dim_(initial.cols()),
+      rows_per_segment_(rows_per_segment),
+      codec_(codec) {
+  if (rows_per_segment_ == 0) {
+    throw std::invalid_argument("ColdStore: rows_per_segment must be >= 1");
+  }
+  if (!dir.empty()) {
+    const auto id = g_store_counter.fetch_add(1);
+    dir_ = dir + "/embstore_" + std::to_string(id);
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+      throw ColdStoreError("ColdStore: cannot create segment dir " + dir_ +
+                           ": " + ec.message());
+    }
+  }
+  const std::size_t n =
+      rows_ == 0 ? 0 : (rows_ + rows_per_segment_ - 1) / rows_per_segment_;
+  segment_sizes_.assign(n, 0);
+  if (dir_.empty()) mem_segments_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t first = SegmentFirstRow(s);
+    StoreSegment(s, initial.data().subspan(first * dim_,
+                                           SegmentRows(s) * dim_));
+  }
+}
+
+std::size_t ColdStore::SegmentRows(std::size_t s) const {
+  if (s >= num_segments()) {
+    throw std::out_of_range("ColdStore: segment index out of range");
+  }
+  const std::size_t first = SegmentFirstRow(s);
+  return std::min(rows_per_segment_, rows_ - first);
+}
+
+std::vector<std::byte> ColdStore::EncodePayload(
+    std::size_t s, std::span<const float> data) const {
+  const auto& codec = compress::GetCodec(codec_);
+  auto compressed = codec.Compress(AsBytes(data));
+  common::ByteWriter w;
+  w.PutU64(rows_);
+  w.PutU64(dim_);
+  w.PutU64(SegmentFirstRow(s));
+  w.PutU64(SegmentRows(s));
+  w.PutU8(static_cast<std::uint8_t>(codec_));
+  w.PutU64(data.size() * sizeof(float));
+  w.PutVarint(compressed.size());
+  w.PutBytes(compressed);
+  return std::move(w).Take();
+}
+
+void ColdStore::StoreSegment(std::size_t s, std::span<const float> data) {
+  if (data.size() != SegmentRows(s) * dim_) {
+    throw std::invalid_argument("ColdStore: segment data size mismatch");
+  }
+  auto payload = EncodePayload(s, data);
+  segment_sizes_[s] = payload.size();
+  if (dir_.empty()) {
+    mem_segments_[s].checksum = common::HashBytes(payload, kSegmentVersion);
+    mem_segments_[s].payload = std::move(payload);
+    return;
+  }
+  try {
+    common::WriteChecksummedFile(SegmentPath(s), kSegmentMagic,
+                                 kSegmentVersion, payload);
+  } catch (const common::ChecksumError& e) {
+    throw ColdStoreError(std::string("ColdStore: segment write failed: ") +
+                         e.what());
+  }
+}
+
+std::vector<float> ColdStore::ReadSegment(std::size_t s,
+                                          ReadCounters* counters) const {
+  const std::size_t seg_rows = SegmentRows(s);
+  std::vector<std::byte> file_payload;
+  std::span<const std::byte> payload;
+  if (dir_.empty()) {
+    const auto& seg = mem_segments_[s];
+    if (common::HashBytes(seg.payload, kSegmentVersion) != seg.checksum) {
+      throw ColdStoreError("ColdStore: in-memory segment checksum mismatch");
+    }
+    payload = seg.payload;
+  } else {
+    try {
+      file_payload = common::ReadChecksummedFile(SegmentPath(s),
+                                                 kSegmentMagic,
+                                                 kSegmentVersion);
+    } catch (const common::ChecksumError& e) {
+      throw ColdStoreError(std::string("ColdStore: segment ") +
+                           SegmentPath(s) + " rejected: " + e.what());
+    }
+    payload = file_payload;
+  }
+
+  try {
+    common::ByteReader r(payload);
+    if (r.GetU64() != rows_ || r.GetU64() != dim_ ||
+        r.GetU64() != SegmentFirstRow(s) || r.GetU64() != seg_rows ||
+        r.GetU8() != static_cast<std::uint8_t>(codec_)) {
+      throw ColdStoreError("ColdStore: segment header mismatch");
+    }
+    const std::uint64_t raw_size = r.GetU64();
+    if (raw_size != seg_rows * dim_ * sizeof(float)) {
+      throw ColdStoreError("ColdStore: segment raw size mismatch");
+    }
+    const std::size_t compressed_size =
+        static_cast<std::size_t>(r.GetVarint());
+    const auto compressed = r.GetBytes(compressed_size);
+    const auto& codec = compress::GetCodec(codec_);
+    const auto raw = codec.Decompress(compressed);
+    if (raw.size() != raw_size) {
+      throw ColdStoreError("ColdStore: decompressed size mismatch");
+    }
+    if (counters != nullptr) {
+      counters->segments += 1;
+      counters->compressed_bytes += payload.size();
+      counters->raw_bytes += raw.size();
+    }
+    std::vector<float> out(seg_rows * dim_);
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  } catch (const ColdStoreError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // ByteStreamError, codec errors: surface as the typed cold error.
+    throw ColdStoreError(std::string("ColdStore: segment decode failed: ") +
+                         e.what());
+  }
+}
+
+void ColdStore::WriteSegment(std::size_t s, std::span<const float> data) {
+  StoreSegment(s, data);
+}
+
+void ColdStore::Load(const nn::DenseMatrix& w) {
+  if (w.rows() != rows_ || w.cols() != dim_) {
+    throw std::invalid_argument("ColdStore::Load: shape mismatch");
+  }
+  for (std::size_t s = 0; s < num_segments(); ++s) {
+    StoreSegment(s, w.data().subspan(SegmentFirstRow(s) * dim_,
+                                     SegmentRows(s) * dim_));
+  }
+}
+
+nn::DenseMatrix ColdStore::Materialize() const {
+  nn::DenseMatrix out(rows_, dim_);
+  for (std::size_t s = 0; s < num_segments(); ++s) {
+    const auto data = ReadSegment(s, nullptr);
+    std::copy(data.begin(), data.end(),
+              out.data().begin() +
+                  static_cast<std::ptrdiff_t>(SegmentFirstRow(s) * dim_));
+  }
+  return out;
+}
+
+std::size_t ColdStore::compressed_bytes() const {
+  std::size_t total = 0;
+  for (const auto s : segment_sizes_) total += s;
+  return total;
+}
+
+std::string ColdStore::SegmentPath(std::size_t s) const {
+  if (dir_.empty()) return {};
+  return dir_ + "/seg_" + std::to_string(s) + ".cold";
+}
+
+}  // namespace recd::embstore

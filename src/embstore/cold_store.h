@@ -1,0 +1,127 @@
+// ColdStore: the compressed, checksummed cold tier of a tiered
+// embedding table (docs/ARCHITECTURE.md §13).
+//
+// Rows live in fixed-size segments; each segment's fp32 rows are
+// serialized, compressed through a compress:: codec, and framed with a
+// checksum so a damaged segment is *rejected* as ColdStoreError, never
+// partially decoded into a wrong row. Two backings share one payload
+// format:
+//
+//   * in-memory (cold_dir empty): compressed payload + HashBytes
+//     checksum held in RAM — the serving/trainer default, still paying
+//     real compress/decompress costs so bytes-from-cold is measured,
+//     not modeled;
+//   * file-backed: one checksummed-envelope file per segment
+//     (common::WriteChecksummedFile), written under a per-store unique
+//     subdirectory so many tables can share a base directory.
+//
+// The cold round trip is bitwise lossless (fp32 rows are never
+// re-quantized), which is what lets the tier-placement determinism rule
+// hold: a row fetched from cold is the exact row that was written.
+//
+// Thread safety: none. TieredRowStore serializes access under its own
+// mutex; standalone users must do the same.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "compress/codec.h"
+#include "nn/dense_matrix.h"
+
+namespace recd::embstore {
+
+/// Thrown on any cold-segment validation or I/O failure: checksum
+/// mismatch, truncation, malformed payload, wrong shape, or an
+/// unwritable/unreadable segment file. A cold read either returns exact
+/// rows or throws — never a partial row.
+class ColdStoreError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ColdStore {
+ public:
+  /// Per-read accounting, added to by ReadSegment (the caller owns
+  /// aggregation so checkpoints can materialize without skewing stats).
+  struct ReadCounters {
+    std::uint64_t segments = 0;
+    std::uint64_t compressed_bytes = 0;
+    std::uint64_t raw_bytes = 0;
+  };
+
+  /// Splits `initial` (rows x dim) into compressed segments of
+  /// `rows_per_segment` rows. `dir` empty keeps segments in memory;
+  /// otherwise each segment is a checksummed file under a fresh unique
+  /// subdirectory of `dir`. Throws std::invalid_argument on
+  /// rows_per_segment == 0 and ColdStoreError on write failures.
+  ColdStore(const nn::DenseMatrix& initial, std::size_t rows_per_segment,
+            compress::CodecKind codec, const std::string& dir);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  [[nodiscard]] std::size_t rows_per_segment() const {
+    return rows_per_segment_;
+  }
+  [[nodiscard]] std::size_t num_segments() const {
+    return segment_sizes_.size();
+  }
+  [[nodiscard]] std::size_t SegmentOf(std::size_t row) const {
+    return row / rows_per_segment_;
+  }
+  [[nodiscard]] std::size_t SegmentFirstRow(std::size_t s) const {
+    return s * rows_per_segment_;
+  }
+  /// Rows in segment s (the last segment may be short).
+  [[nodiscard]] std::size_t SegmentRows(std::size_t s) const;
+
+  /// Decompresses and fully validates segment s; returns its rows as
+  /// SegmentRows(s) * dim floats. Adds to `counters` if non-null.
+  /// Throws ColdStoreError on any corruption, truncation, or mismatch.
+  [[nodiscard]] std::vector<float> ReadSegment(std::size_t s,
+                                               ReadCounters* counters) const;
+
+  /// Replaces segment s with `data` (SegmentRows(s) * dim floats),
+  /// recompressing and re-checksumming it.
+  void WriteSegment(std::size_t s, std::span<const float> data);
+
+  /// Rebuilds every segment from `w` (the checkpoint-restore path).
+  /// Shape must match; throws std::invalid_argument otherwise.
+  void Load(const nn::DenseMatrix& w);
+
+  /// Full table as a dense matrix (checkpoint materialization).
+  [[nodiscard]] nn::DenseMatrix Materialize() const;
+
+  /// Current compressed footprint across all segments.
+  [[nodiscard]] std::size_t compressed_bytes() const;
+
+  /// File-mode only: path of segment s (tests corrupt/truncate it).
+  /// Empty string in memory mode.
+  [[nodiscard]] std::string SegmentPath(std::size_t s) const;
+
+  [[nodiscard]] bool file_backed() const { return !dir_.empty(); }
+
+ private:
+  [[nodiscard]] std::vector<std::byte> EncodePayload(
+      std::size_t s, std::span<const float> data) const;
+  void StoreSegment(std::size_t s, std::span<const float> data);
+
+  std::size_t rows_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t rows_per_segment_ = 1;
+  compress::CodecKind codec_ = compress::CodecKind::kLz77;
+  std::string dir_;  // unique per-store segment directory; empty = memory
+
+  struct MemSegment {
+    std::vector<std::byte> payload;
+    std::uint64_t checksum = 0;
+  };
+  std::vector<MemSegment> mem_segments_;   // memory mode
+  std::vector<std::size_t> segment_sizes_; // compressed payload bytes
+};
+
+}  // namespace recd::embstore

@@ -1,0 +1,216 @@
+#include "embstore/tiered_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+
+namespace recd::embstore {
+
+TieredRowStore::TieredRowStore(const nn::DenseMatrix& initial,
+                               TierConfig config)
+    : config_(std::move(config)),
+      cold_(initial, config_.rows_per_segment, config_.codec,
+            config_.cold_dir) {
+  const std::size_t capacity =
+      std::min(config_.hot_capacity_rows, cold_.rows());
+  hot_data_.resize(capacity * cold_.dim());
+  slot_row_.assign(capacity, 0);
+  slot_dirty_.assign(capacity, false);
+  free_slots_.reserve(capacity);
+  for (std::size_t s = capacity; s > 0; --s) free_slots_.push_back(s - 1);
+  freq_.assign(cold_.rows(), 0);
+  stats_.capacity_rows = capacity;
+}
+
+void TieredRowStore::BumpFrequency(std::size_t row, std::uint64_t weight) {
+  const auto it = row_slot_.find(row);
+  if (it != row_slot_.end()) {
+    hot_by_freq_.erase({freq_[row], row});
+    freq_[row] += weight;
+    hot_by_freq_.insert({freq_[row], row});
+  } else {
+    freq_[row] += weight;
+  }
+}
+
+void TieredRowStore::EvictLeastFrequent() {
+  const auto victim = *hot_by_freq_.begin();
+  hot_by_freq_.erase(hot_by_freq_.begin());
+  const std::size_t row = victim.second;
+  const std::size_t slot = row_slot_.at(row);
+  if (slot_dirty_[slot]) {
+    WriteRowToCold(row, hot_data_.data() + slot * cold_.dim());
+    stats_.writebacks += 1;
+  }
+  row_slot_.erase(row);
+  slot_dirty_[slot] = false;
+  free_slots_.push_back(slot);
+  stats_.evictions += 1;
+}
+
+void TieredRowStore::Admit(std::size_t row, const float* data) {
+  if (free_slots_.empty()) EvictLeastFrequent();
+  const std::size_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  std::memcpy(hot_data_.data() + slot * cold_.dim(), data,
+              cold_.dim() * sizeof(float));
+  slot_row_[slot] = row;
+  slot_dirty_[slot] = false;
+  row_slot_.emplace(row, slot);
+  hot_by_freq_.insert({freq_[row], row});
+  stats_.admissions += 1;
+}
+
+void TieredRowStore::WriteRowToCold(std::size_t row, const float* data) {
+  const std::size_t s = cold_.SegmentOf(row);
+  auto seg = cold_.ReadSegment(s, nullptr);
+  const std::size_t offset = (row - cold_.SegmentFirstRow(s)) * cold_.dim();
+  std::memcpy(seg.data() + offset, data, cold_.dim() * sizeof(float));
+  cold_.WriteSegment(s, seg);
+}
+
+void TieredRowStore::Gather(std::span<const std::size_t> row_ids,
+                            std::span<const std::uint64_t> weights,
+                            float* out) {
+  if (!weights.empty() && weights.size() != row_ids.size()) {
+    throw std::invalid_argument(
+        "TieredRowStore::Gather: weights/row_ids size mismatch");
+  }
+  const std::size_t d = cold_.dim();
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Pass 1: serve hot hits, bump frequencies, collect misses by segment.
+  // A row can appear several times in one call (each occurrence counts);
+  // later duplicates of a miss resolve from the same decompressed
+  // segment.
+  std::map<std::size_t, std::vector<std::size_t>> misses;  // seg -> out idx
+  for (std::size_t i = 0; i < row_ids.size(); ++i) {
+    const std::size_t row = row_ids[i];
+    if (row >= cold_.rows()) {
+      throw std::out_of_range("TieredRowStore::Gather: row out of range");
+    }
+    stats_.row_fetches += 1;
+    BumpFrequency(row, weights.empty() ? 1 : std::max<std::uint64_t>(
+                                                 1, weights[i]));
+    const auto it = row_slot_.find(row);
+    if (it != row_slot_.end()) {
+      stats_.hot_hits += 1;
+      std::memcpy(out + i * d, hot_data_.data() + it->second * d,
+                  d * sizeof(float));
+    } else {
+      stats_.cold_fetches += 1;
+      misses[cold_.SegmentOf(row)].push_back(i);
+    }
+  }
+  // Pass 2: decompress each missed segment once; copy rows out and run
+  // frequency-based admission per distinct row.
+  ColdStore::ReadCounters rc;
+  for (const auto& [seg, indices] : misses) {
+    const auto data = cold_.ReadSegment(seg, &rc);
+    const std::size_t first = cold_.SegmentFirstRow(seg);
+    for (const std::size_t i : indices) {
+      const std::size_t row = row_ids[i];
+      const float* src = row_slot_.count(row) != 0
+                             ? hot_data_.data() + row_slot_.at(row) * d
+                             : data.data() + (row - first) * d;
+      std::memcpy(out + i * d, src, d * sizeof(float));
+      if (row_slot_.count(row) != 0) continue;  // admitted earlier in call
+      if (stats_.capacity_rows == 0) continue;
+      if (!free_slots_.empty()) {
+        Admit(row, data.data() + (row - first) * d);
+      } else {
+        // Frequency admission: only displace the LFU resident if this
+        // row is now strictly hotter (ties keep the resident — scan
+        // resistance).
+        const auto& lfu = *hot_by_freq_.begin();
+        if (freq_[row] > lfu.first) {
+          Admit(row, data.data() + (row - first) * d);
+        }
+      }
+    }
+  }
+  stats_.segments_read += rc.segments;
+  stats_.bytes_from_cold += rc.compressed_bytes;
+  stats_.bytes_decompressed += rc.raw_bytes;
+}
+
+void TieredRowStore::Update(std::span<const std::size_t> row_ids,
+                            const float* src) {
+  const std::size_t d = cold_.dim();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::size_t, std::vector<std::size_t>> cold_rows;  // seg -> idx
+  for (std::size_t i = 0; i < row_ids.size(); ++i) {
+    const std::size_t row = row_ids[i];
+    if (row >= cold_.rows()) {
+      throw std::out_of_range("TieredRowStore::Update: row out of range");
+    }
+    const auto it = row_slot_.find(row);
+    if (it != row_slot_.end()) {
+      std::memcpy(hot_data_.data() + it->second * d, src + i * d,
+                  d * sizeof(float));
+      slot_dirty_[it->second] = true;
+    } else {
+      cold_rows[cold_.SegmentOf(row)].push_back(i);
+    }
+  }
+  for (const auto& [seg, indices] : cold_rows) {
+    auto data = cold_.ReadSegment(seg, nullptr);
+    const std::size_t first = cold_.SegmentFirstRow(seg);
+    for (const std::size_t i : indices) {
+      std::memcpy(data.data() + (row_ids[i] - first) * d, src + i * d,
+                  d * sizeof(float));
+    }
+    cold_.WriteSegment(seg, data);
+    stats_.writebacks += indices.size();
+  }
+}
+
+nn::DenseMatrix TieredRowStore::Materialize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  nn::DenseMatrix out = cold_.Materialize();
+  const std::size_t d = cold_.dim();
+  for (const auto& [row, slot] : row_slot_) {
+    if (!slot_dirty_[slot]) continue;  // cold copy is current
+    std::memcpy(out.data().data() + row * d, hot_data_.data() + slot * d,
+                d * sizeof(float));
+  }
+  return out;
+}
+
+void TieredRowStore::Load(const nn::DenseMatrix& w) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cold_.Load(w);
+  row_slot_.clear();
+  hot_by_freq_.clear();
+  std::fill(slot_dirty_.begin(), slot_dirty_.end(), false);
+  free_slots_.clear();
+  const std::size_t capacity = slot_row_.size();
+  for (std::size_t s = capacity; s > 0; --s) free_slots_.push_back(s - 1);
+  std::fill(freq_.begin(), freq_.end(), 0);
+}
+
+TierStats TieredRowStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TierStats s = stats_;
+  s.resident_rows = row_slot_.size();
+  return s;
+}
+
+void TieredRowStore::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto capacity = stats_.capacity_rows;
+  stats_ = {};
+  stats_.capacity_rows = capacity;
+}
+
+std::size_t TieredRowStore::resident_rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return row_slot_.size();
+}
+
+std::size_t TieredRowStore::cold_compressed_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cold_.compressed_bytes();
+}
+
+}  // namespace recd::embstore

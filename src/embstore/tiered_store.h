@@ -1,0 +1,110 @@
+// TieredRowStore: a bounded in-memory hot tier over a compressed cold
+// store — the pluggable row backend of nn::EmbeddingTable
+// (docs/ARCHITECTURE.md §13).
+//
+// The hot tier is row-granular, 64-byte-aligned (kernel-compatible)
+// storage holding at most `hot_capacity_rows` rows; every other row
+// lives compressed in the ColdStore. Admission and eviction are
+// frequency-driven: each fetch carries an access *weight* — the
+// IKJT inverse-index multiplicity that the reader and serve paths
+// already compute — so RecD's dedup skew directly shapes the hot set.
+// A cold-fetched row is admitted when the tier has a free slot or when
+// its accumulated frequency beats the least-frequent resident row
+// (LFU with frequency-based admission: one-hit rows cannot flush a
+// skew-heavy working set). Dirty rows (SGD write-backs) are
+// recompressed into their cold segment on eviction.
+//
+// Determinism: rows are bit-exact in both tiers (fp32, lossless
+// codecs), every fetch copies the row bitwise, and updates apply to
+// whichever copy is current — so forward/backward/SGD results are
+// bitwise identical for every hot capacity and eviction schedule. The
+// cache changes *where bytes live and what they cost*, never their
+// values.
+//
+// Thread safety: all public methods are internally synchronized; many
+// readers may Gather concurrently while eviction reshapes the tier
+// (raced under TSan by tests/embstore_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/aligned.h"
+#include "embstore/cold_store.h"
+#include "embstore/tier_config.h"
+#include "nn/dense_matrix.h"
+
+namespace recd::embstore {
+
+class TieredRowStore {
+ public:
+  /// Builds the cold segments from `initial` and starts with an empty
+  /// hot tier. `config.enabled` is ignored here (the caller decided by
+  /// constructing a store). Throws like ColdStore on bad config.
+  TieredRowStore(const nn::DenseMatrix& initial, TierConfig config);
+
+  [[nodiscard]] std::size_t rows() const { return cold_.rows(); }
+  [[nodiscard]] std::size_t dim() const { return cold_.dim(); }
+  [[nodiscard]] const TierConfig& config() const { return config_; }
+
+  /// Fetches row `row_ids[i]` into out[i*dim .. (i+1)*dim), bitwise
+  /// whatever tier it lives in. `weights[i]` (empty = all 1) is added
+  /// to the row's frequency counter — callers pass dedup
+  /// multiplicities so repeated rows gain admission priority. Cold
+  /// misses sharing a segment decompress it once per call.
+  void Gather(std::span<const std::size_t> row_ids,
+              std::span<const std::uint64_t> weights, float* out);
+
+  /// Writes row `row_ids[i]` from src[i*dim ...) back into the store:
+  /// hot rows update in place (dirty, written back on eviction), cold
+  /// rows rewrite their segment — grouped by segment per call.
+  void Update(std::span<const std::size_t> row_ids, const float* src);
+
+  /// Full table, hot rows overlaid on cold — the checkpoint surface.
+  /// Does not touch frequency counters or stats.
+  [[nodiscard]] nn::DenseMatrix Materialize() const;
+
+  /// Replaces every row (checkpoint restore): cold segments rebuilt,
+  /// hot tier and frequency counters reset. Shape must match.
+  void Load(const nn::DenseMatrix& w);
+
+  /// Counter snapshot including resident_rows/capacity_rows.
+  [[nodiscard]] TierStats stats() const;
+  void ResetStats();
+
+  [[nodiscard]] std::size_t resident_rows() const;
+  /// Compressed cold footprint plus hot-tier bytes (capacity model).
+  [[nodiscard]] std::size_t cold_compressed_bytes() const;
+
+ private:
+  // All private helpers assume mutex_ is held.
+  void Admit(std::size_t row, const float* data);
+  void EvictLeastFrequent();
+  void WriteRowToCold(std::size_t row, const float* data);
+  void BumpFrequency(std::size_t row, std::uint64_t weight);
+
+  mutable std::mutex mutex_;
+  TierConfig config_;
+  ColdStore cold_;
+
+  // Hot tier: slot-addressed aligned row storage.
+  common::AlignedVector<float> hot_data_;   // capacity * dim
+  std::vector<std::size_t> slot_row_;       // slot -> row id
+  std::vector<bool> slot_dirty_;
+  std::vector<std::size_t> free_slots_;
+  std::unordered_map<std::size_t, std::size_t> row_slot_;  // row -> slot
+
+  // Frequency counters (all rows) and the LFU order of resident rows.
+  std::vector<std::uint64_t> freq_;
+  std::set<std::pair<std::uint64_t, std::size_t>> hot_by_freq_;
+
+  TierStats stats_;
+};
+
+}  // namespace recd::embstore

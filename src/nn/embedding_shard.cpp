@@ -53,4 +53,18 @@ std::size_t EmbeddingShardView::param_bytes() const {
   return bytes;
 }
 
+void EmbeddingShardView::UseTieredStore(const embstore::TierConfig& config) {
+  for (auto& [id, table] : tables_) table.UseTieredStore(config);
+}
+
+embstore::TierStats EmbeddingShardView::TierStatsTotal() const {
+  embstore::TierStats total;
+  for (const auto& [id, table] : tables_) total += table.tier_stats();
+  return total;
+}
+
+void EmbeddingShardView::ResetTierStats() {
+  for (auto& [id, table] : tables_) table.ResetTierStats();
+}
+
 }  // namespace recd::nn

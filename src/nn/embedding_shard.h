@@ -40,6 +40,13 @@ class EmbeddingShardView {
   /// Parameter bytes held by this shard.
   [[nodiscard]] std::size_t param_bytes() const;
 
+  /// Converts every owned table to a tiered row store (embstore).
+  void UseTieredStore(const embstore::TierConfig& config);
+
+  /// Sum of tier counters across owned tables (all-zero when dense).
+  [[nodiscard]] embstore::TierStats TierStatsTotal() const;
+  void ResetTierStats();
+
  private:
   std::map<std::size_t, EmbeddingTable> tables_;
 };

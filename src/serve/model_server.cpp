@@ -158,6 +158,7 @@ void ModelServer::WorkerLoop() {
   }
 
   local.ops = dlrm->Stats();
+  local.tier = dlrm->TierStats();
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& sr : local_scored) {
     latency_us_.Add(sr.latency_us);
@@ -169,6 +170,7 @@ void ModelServer::WorkerLoop() {
   work_.values_before += local.values_before;
   work_.values_after += local.values_after;
   work_.ops += local.ops;
+  work_.tier += local.tier;
 }
 
 }  // namespace recd::serve

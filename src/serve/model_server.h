@@ -26,6 +26,7 @@
 
 #include "common/channel.h"
 #include "common/histogram.h"
+#include "embstore/tier_config.h"
 #include "kernels/backend.h"
 #include "nn/op_stats.h"
 #include "reader/dataloader.h"
@@ -48,6 +49,9 @@ struct ServeWorkStats {
   double values_after = 0;
   /// Model op counters (embedding lookups, flops) summed over replicas.
   nn::OpStats ops;
+  /// Embedding-tier counters summed over replicas — all-zero unless the
+  /// model config enables tiering (docs/ARCHITECTURE.md §13).
+  embstore::TierStats tier;
 };
 
 class ModelServer {

@@ -145,6 +145,7 @@ ServeResult ServerRunner::Run(const ServeConfig& config) {
       work.values_after > 0 ? work.values_before / work.values_after : 1.0;
   s.embedding_lookups = static_cast<double>(work.ops.lookups);
   s.flops = static_cast<double>(work.ops.flops);
+  s.tier = work.tier;
   s.latency_us = server.latency_us();
   s.latency_mean_us = s.latency_us.mean();
   s.latency_p50_us = s.latency_us.Percentile(0.5);

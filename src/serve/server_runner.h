@@ -85,6 +85,11 @@ struct ServeStats {
   double embedding_lookups = 0;
   double flops = 0;
 
+  /// Embedding-tier counters summed over worker replicas (all-zero
+  /// when the model serves from dense tables). hit_rate() is the
+  /// fraction of row fetches served from the hot tier.
+  embstore::TierStats tier;
+
   /// Request latency (µs): end-to-end in paced mode, batching delay in
   /// replay mode (see ServerRunner header).
   double latency_mean_us = 0;

@@ -177,6 +177,10 @@ DistributedTrainer::DistributedTrainer(ModelConfig model,
     for (const auto tid : units_[u].table_ids) {
       nn::EmbeddingTable table(model_.emb_hash_size, model_.emb_dim, rng);
       table.set_backend(config_.backend);
+      // Tiering after construction: the shared RNG stream is consumed
+      // identically with or without it, so shards match ReferenceDlrm
+      // bitwise (tier-placement determinism, docs/ARCHITECTURE.md §13).
+      if (model_.tiering.enabled) table.UseTieredStore(model_.tiering);
       ranks_[unit_owner_[u]]->shard.AddTable(tid, std::move(table));
       table_owner_[tid] = unit_owner_[u];
     }
@@ -194,6 +198,16 @@ ExchangeCounters DistributedTrainer::TotalCounters() const {
   ExchangeCounters total;
   for (const auto& r : ranks_) total.Add(r->counters);
   return total;
+}
+
+embstore::TierStats DistributedTrainer::TierStatsTotal() const {
+  embstore::TierStats total;
+  for (const auto& r : ranks_) total += r->shard.TierStatsTotal();
+  return total;
+}
+
+void DistributedTrainer::ResetTierStats() {
+  for (const auto& r : ranks_) r->shard.ResetTierStats();
 }
 
 std::size_t DistributedTrainer::OwnerOfTable(std::size_t table_id) const {

@@ -129,6 +129,11 @@ class DistributedTrainer {
   [[nodiscard]] const ExchangeCounters& rank_counters(std::size_t rank) const;
   [[nodiscard]] ExchangeCounters TotalCounters() const;
 
+  /// Embedding-tier counters summed over every rank's shard — all-zero
+  /// unless model.tiering.enabled (docs/ARCHITECTURE.md §13).
+  [[nodiscard]] embstore::TierStats TierStatsTotal() const;
+  void ResetTierStats();
+
   /// Placement: which rank owns table `table_id` (ModelTableOrder
   /// index).
   [[nodiscard]] std::size_t OwnerOfTable(std::size_t table_id) const;

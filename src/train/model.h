@@ -14,6 +14,7 @@
 
 #include "datagen/presets.h"
 #include "datagen/schema.h"
+#include "embstore/tier_config.h"
 #include "nn/embedding.h"
 #include "reader/dataloader.h"
 
@@ -41,6 +42,13 @@ struct ModelConfig {
   std::size_t dense_dim = 16;
   std::vector<std::size_t> bottom_mlp_hidden = {256};
   std::vector<std::size_t> top_mlp_hidden = {512, 256};
+
+  /// Embedding storage backend. When `tiering.enabled`, every table is
+  /// converted to a tiered row store *after* RNG-stream initialization,
+  /// so initial weights — and, by the tier-placement determinism rule
+  /// (docs/ARCHITECTURE.md §13), every subsequent forward/backward —
+  /// are bitwise identical to the dense backend.
+  embstore::TierConfig tiering;
 
   [[nodiscard]] std::size_t num_tables() const;
   /// Number of interaction inputs: bottom output + pooled outputs

@@ -46,16 +46,27 @@ nn::DenseMatrix ExpandRows(const nn::DenseMatrix& pooled,
 
 namespace {
 
-std::vector<kernels::GroupFeature> MakeGroupFeatures(
-    const std::vector<const tensor::JaggedTensor*>& jts,
-    const std::vector<const nn::EmbeddingTable*>& tables) {
+// Kernel-ready group features plus the storage views that back them.
+// Dense tables pass their weight matrix through; tiered tables gather
+// the referenced rows into `views` — which must outlive the kernel call
+// (GroupFeature borrows its pointers).
+struct GroupFeatureSet {
+  std::vector<nn::EmbeddingTable::KernelFeature> views;
   std::vector<kernels::GroupFeature> group;
-  group.reserve(jts.size());
+};
+
+GroupFeatureSet MakeGroupFeatures(
+    const std::vector<const tensor::JaggedTensor*>& jts,
+    const std::vector<const nn::EmbeddingTable*>& tables,
+    std::span<const std::uint64_t> row_weights = {}) {
+  GroupFeatureSet out;
+  out.views.reserve(jts.size());
+  out.group.reserve(jts.size());
   for (std::size_t k = 0; k < jts.size(); ++k) {
-    group.push_back({jts[k], tables[k]->weights().data().data(),
-                     tables[k]->hash_size()});
+    out.views.push_back(tables[k]->MakeKernelFeature(*jts[k], row_weights));
+    out.group.push_back(tables[k]->GroupFeatureFor(out.views[k], *jts[k]));
   }
-  return group;
+  return out;
 }
 
 }  // namespace
@@ -71,8 +82,8 @@ nn::DenseMatrix SumPoolConcatGroup(
   const std::size_t rows = jts.front()->num_rows();
   const std::size_t d = tables.front()->dim();
   nn::DenseMatrix pooled(rows, d);
-  const auto group = MakeGroupFeatures(jts, tables);
-  kernels::SumPoolGroup(backend, group, d, pooled.data().data());
+  const auto gfs = MakeGroupFeatures(jts, tables);
+  kernels::SumPoolGroup(backend, gfs.group, d, pooled.data().data());
   return pooled;
 }
 
@@ -116,6 +127,11 @@ ReferenceDlrm::ReferenceDlrm(ModelConfig model, std::uint64_t seed)
   tables_.reserve(table_order_.size());
   for (std::size_t i = 0; i < table_order_.size(); ++i) {
     tables_.emplace_back(model_.emb_hash_size, model_.emb_dim, rng);
+  }
+  // Tiering converts storage only — applied after the RNG stream is
+  // fully consumed so initial weights match the dense backend bitwise.
+  if (model_.tiering.enabled) {
+    for (auto& t : tables_) t.UseTieredStore(model_.tiering);
   }
 }
 
@@ -200,11 +216,16 @@ ReferenceDlrm::PooledInputs ReferenceDlrm::PoolSparse(
             ExpandRows(pool_group(group, jts), ikjt->inverse_lookup()));
       } else {
         // Fused O5+O7: pool each unique row once, scatter into batch
-        // slots — no unique-row matrix, no separate gather pass.
-        const auto gf = MakeGroupFeatures(jts, group_tables(group));
-        nn::DenseMatrix m(ikjt->inverse_lookup().size(), d);
-        kernels::FusedPooledLookup(backend_, gf, ikjt->inverse_lookup(),
-                                   d, m.data().data());
+        // slots — no unique-row matrix, no separate gather pass. The
+        // inverse multiplicities feed the hot tier as admission weights
+        // when tables are store-backed.
+        const auto& inverse = ikjt->inverse_lookup();
+        std::vector<std::uint64_t> mult(jts.front()->num_rows(), 0);
+        for (const auto i : inverse) mult[static_cast<std::size_t>(i)] += 1;
+        const auto gfs = MakeGroupFeatures(jts, group_tables(group), mult);
+        nn::DenseMatrix m(inverse.size(), d);
+        kernels::FusedPooledLookup(backend_, gfs.group, inverse, d,
+                                   m.data().data());
         out.matrices.push_back(std::move(m));
       }
     } else {
@@ -419,6 +440,16 @@ void ReferenceDlrm::ResetStats() {
   interaction_.ResetStats();
   attention_.ResetStats();
   for (auto& t : tables_) t.ResetStats();
+}
+
+embstore::TierStats ReferenceDlrm::TierStats() const {
+  embstore::TierStats total;
+  for (const auto& t : tables_) total += t.tier_stats();
+  return total;
+}
+
+void ReferenceDlrm::ResetTierStats() {
+  for (auto& t : tables_) t.ResetTierStats();
 }
 
 void ReferenceDlrm::SetKernelBackend(kernels::KernelBackend b) {

@@ -99,6 +99,11 @@ class ReferenceDlrm {
   [[nodiscard]] nn::OpStats Stats() const;
   void ResetStats();
 
+  /// Sum of embedding-tier counters across tables — all-zero unless the
+  /// model config enabled embedding tiering (docs/ARCHITECTURE.md §13).
+  [[nodiscard]] embstore::TierStats TierStats() const;
+  void ResetTierStats();
+
   /// Pins the kernel backend for every MLP layer, embedding table, and
   /// loss/pooling call of this model (default: the process-wide
   /// kernels::DefaultBackend()). Both backends are bitwise-identical;

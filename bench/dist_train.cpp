@@ -23,6 +23,8 @@
 #include "common/stopwatch.h"
 #include "datagen/generator.h"
 #include "etl/etl.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "reader/reader.h"
 #include "storage/table.h"
 #include "train/distributed.h"
@@ -33,6 +35,15 @@ int main(int argc, char** argv) {
   bench::JsonReport report("bench_dist_train");
   bench::PrintHeader(
       "Executed hybrid-parallel training: ranks x baseline/RecD (RM1)");
+
+  // `--trace <path>`: record every exchange / train-step span across
+  // the whole sweep and write Chrome trace-event JSON (open the file
+  // in Perfetto; see README "Capturing a trace").
+  const char* trace_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--trace") trace_path = argv[i + 1];
+  }
+  if (trace_path != nullptr) obs::Tracer::Global().Start();
 
   const std::size_t batch_size = bench::SmokeOr<std::size_t>(256, 64);
   const int steps = bench::SmokeOr(3, 1);
@@ -77,6 +88,10 @@ int main(int argc, char** argv) {
     float final_loss = 0;
   };
   std::vector<Row> rows;
+  // Aggregated over every configuration in the sweep: per-(rank,
+  // exchange) byte/timing counters and the per-rank value counters,
+  // embedded into the JSON report as the `obs_metrics` block.
+  obs::MetricsSnapshot obs_snapshot;
   for (const std::size_t n : {1u, 2u, 4u}) {
     for (const bool recd : {false, true}) {
       train::DistributedConfig config;
@@ -98,6 +113,8 @@ int main(int argc, char** argv) {
       row.step_ms = sw.seconds() * 1e3 / steps;
       row.counters = trainer.TotalCounters();
       row.final_loss = loss;
+      obs_snapshot.Merge(trainer.metrics().Snapshot());
+      obs_snapshot.Merge(trainer.comm_metrics().Snapshot());
       const std::string name =
           (recd ? "recd" : "base") + std::string(" r") + std::to_string(n);
       std::printf("%-12s %10.1f %12zu %12zu %12zu %12zu %7.2fx\n",
@@ -181,6 +198,8 @@ int main(int argc, char** argv) {
       loss = trainer.Step(batch);
     }
     const auto tier = trainer.TierStatsTotal();
+    obs_snapshot.Merge(trainer.metrics().Snapshot());
+    obs_snapshot.Merge(trainer.comm_metrics().Snapshot());
     const double step_ms = sw.seconds() * 1e3 / steps;
     const std::string name =
         (recd ? "recd" : "base") + std::string(" r2 tier");
@@ -223,6 +242,14 @@ int main(int argc, char** argv) {
               ok ? "bitwise identical" : "MISMATCH",
               ok ? "shrinks under RecD" : "check FAILED");
 
+  if (trace_path != nullptr) {
+    auto& tracer = obs::Tracer::Global();
+    tracer.Stop();
+    if (!tracer.WriteJson(trace_path)) return 1;
+    std::printf("wrote %s (%zu trace events, %zu dropped)\n", trace_path,
+                tracer.event_count(), tracer.dropped_events());
+  }
+  report.SetEmbeddedJson("obs_metrics", obs_snapshot.ToJson());
   if (!report.WriteIfRequested(argc, argv)) return 1;
   return ok ? 0 : 1;
 }

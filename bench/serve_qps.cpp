@@ -14,6 +14,7 @@
 
 #include "bench_util.h"
 #include "datagen/presets.h"
+#include "obs/metrics.h"
 #include "serve/server_runner.h"
 #include "train/model.h"
 
@@ -96,6 +97,10 @@ int main(int argc, char** argv) {
   report.SetHostField("offered_qps", static_cast<long>(qps));
   report.SetHostField("num_requests", static_cast<long>(num_requests));
 
+  // `serve.*` registry series summed over every run in all three
+  // sweeps, embedded into the JSON report as the `obs_metrics` block.
+  obs::MetricsSnapshot obs_snapshot;
+
   // ---- Sweep 1: SLA batching window at fixed K. ----------------------
   PrintHeader("serving: batching window sweep (K=8, open-loop paced)");
   std::printf("%-26s %7s %8s %9s %9s %9s %8s %12s\n", "config", "qps",
@@ -116,6 +121,7 @@ int main(int argc, char** argv) {
         cfg.batcher.max_batch_requests = 16;
         cfg.batcher.max_delay_us = window_us;
         const auto result = runner.Run(cfg);
+        obs_snapshot.Merge(result.obs_metrics);
         const std::string label = std::string(recd ? "recd" : "base") +
                                   "_w" + std::to_string(window_us);
         PrintRow(label, result.stats);
@@ -143,6 +149,7 @@ int main(int argc, char** argv) {
       cfg.batcher.max_batch_requests = 16;
       cfg.batcher.max_delay_us = 5'000;
       const auto result = runner.Run(cfg);
+      obs_snapshot.Merge(result.obs_metrics);
       const std::string label = std::string(recd ? "recd" : "base") +
                                 "_k" + std::to_string(k);
       PrintRow(label, result.stats);
@@ -180,6 +187,7 @@ int main(int argc, char** argv) {
         cfg.batcher.max_batch_requests = 16;
         cfg.batcher.max_delay_us = 5'000;
         const auto result = runner.Run(cfg);
+        obs_snapshot.Merge(result.obs_metrics);
         const auto& s = result.stats;
         const std::string label = std::string(recd ? "recd" : "base") +
                                   "_tier_c" + std::to_string(cap);
@@ -205,6 +213,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  report.SetEmbeddedJson("obs_metrics", obs_snapshot.ToJson());
   if (!report.WriteIfRequested(argc, argv)) return 1;
   return tier_ok ? 0 : 1;
 }

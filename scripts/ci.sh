@@ -22,6 +22,11 @@
 #               (readers racing eviction), plus a tiering-bench smoke
 #               run whose built-in checks assert bitwise equality with
 #               the dense backend
+#   obs         the observability suites under ASan and TSan (registry
+#               snapshots racing hammering writers, the obs-on/off
+#               bitwise-determinism rule), plus a traced dist-train
+#               smoke run asserting the Chrome trace carries spans for
+#               all four exchanges
 #   lint        BENCH_*.json schema lint (validate_bench_json.py)
 #
 # Honors CMAKE_CXX_COMPILER_LAUNCHER (the workflow sets it to ccache),
@@ -78,6 +83,34 @@ stage_embstore() {
   RECD_SMOKE=1 ./build/bench_embstore_tiering
 }
 
+stage_obs() {
+  cmake --preset asan
+  cmake --build build-asan -j
+  ctest --test-dir build-asan --output-on-failure -j 2 -R 'Obs'
+  cmake --preset tsan
+  cmake --build build-tsan -j
+  ctest --test-dir build-tsan --output-on-failure -j 2 -R 'Obs'
+  # End-to-end trace gate on an optimized build: the dist-train bench
+  # must emit a loadable Chrome trace with spans for all four exchanges
+  # (the bench's own checks already assert obs-on bitwise losses).
+  cmake -B build -S .
+  cmake --build build -j --target bench_dist_train
+  local trace
+  trace=$(mktemp /tmp/recd_ci_trace.XXXXXX.json)
+  RECD_SMOKE=1 ./build/bench_dist_train --trace "$trace"
+  python3 - "$trace" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+names = {e["name"] for e in events}
+need = {"exchange/sdd", "exchange/emb", "exchange/grad",
+        "exchange/allreduce", "train/step"}
+missing = need - names
+assert not missing, f"trace missing spans: {missing}"
+print(f"trace ok: {len(events)} events, spans {sorted(names)}")
+EOF
+  rm -f "$trace"
+}
+
 stage_lint() {
   # No arguments: lints every BENCH_*.json in the repo root and fails
   # on required reports that are missing entirely.
@@ -90,6 +123,7 @@ case "${1:-all}" in
   recovery)   stage_recovery ;;
   kernels)    stage_kernels ;;
   embstore)   stage_embstore ;;
+  obs)        stage_obs ;;
   lint)       stage_lint ;;
   all)
     stage_core
@@ -97,11 +131,12 @@ case "${1:-all}" in
     stage_recovery
     stage_kernels
     stage_embstore
+    stage_obs
     stage_lint
     echo "ci.sh: all stages passed"
     ;;
   *)
-    echo "usage: $0 [core|sanitizers|recovery|kernels|embstore|lint|all]" >&2
+    echo "usage: $0 [core|sanitizers|recovery|kernels|embstore|obs|lint|all]" >&2
     exit 2
     ;;
 esac

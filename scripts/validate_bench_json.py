@@ -5,8 +5,12 @@ Every report must carry the context that makes its numbers traceable —
 target, commit, date, and a host block with cpu/cores/hardware_threads/
 build_type/commit — plus a non-empty metrics map whose rows each have a
 numeric "measured" and a string "unit" (an optional numeric "paper").
-Stale or hand-edited files fail CI here instead of silently shipping
-unreproducible numbers.
+Reports that embed an "obs_metrics" registry snapshot block
+(docs/BENCHMARKS.md) must give it the obs::MetricsSnapshot::ToJson
+shape — a "series" list of {name, labels, kind, value|histogram-stats}
+objects and a matching "series_count" — and for the reports listed in
+OBS_REQUIRED the block is mandatory. Stale or hand-edited files fail CI
+here instead of silently shipping unreproducible numbers.
 
 Usage: validate_bench_json.py [FILE...]   (default: BENCH_*.json in the
 repository root, one directory above this script)
@@ -40,6 +44,60 @@ REQUIRED_REPORTS = (
     "BENCH_serve_qps.json",
     "BENCH_stream_window_sweep.json",
 )
+
+# Reports whose harnesses embed a registry snapshot: the block going
+# missing means the obs wiring regressed, so its absence fails the lint.
+OBS_REQUIRED = (
+    "BENCH_dist_train.json",
+    "BENCH_serve_qps.json",
+)
+
+OBS_KINDS = ("counter", "gauge", "histogram")
+
+
+def check_obs_metrics(doc, required):
+    """Validates an embedded obs_metrics block; returns error strings."""
+    block = doc.get("obs_metrics")
+    if block is None:
+        if required:
+            return ['missing required "obs_metrics" snapshot block']
+        return []
+    if not isinstance(block, dict):
+        return ['"obs_metrics" is not an object']
+    errors = []
+    series = block.get("series")
+    if not isinstance(series, list) or not series:
+        return ['"obs_metrics" lacks a non-empty "series" list']
+    if block.get("series_count") != len(series):
+        errors.append('"obs_metrics" series_count disagrees with "series"')
+    for i, entry in enumerate(series):
+        where = f'obs_metrics series[{i}]'
+        if not isinstance(entry, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f'{where} lacks a non-empty string "name"')
+        labels = entry.get("labels")
+        if not isinstance(labels, dict) or not all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in labels.items()
+        ):
+            errors.append(f'{where} lacks a string-to-string "labels" map')
+        kind = entry.get("kind")
+        if kind not in OBS_KINDS:
+            errors.append(f'{where} has kind {kind!r}, want one of {OBS_KINDS}')
+            continue
+        numeric_keys = (
+            ("count", "mean", "min", "max", "p50", "p99")
+            if kind == "histogram"
+            else ("value",)
+        )
+        for key in numeric_keys:
+            value = entry.get(key)
+            if not isinstance(value, numbers.Number) or isinstance(value, bool):
+                errors.append(f'{where} ({kind}) lacks numeric "{key}"')
+    return errors
 
 
 def check_file(path):
@@ -91,6 +149,9 @@ def check_file(path):
                 not isinstance(paper, numbers.Number) or isinstance(paper, bool)
             ):
                 errors.append(f'metric "{name}" has non-numeric "paper"')
+
+    required = os.path.basename(path) in OBS_REQUIRED
+    errors.extend(check_obs_metrics(doc, required))
     return errors, len(metrics) if isinstance(metrics, dict) else 0
 
 

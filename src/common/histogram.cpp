@@ -25,6 +25,21 @@ void Histogram::Add(std::int64_t value, std::int64_t count) {
   total_count_ += count;
   total_sum_ += static_cast<double>(value) * static_cast<double>(count);
   max_ = std::max(max_, value);
+  min_ = min_ == 0 ? value : std::min(min_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.total_count_ == 0) return;
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t b = 0; b < other.counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  total_count_ += other.total_count_;
+  total_sum_ += other.total_sum_;
+  max_ = std::max(max_, other.max_);
+  min_ = min_ == 0 ? other.min_ : std::min(min_, other.min_);
 }
 
 double Histogram::mean() const {
@@ -45,9 +60,10 @@ double Histogram::Percentile(double q) const {
       const double hi = std::ldexp(1.0, static_cast<int>(b) + 1) - 1.0;
       const double frac =
           counts_[b] == 0 ? 0.0 : (target - seen) / static_cast<double>(counts_[b]);
-      // The top bucket's upper bound can exceed anything observed;
-      // never report a percentile above the exact max.
-      return std::min(lo + frac * (hi - lo), static_cast<double>(max_));
+      // Bucket bounds can exceed what was actually observed; clamp to
+      // the exact [min, max] (q=0 therefore reports the exact minimum).
+      return std::clamp(lo + frac * (hi - lo), static_cast<double>(min_),
+                        static_cast<double>(max_));
     }
     seen = next;
   }

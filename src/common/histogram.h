@@ -14,22 +14,31 @@ class Histogram {
  public:
   void Add(std::int64_t value, std::int64_t count = 1);
 
+  /// Merges another histogram into this one: bucket counts, total
+  /// count/sum, min, and max all combine exactly, so merging per-worker
+  /// histograms equals having observed every value in one histogram.
+  /// Associative and commutative (asserted in tests/common_test.cpp) —
+  /// the aggregation primitive behind obs::HistogramMetric and registry
+  /// snapshot merges.
+  void Merge(const Histogram& other);
+
   [[nodiscard]] std::int64_t total_count() const { return total_count_; }
   [[nodiscard]] double mean() const;
   [[nodiscard]] std::int64_t max() const { return max_; }
+  /// Exact smallest observation; 0 when empty.
+  [[nodiscard]] std::int64_t min() const { return min_; }
 
   /// Approximate percentile (q in [0,1], clamped) from bucket
   /// boundaries, linearly interpolated within the target bucket and
-  /// clamped from above to the exact observed max.
+  /// clamped to the exact observed [min, max].
   ///
   /// Approximation error: observations are only located to their
   /// power-of-two bucket [2^b, 2^(b+1)-1], so the returned value can
   /// deviate from the exact sample percentile by up to the bucket
   /// width — a factor of < 2 relative error, growing with the value
   /// (serving latency tails: a reported p99 of ~90ms means "somewhere
-  /// in [64ms, 128ms)"). q=0 returns the lower bound of the smallest
-  /// non-empty bucket (the exact minimum is not tracked); q=1 returns
-  /// the exact max; an empty histogram returns 0. Counts, mean, and
+  /// in [64ms, 128ms)"). q=0 returns the exact min; q=1 returns the
+  /// exact max; an empty histogram returns 0. Counts, mean, min, and
   /// max are always exact.
   [[nodiscard]] double Percentile(double q) const;
 
@@ -49,6 +58,7 @@ class Histogram {
   std::int64_t total_count_ = 0;
   double total_sum_ = 0;
   std::int64_t max_ = 0;
+  std::int64_t min_ = 0;  // exact; 0 only while empty
 };
 
 }  // namespace recd::common

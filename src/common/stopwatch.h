@@ -2,24 +2,51 @@
 // time per Fill/Convert/Process stage).
 #pragma once
 
+#include <cassert>
 #include <chrono>
 
 namespace recd::common {
 
 /// Monotonic stopwatch; Start/Stop accumulate into a running total so a
 /// stage can be timed across many batches.
+///
+/// Contract: Start and Stop come in strictly alternating pairs. A Stop
+/// without a prior Start would silently add garbage (the gap back to
+/// epoch), so the pairing is debug-asserted; release builds keep the
+/// old unchecked speed. Reset may be called in either state and leaves
+/// the stopwatch stopped.
 class Stopwatch {
  public:
-  void Start() { start_ = Clock::now(); }
-  void Stop() { total_ += Clock::now() - start_; }
+  void Start() {
+    assert(!running_ && "Stopwatch::Start: already running");
+    running_ = true;
+    start_ = Clock::now();
+  }
+  void Stop() {
+    assert(running_ && "Stopwatch::Stop: Stop without a prior Start");
+    running_ = false;
+    total_ += Clock::now() - start_;
+  }
 
-  /// Accumulated time in seconds.
+  /// True between a Start and its matching Stop (debug aid; the
+  /// asserts above are the enforcement).
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Accumulated time in seconds (excludes a still-running interval).
   [[nodiscard]] double seconds() const {
     return std::chrono::duration<double>(total_).count();
   }
-  void Reset() { total_ = {}; }
+  void Reset() {
+    total_ = {};
+    running_ = false;
+  }
 
-  /// RAII scope: times the enclosing block into the given stopwatch.
+  /// RAII scope: times the enclosing block into the given stopwatch —
+  /// one Start at construction, one Stop at destruction, nothing else.
+  /// There is deliberately no Pause/Resume: a scope measures exactly
+  /// its own lifetime, so nested or overlapping measurement needs a
+  /// second stopwatch, not a mutated one (which is what keeps stage
+  /// sums additive across workers).
   class Scope {
    public:
     explicit Scope(Stopwatch& sw) : sw_(sw) { sw_.Start(); }
@@ -35,6 +62,7 @@ class Stopwatch {
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_{};
   Clock::duration total_{};
+  bool running_ = false;
 };
 
 }  // namespace recd::common

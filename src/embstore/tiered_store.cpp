@@ -11,7 +11,19 @@ TieredRowStore::TieredRowStore(const nn::DenseMatrix& initial,
                                TierConfig config)
     : config_(std::move(config)),
       cold_(initial, config_.rows_per_segment, config_.codec,
-            config_.cold_dir) {
+            config_.cold_dir),
+      row_fetches_(metrics_.GetCounter("embstore.row_fetches")),
+      hot_hits_(metrics_.GetCounter("embstore.hot_hits")),
+      cold_fetches_(metrics_.GetCounter("embstore.cold_fetches")),
+      admissions_(metrics_.GetCounter("embstore.admissions")),
+      evictions_(metrics_.GetCounter("embstore.evictions")),
+      writebacks_(metrics_.GetCounter("embstore.writebacks")),
+      segments_read_(metrics_.GetCounter("embstore.segments_read")),
+      bytes_from_cold_(metrics_.GetCounter("embstore.bytes_from_cold")),
+      bytes_decompressed_(
+          metrics_.GetCounter("embstore.bytes_decompressed")),
+      resident_rows_gauge_(metrics_.GetGauge("embstore.resident_rows")),
+      capacity_rows_gauge_(metrics_.GetGauge("embstore.capacity_rows")) {
   const std::size_t capacity =
       std::min(config_.hot_capacity_rows, cold_.rows());
   hot_data_.resize(capacity * cold_.dim());
@@ -20,7 +32,7 @@ TieredRowStore::TieredRowStore(const nn::DenseMatrix& initial,
   free_slots_.reserve(capacity);
   for (std::size_t s = capacity; s > 0; --s) free_slots_.push_back(s - 1);
   freq_.assign(cold_.rows(), 0);
-  stats_.capacity_rows = capacity;
+  capacity_rows_gauge_.Set(static_cast<std::int64_t>(capacity));
 }
 
 void TieredRowStore::BumpFrequency(std::size_t row, std::uint64_t weight) {
@@ -41,12 +53,12 @@ void TieredRowStore::EvictLeastFrequent() {
   const std::size_t slot = row_slot_.at(row);
   if (slot_dirty_[slot]) {
     WriteRowToCold(row, hot_data_.data() + slot * cold_.dim());
-    stats_.writebacks += 1;
+    writebacks_.Increment();
   }
   row_slot_.erase(row);
   slot_dirty_[slot] = false;
   free_slots_.push_back(slot);
-  stats_.evictions += 1;
+  evictions_.Increment();
 }
 
 void TieredRowStore::Admit(std::size_t row, const float* data) {
@@ -59,7 +71,7 @@ void TieredRowStore::Admit(std::size_t row, const float* data) {
   slot_dirty_[slot] = false;
   row_slot_.emplace(row, slot);
   hot_by_freq_.insert({freq_[row], row});
-  stats_.admissions += 1;
+  admissions_.Increment();
 }
 
 void TieredRowStore::WriteRowToCold(std::size_t row, const float* data) {
@@ -89,16 +101,16 @@ void TieredRowStore::Gather(std::span<const std::size_t> row_ids,
     if (row >= cold_.rows()) {
       throw std::out_of_range("TieredRowStore::Gather: row out of range");
     }
-    stats_.row_fetches += 1;
+    row_fetches_.Increment();
     BumpFrequency(row, weights.empty() ? 1 : std::max<std::uint64_t>(
                                                  1, weights[i]));
     const auto it = row_slot_.find(row);
     if (it != row_slot_.end()) {
-      stats_.hot_hits += 1;
+      hot_hits_.Increment();
       std::memcpy(out + i * d, hot_data_.data() + it->second * d,
                   d * sizeof(float));
     } else {
-      stats_.cold_fetches += 1;
+      cold_fetches_.Increment();
       misses[cold_.SegmentOf(row)].push_back(i);
     }
   }
@@ -115,7 +127,7 @@ void TieredRowStore::Gather(std::span<const std::size_t> row_ids,
                              : data.data() + (row - first) * d;
       std::memcpy(out + i * d, src, d * sizeof(float));
       if (row_slot_.count(row) != 0) continue;  // admitted earlier in call
-      if (stats_.capacity_rows == 0) continue;
+      if (slot_row_.empty()) continue;  // no hot tier configured
       if (!free_slots_.empty()) {
         Admit(row, data.data() + (row - first) * d);
       } else {
@@ -129,9 +141,10 @@ void TieredRowStore::Gather(std::span<const std::size_t> row_ids,
       }
     }
   }
-  stats_.segments_read += rc.segments;
-  stats_.bytes_from_cold += rc.compressed_bytes;
-  stats_.bytes_decompressed += rc.raw_bytes;
+  segments_read_.Add(static_cast<std::int64_t>(rc.segments));
+  bytes_from_cold_.Add(static_cast<std::int64_t>(rc.compressed_bytes));
+  bytes_decompressed_.Add(static_cast<std::int64_t>(rc.raw_bytes));
+  resident_rows_gauge_.Set(static_cast<std::int64_t>(row_slot_.size()));
 }
 
 void TieredRowStore::Update(std::span<const std::size_t> row_ids,
@@ -161,7 +174,7 @@ void TieredRowStore::Update(std::span<const std::size_t> row_ids,
                   d * sizeof(float));
     }
     cold_.WriteSegment(seg, data);
-    stats_.writebacks += indices.size();
+    writebacks_.Add(static_cast<std::int64_t>(indices.size()));
   }
 }
 
@@ -187,20 +200,34 @@ void TieredRowStore::Load(const nn::DenseMatrix& w) {
   const std::size_t capacity = slot_row_.size();
   for (std::size_t s = capacity; s > 0; --s) free_slots_.push_back(s - 1);
   std::fill(freq_.begin(), freq_.end(), 0);
+  resident_rows_gauge_.Set(0);
 }
 
 TierStats TieredRowStore::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  TierStats s = stats_;
+  TierStats s;
+  const auto u64 = [](const obs::Counter& c) {
+    return static_cast<std::uint64_t>(c.Value());
+  };
+  s.row_fetches = u64(row_fetches_);
+  s.hot_hits = u64(hot_hits_);
+  s.cold_fetches = u64(cold_fetches_);
+  s.admissions = u64(admissions_);
+  s.evictions = u64(evictions_);
+  s.writebacks = u64(writebacks_);
+  s.segments_read = u64(segments_read_);
+  s.bytes_from_cold = u64(bytes_from_cold_);
+  s.bytes_decompressed = u64(bytes_decompressed_);
   s.resident_rows = row_slot_.size();
+  s.capacity_rows = slot_row_.size();
   return s;
 }
 
 void TieredRowStore::ResetStats() {
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto capacity = stats_.capacity_rows;
-  stats_ = {};
-  stats_.capacity_rows = capacity;
+  metrics_.ResetValues();
+  capacity_rows_gauge_.Set(static_cast<std::int64_t>(slot_row_.size()));
+  resident_rows_gauge_.Set(static_cast<std::int64_t>(row_slot_.size()));
 }
 
 std::size_t TieredRowStore::resident_rows() const {

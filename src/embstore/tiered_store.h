@@ -39,6 +39,7 @@
 #include "embstore/cold_store.h"
 #include "embstore/tier_config.h"
 #include "nn/dense_matrix.h"
+#include "obs/metrics.h"
 
 namespace recd::embstore {
 
@@ -74,9 +75,15 @@ class TieredRowStore {
   /// hot tier and frequency counters reset. Shape must match.
   void Load(const nn::DenseMatrix& w);
 
-  /// Counter snapshot including resident_rows/capacity_rows.
+  /// Counter snapshot including resident_rows/capacity_rows. The
+  /// counters live in this store's metrics() registry (§14 single
+  /// source of truth); this view is assembled from those series.
   [[nodiscard]] TierStats stats() const;
   void ResetStats();
+
+  /// The store's metric registry (`embstore.*` series) — merge its
+  /// Snapshot() upward to roll per-store counters into a process view.
+  [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
 
   [[nodiscard]] std::size_t resident_rows() const;
   /// Compressed cold footprint plus hot-tier bytes (capacity model).
@@ -104,7 +111,21 @@ class TieredRowStore {
   std::vector<std::uint64_t> freq_;
   std::set<std::pair<std::uint64_t, std::size_t>> hot_by_freq_;
 
-  TierStats stats_;
+  // Tier counters: registry-backed (obs/metrics.h), handles cached so
+  // the mutex-held hot path never takes the registry lock. TierStats
+  // snapshots read these back.
+  obs::Registry metrics_;
+  obs::Counter& row_fetches_;
+  obs::Counter& hot_hits_;
+  obs::Counter& cold_fetches_;
+  obs::Counter& admissions_;
+  obs::Counter& evictions_;
+  obs::Counter& writebacks_;
+  obs::Counter& segments_read_;
+  obs::Counter& bytes_from_cold_;
+  obs::Counter& bytes_decompressed_;
+  obs::Gauge& resident_rows_gauge_;
+  obs::Gauge& capacity_rows_gauge_;
 };
 
 }  // namespace recd::embstore

@@ -1,0 +1,294 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace recd::obs {
+
+namespace {
+
+/// JSON/exposition string escaping (label values may carry anything).
+std::string Escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+Labels Canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::size_t Counter::ShardIndex() {
+  // One shard per thread, assigned round-robin at first use; threads
+  // beyond kShards share (they still only race on fetch_add).
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+std::string MetricsSnapshot::Entry::SeriesName() const {
+  if (labels.empty()) return name;
+  std::ostringstream os;
+  os << name << '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) os << ',';
+    os << labels[i].first << "=\"" << Escaped(labels[i].second) << '"';
+  }
+  os << '}';
+  return os.str();
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& theirs : other.entries) {
+    auto it = std::lower_bound(
+        entries.begin(), entries.end(), theirs,
+        [](const Entry& a, const Entry& b) {
+          return std::tie(a.name, a.labels) < std::tie(b.name, b.labels);
+        });
+    if (it != entries.end() && it->name == theirs.name &&
+        it->labels == theirs.labels) {
+      if (it->kind != theirs.kind) {
+        throw std::invalid_argument(
+            "MetricsSnapshot::Merge: kind mismatch for series " +
+            theirs.SeriesName());
+      }
+      switch (theirs.kind) {
+        case MetricKind::kCounter:
+          it->value += theirs.value;
+          break;
+        case MetricKind::kGauge:
+          it->value = theirs.value;  // latest wins
+          break;
+        case MetricKind::kHistogram:
+          it->histogram.Merge(theirs.histogram);
+          break;
+      }
+    } else {
+      entries.insert(it, theirs);
+    }
+  }
+}
+
+const MetricsSnapshot::Entry* MetricsSnapshot::Find(
+    const std::string& name, const Labels& labels) const {
+  const Labels canon = Canonical(labels);
+  for (const auto& e : entries) {
+    if (e.name == name && e.labels == canon) return &e;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::ostringstream os;
+  for (const auto& e : entries) {
+    switch (e.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        os << e.SeriesName() << ' ' << e.value << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        // Cumulative power-of-two buckets in the Prometheus le= idiom.
+        auto with_label = [&](const std::string& le) {
+          Labels l = e.labels;
+          l.emplace_back("le", le);
+          Entry named{e.name + "_bucket", std::move(l), MetricKind::kCounter,
+                      0, {}};
+          return named.SeriesName();
+        };
+        std::int64_t cum = 0;
+        for (const auto& b : e.histogram.buckets()) {
+          cum += b.count;
+          os << with_label(std::to_string(b.hi)) << ' ' << cum << '\n';
+        }
+        os << with_label("+Inf") << ' ' << e.histogram.total_count() << '\n';
+        Entry count{e.name + "_count", e.labels, MetricKind::kCounter, 0, {}};
+        os << count.SeriesName() << ' ' << e.histogram.total_count() << '\n';
+        Entry sum{e.name + "_sum", e.labels, MetricKind::kCounter, 0, {}};
+        os << sum.SeriesName() << ' '
+           << static_cast<std::int64_t>(
+                  e.histogram.mean() *
+                  static_cast<double>(e.histogram.total_count()))
+           << '\n';
+        Entry mx{e.name + "_max", e.labels, MetricKind::kCounter, 0, {}};
+        os << mx.SeriesName() << ' ' << e.histogram.max() << '\n';
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{ \"series_count\": " << entries.size() << ", \"series\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    os << (i > 0 ? ",\n    " : "\n    ");
+    os << "{ \"name\": \"" << Escaped(e.name) << "\", \"labels\": {";
+    for (std::size_t j = 0; j < e.labels.size(); ++j) {
+      if (j > 0) os << ", ";
+      os << '"' << Escaped(e.labels[j].first) << "\": \""
+         << Escaped(e.labels[j].second) << '"';
+    }
+    os << "}, \"kind\": \"" << KindName(e.kind) << "\", ";
+    if (e.kind == MetricKind::kHistogram) {
+      os << "\"count\": " << e.histogram.total_count()
+         << ", \"mean\": " << e.histogram.mean()
+         << ", \"min\": " << e.histogram.min()
+         << ", \"max\": " << e.histogram.max()
+         << ", \"p50\": " << e.histogram.Percentile(0.50)
+         << ", \"p99\": " << e.histogram.Percentile(0.99);
+    } else {
+      os << "\"value\": " << e.value;
+    }
+    os << " }";
+  }
+  os << "\n  ] }";
+  return os.str();
+}
+
+MetricsSnapshot MetricsSnapshot::WithoutTimings() const {
+  MetricsSnapshot out;
+  for (const auto& e : entries) {
+    if (EndsWith(e.name, "_us") || EndsWith(e.name, "_seconds") ||
+        EndsWith(e.name, "_ticks")) {
+      continue;
+    }
+    out.entries.push_back(e);
+  }
+  return out;
+}
+
+Registry::Series& Registry::GetSeries(const std::string& name,
+                                      Labels&& labels, MetricKind kind) {
+  // Callers hold mutex_.
+  auto [it, inserted] =
+      series_.try_emplace({name, Canonical(std::move(labels))});
+  Series& s = it->second;
+  if (inserted) {
+    s.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        s.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        s.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        s.histogram = std::make_unique<HistogramMetric>();
+        break;
+    }
+  } else if (s.kind != kind) {
+    throw std::invalid_argument("Registry: series '" + name +
+                                "' already registered with a different kind");
+  }
+  return s;
+}
+
+Counter& Registry::GetCounter(const std::string& name, Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return *GetSeries(name, std::move(labels), MetricKind::kCounter).counter;
+}
+
+Gauge& Registry::GetGauge(const std::string& name, Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return *GetSeries(name, std::move(labels), MetricKind::kGauge).gauge;
+}
+
+HistogramMetric& Registry::GetHistogram(const std::string& name,
+                                        Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return *GetSeries(name, std::move(labels), MetricKind::kHistogram)
+              .histogram;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.entries.reserve(series_.size());
+  // series_ is a std::map ordered by (name, labels) — snapshot order is
+  // deterministic regardless of registration order.
+  for (const auto& [key, s] : series_) {
+    MetricsSnapshot::Entry e;
+    e.name = key.first;
+    e.labels = key.second;
+    e.kind = s.kind;
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        e.value = s.counter->Value();
+        break;
+      case MetricKind::kGauge:
+        e.value = s.gauge->Value();
+        break;
+      case MetricKind::kHistogram:
+        e.histogram = s.histogram->snapshot();
+        break;
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+void Registry::ResetValues() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, s] : series_) {
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        s.counter->Reset();
+        break;
+      case MetricKind::kGauge:
+        s.gauge->Reset();
+        break;
+      case MetricKind::kHistogram:
+        s.histogram->Reset();
+        break;
+    }
+  }
+}
+
+std::size_t Registry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return series_.size();
+}
+
+Registry& Registry::Global() {
+  static Registry* global = new Registry();  // leaked: outlives everything
+  return *global;
+}
+
+}  // namespace recd::obs

@@ -1,0 +1,225 @@
+// Process-wide metrics registry: hierarchically named, labeled
+// Counter / Gauge / HistogramMetric handles with lock-free hot-path
+// increments (docs/ARCHITECTURE.md §14).
+//
+// The registry is the repo's single export surface for counters: the
+// bespoke stats structs that benches and tests read (embstore::TierStats,
+// serve::ServeStats, reader io(), stream counters) are either backed by
+// registry handles directly or published into a registry snapshot at
+// their aggregation point, so one `Registry::Snapshot()` captures the
+// whole pipeline. Snapshots render as Prometheus-style text exposition
+// (`ToPrometheusText`) or as a JSON block (`ToJson`) that
+// bench::JsonReport embeds into BENCH_*.json reports.
+//
+// Concurrency + cost model:
+//  * `Counter::Add` is a relaxed fetch_add on one of kShards
+//    cache-line-padded cells chosen by thread id — threads hammering a
+//    shared counter do not contend on one line. `Value()` sums shards.
+//  * `Gauge` is a single atomic (set-dominated, uncontended writers).
+//  * `HistogramMetric` wraps common::Histogram under a mutex
+//    (observations are batch/request granular, never per-element hot).
+//  * Handle lookup (`GetCounter` etc.) takes the registry mutex — do it
+//    once at construction time and cache the reference; handles are
+//    stable for the registry's lifetime.
+//
+// Determinism contract (the observability rule, §14): metrics only
+// *record* — no code path reads a metric to make a decision — so
+// enabling or disabling export, and any thread count, never changes
+// weights, losses, scores, or non-timing counter values. Snapshot
+// entries are ordered by (name, labels), never by creation order, so
+// rendered output is deterministic too. Timing-valued series carry a
+// `_us` / `_seconds` suffix by convention; determinism tests compare
+// snapshots with those series excluded.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace recd::obs {
+
+/// Sorted (key, value) pairs identifying one series of a metric family
+/// (e.g. {{"exchange","sdd"},{"rank","0"}}). Canonicalized (sorted by
+/// key) on entry to the registry, so label order never splits a series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter. Hot-path Add is a relaxed atomic increment on a
+/// per-thread shard; Value() is a full-fence-free sum over shards and
+/// may miss in-flight increments from still-running writers (read it
+/// after the writers quiesce for exact totals, like every bespoke
+/// counter it replaces).
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  void Add(std::int64_t delta) {
+    cells_[ShardIndex()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  [[nodiscard]] std::int64_t Value() const {
+    std::int64_t sum = 0;
+    for (const auto& cell : cells_) {
+      sum += cell.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  /// Zeroes every shard. Not atomic with respect to concurrent Adds —
+  /// callers reset in quiescent states (the contract ResetStats-style
+  /// APIs already had).
+  void Reset() {
+    for (auto& cell : cells_) cell.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::int64_t> v{0};
+  };
+  static std::size_t ShardIndex();
+  Cell cells_[kShards];
+};
+
+/// Last-write-wins instantaneous value (resident rows, queue depth).
+class Gauge {
+ public:
+  void Set(std::int64_t value) { v_.store(value, std::memory_order_relaxed); }
+  void Add(std::int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t Value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Distribution metric over positive integer observations (latencies in
+/// µs, sizes in bytes) — common::Histogram under a mutex, mergeable
+/// across workers via Histogram::Merge.
+class HistogramMetric {
+ public:
+  /// Records one observation; values below 1 clamp to 1 (Histogram is
+  /// defined over positive integers; a sub-microsecond latency still
+  /// counts).
+  void Observe(std::int64_t value) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    hist_.Add(value < 1 ? 1 : value);
+  }
+  void Merge(const common::Histogram& other) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    hist_.Merge(other);
+  }
+  [[nodiscard]] common::Histogram snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return hist_;
+  }
+  void Reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    hist_ = common::Histogram();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  common::Histogram hist_;
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Point-in-time copy of a registry (or a merge of several). Entries
+/// are sorted by (name, labels); Merge sums counters, keeps the latest
+/// gauge value, and merges histograms — so per-worker or per-component
+/// registries roll up into one process view.
+struct MetricsSnapshot {
+  struct Entry {
+    std::string name;
+    Labels labels;
+    MetricKind kind = MetricKind::kCounter;
+    std::int64_t value = 0;          // counter / gauge
+    common::Histogram histogram;     // kHistogram only
+
+    /// "name{k="v",...}" — the series' exposition identity.
+    [[nodiscard]] std::string SeriesName() const;
+  };
+  std::vector<Entry> entries;
+
+  /// Sums counters, overwrites gauges, merges histograms; series
+  /// present only in `other` are inserted. Associative and (for
+  /// counters/histograms) commutative.
+  void Merge(const MetricsSnapshot& other);
+
+  /// Entry lookup by exact name + canonical labels; nullptr if absent.
+  [[nodiscard]] const Entry* Find(const std::string& name,
+                                  const Labels& labels = {}) const;
+
+  /// Prometheus-style text exposition: one `name{labels} value` line
+  /// per series; histograms expose _count/_sum/_max plus cumulative
+  /// power-of-two `le` buckets.
+  [[nodiscard]] std::string ToPrometheusText() const;
+
+  /// JSON object {"series":[{name, labels, kind, value|histogram}...],
+  /// "series_count": N} — the block bench::JsonReport embeds.
+  [[nodiscard]] std::string ToJson() const;
+
+  /// Entries with timing-valued series (`_us`/`_seconds`/`_ticks`
+  /// suffixed names) removed — the comparison surface of the
+  /// observability-determinism tests.
+  [[nodiscard]] MetricsSnapshot WithoutTimings() const;
+};
+
+/// A named family store. Instantiable — components with instance-scoped
+/// stats (a tiered store, a trainer) own a private registry and expose
+/// it for upward Merge — plus one process-wide `Global()` for
+/// subsystems whose label sets already make series unique.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Handle accessors: create-on-first-use, stable references for the
+  /// registry's lifetime. A (name, labels) pair is one series — calling
+  /// again returns the same handle. Throws std::invalid_argument if the
+  /// name is already registered with a different kind.
+  [[nodiscard]] Counter& GetCounter(const std::string& name,
+                                    Labels labels = {});
+  [[nodiscard]] Gauge& GetGauge(const std::string& name, Labels labels = {});
+  [[nodiscard]] HistogramMetric& GetHistogram(const std::string& name,
+                                              Labels labels = {});
+
+  [[nodiscard]] MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every value but keeps the registered series and handles.
+  void ResetValues();
+
+  /// Number of registered series.
+  [[nodiscard]] std::size_t size() const;
+
+  /// The process-wide registry.
+  static Registry& Global();
+
+ private:
+  struct Series {
+    MetricKind kind = MetricKind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+  using Key = std::pair<std::string, Labels>;
+
+  Series& GetSeries(const std::string& name, Labels&& labels,
+                    MetricKind kind);
+
+  mutable std::mutex mutex_;
+  std::map<Key, Series> series_;
+};
+
+}  // namespace recd::obs

@@ -1,0 +1,69 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace recd::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+std::mutex g_trace_path_mutex;
+std::string& TracePathStorage() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+}  // namespace
+
+void Configure(const ObsOptions& options) {
+  g_enabled.store(options.enabled, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(g_trace_path_mutex);
+    TracePathStorage() = options.trace_path;
+  }
+  if (options.trace) {
+    TraceOptions trace;
+    trace.virtual_clock = options.trace_virtual_clock;
+    Tracer::Global().Start(trace);
+  } else {
+    Tracer::Global().Stop();
+  }
+}
+
+ObsOptions FromEnv() {
+  ObsOptions options;
+  const char* obs = std::getenv("RECD_OBS");
+  options.enabled =
+      obs != nullptr && *obs != '\0' && std::string(obs) != "0";
+  const char* trace = std::getenv("RECD_OBS_TRACE");
+  if (trace != nullptr && *trace != '\0') {
+    options.trace = true;
+    options.trace_path = trace;
+    options.enabled = true;  // tracing implies timing metrics
+  }
+  return options;
+}
+
+ObsOptions ConfigureFromEnv() {
+  ObsOptions options = FromEnv();
+  Configure(options);
+  return options;
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+bool FlushTrace() {
+  Tracer& tracer = Tracer::Global();
+  tracer.Stop();
+  std::string path;
+  {
+    const std::lock_guard<std::mutex> lock(g_trace_path_mutex);
+    path = TracePathStorage();
+  }
+  if (path.empty()) return true;
+  return tracer.WriteJson(path);
+}
+
+}  // namespace recd::obs

@@ -1,0 +1,56 @@
+// Observability switchboard (docs/ARCHITECTURE.md §14).
+//
+// The layer is compiled in everywhere and near-zero-cost when off:
+//  * Semantic counters (bytes, rows, hits, flushes — everything benches
+//    and tests assert on) are *always* maintained; they are the
+//    system's measured output, exactly as the bespoke structs they now
+//    back were. RECD_OBS does not gate them — which is also why the
+//    observability-determinism rule is structural: on or off, the same
+//    counters count.
+//  * Timing metrics (exchange wait/transfer µs, span-shaped histograms)
+//    cost clock reads on hot paths, so they are gated on Enabled().
+//  * Tracing is gated inside Tracer (one relaxed load per scope).
+//
+// Environment contract:
+//   RECD_OBS=1             -> Enabled() true (timing metrics recorded)
+//   RECD_OBS_TRACE=<path>  -> tracing on; FlushTrace() writes <path>
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace recd::obs {
+
+struct ObsOptions {
+  /// Record timing metrics (and mark the process as observed).
+  bool enabled = false;
+  /// Start the global tracer.
+  bool trace = false;
+  /// Virtual-clock tracing (deterministic serve replay traces).
+  bool trace_virtual_clock = false;
+  /// Where FlushTrace() writes the Chrome trace JSON; empty = nowhere.
+  std::string trace_path;
+};
+
+/// Applies options: sets the Enabled() flag and starts/stops the global
+/// tracer. Call from main()/bench setup, not from library hot paths.
+void Configure(const ObsOptions& options);
+
+/// Options derived from RECD_OBS / RECD_OBS_TRACE (see above).
+[[nodiscard]] ObsOptions FromEnv();
+
+/// Convenience: Configure(FromEnv()), returning the options applied.
+ObsOptions ConfigureFromEnv();
+
+/// The timing-metrics gate. One relaxed atomic load.
+[[nodiscard]] bool Enabled();
+
+/// Stops the tracer and writes the configured trace_path (no-op when
+/// tracing was never configured or the path is empty). Returns false
+/// on I/O failure.
+bool FlushTrace();
+
+}  // namespace recd::obs

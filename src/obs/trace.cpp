@@ -1,0 +1,155 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace recd::obs {
+
+namespace {
+
+std::int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* global = new Tracer();  // leaked: outlives every thread
+  return *global;
+}
+
+void Tracer::Start(TraceOptions options) {
+  Clear();
+  virtual_clock_.store(options.virtual_clock, std::memory_order_relaxed);
+  max_events_per_thread_.store(options.max_events_per_thread,
+                               std::memory_order_relaxed);
+  wall_epoch_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+  virtual_now_us_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Stop() { enabled_.store(false, std::memory_order_release); }
+
+std::int64_t Tracer::NowUs() const {
+  if (virtual_clock_.load(std::memory_order_relaxed)) {
+    return virtual_now_us_.load(std::memory_order_relaxed);
+  }
+  return (SteadyNowNs() - wall_epoch_ns_.load(std::memory_order_relaxed)) /
+         1000;
+}
+
+Tracer::ThreadBuffer& Tracer::LocalBuffer() {
+  // One buffer per (thread, tracer) pair, registered on first use and
+  // kept alive for the tracer's lifetime — a joined worker's spans stay
+  // readable, and its stale thread_local can never dangle.
+  thread_local ThreadBuffer* local = nullptr;
+  if (local == nullptr) {
+    auto buffer = std::make_unique<ThreadBuffer>();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+    local = buffer.get();
+    buffers_.push_back(std::move(buffer));
+  }
+  return *local;
+}
+
+void Tracer::RecordComplete(const char* name, std::int64_t ts_us,
+                            std::int64_t dur_us, const char* arg_name,
+                            std::int64_t arg) {
+  ThreadBuffer& buffer = LocalBuffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >=
+      max_events_per_thread_.load(std::memory_order_relaxed)) {
+    ++buffer.dropped;  // bounded memory: drop loudly, never grow
+    return;
+  }
+  buffer.events.push_back(
+      {name, arg_name, arg, ts_us, dur_us, buffer.tid});
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& b : buffers_) {
+    const std::lock_guard<std::mutex> bl(b->mutex);
+    n += b->events.size();
+  }
+  return n;
+}
+
+std::size_t Tracer::dropped_events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& b : buffers_) {
+    const std::lock_guard<std::mutex> bl(b->mutex);
+    n += b->dropped;
+  }
+  return n;
+}
+
+std::string Tracer::ToJson() const {
+  std::vector<Event> events;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& b : buffers_) {
+      const std::lock_guard<std::mutex> bl(b->mutex);
+      events.insert(events.end(), b->events.begin(), b->events.end());
+    }
+  }
+  // Canonical order: buffer iteration order depends on thread creation
+  // order, so sort by content instead — identical event sets render to
+  // identical JSON (the virtual-clock replay determinism surface).
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.dur_us != b.dur_us) return a.dur_us < b.dur_us;
+    return std::strcmp(a.name, b.name) < 0;
+  });
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    os << (i > 0 ? ",\n" : "\n");
+    os << R"({"name":")" << e.name << R"(","cat":"recd","ph":"X","ts":)"
+       << e.ts_us << ",\"dur\":" << e.dur_us << ",\"pid\":0,\"tid\":"
+       << e.tid;
+    if (e.arg_name != nullptr) {
+      os << R"(,"args":{")" << e.arg_name << "\":" << e.arg << "}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool Tracer::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "Tracer: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = ToJson();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    std::fprintf(stderr, "Tracer: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void Tracer::Clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& b : buffers_) {
+    const std::lock_guard<std::mutex> bl(b->mutex);
+    b->events.clear();
+    b->dropped = 0;
+  }
+}
+
+}  // namespace recd::obs

@@ -1,0 +1,167 @@
+// Structured tracer: thread-safe span recording emitting Chrome
+// trace-event JSON loadable in Perfetto / chrome://tracing
+// (docs/ARCHITECTURE.md §14).
+//
+// Usage: `RECD_TRACE_SCOPE("reader/convert");` at the top of a block
+// records one complete ("ph":"X") event covering the block's lifetime.
+// Span names are path-style (`subsystem/stage`), must be string
+// literals (the tracer stores the pointer, not a copy), and may carry
+// one integer argument (`RECD_TRACE_SCOPE_ARG("exchange/sdd", "rank",
+// rank)`) rendered into the event's args block.
+//
+// Cost model: when tracing is disabled (the default), a scope is one
+// relaxed atomic load and a branch — cheap enough to leave compiled
+// into every hot stage. When enabled, each thread appends to its own
+// buffer (one short uncontended mutex hold per event; the mutex exists
+// so a snapshot can race live writers cleanly under TSan). Buffers are
+// bounded: past `max_events_per_thread` events are counted as dropped,
+// never silently lost, and memory stays bounded.
+//
+// Clock modes: wall mode timestamps spans with steady-clock
+// microseconds since Start(). Virtual mode (TraceOptions::
+// virtual_clock) timestamps them from the value most recently handed to
+// SetVirtualTimeUs — the serve replay path drives this with its arrival
+// clock, so replayed-trace timestamps are a function of the query trace,
+// never of the host's wall clock, and traces compare directly across
+// hosts and runs. (Which worker records a span — and therefore exactly
+// when it samples the advancing virtual clock — still follows thread
+// scheduling; a fixed single-threaded span sequence renders to
+// byte-identical JSON, the determinism surface tests/obs_test.cpp
+// asserts. Events are canonically ordered on output, not in arrival
+// order.)
+//
+// Determinism rule: tracing only records. Enabling it never changes
+// weights, losses, scores, or non-timing counters (§14).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace recd::obs {
+
+struct TraceOptions {
+  /// Timestamps come from SetVirtualTimeUs instead of the wall clock.
+  bool virtual_clock = false;
+  /// Per-thread span cap; beyond it events are dropped (and counted).
+  std::size_t max_events_per_thread = 1 << 20;
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer every RECD_TRACE_SCOPE records into.
+  static Tracer& Global();
+
+  /// Clears any previous events and begins recording.
+  void Start(TraceOptions options = {});
+  /// Stops recording; buffered events remain readable until Start.
+  void Stop();
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Virtual-clock mode timestamp source (no-op in wall mode). Any
+  /// thread may advance it; spans sample it at scope entry and exit.
+  void SetVirtualTimeUs(std::int64_t now_us) {
+    virtual_now_us_.store(now_us, std::memory_order_relaxed);
+  }
+
+  /// Current trace timestamp in µs (virtual or wall per options).
+  [[nodiscard]] std::int64_t NowUs() const;
+
+  /// Appends one complete event to the calling thread's buffer.
+  void RecordComplete(const char* name, std::int64_t ts_us,
+                      std::int64_t dur_us, const char* arg_name = nullptr,
+                      std::int64_t arg = 0);
+
+  [[nodiscard]] std::size_t event_count() const;
+  [[nodiscard]] std::size_t dropped_events() const;
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}); events are
+  /// canonically ordered by (ts, tid, name, dur) so output is
+  /// deterministic whenever the recorded set is.
+  [[nodiscard]] std::string ToJson() const;
+  /// Writes ToJson() to `path`; false (with a message) on I/O failure.
+  bool WriteJson(const std::string& path) const;
+
+  /// Drops all buffered events (buffers stay registered).
+  void Clear();
+
+  /// RAII span: samples NowUs at entry when the tracer is enabled,
+  /// records a complete event at exit. A span that straddles a Stop is
+  /// dropped (never half-recorded).
+  class Scope {
+   public:
+    explicit Scope(const char* name, const char* arg_name = nullptr,
+                   std::int64_t arg = 0)
+        : name_(name), arg_name_(arg_name), arg_(arg) {
+      Tracer& tracer = Global();
+      if (tracer.enabled()) start_us_ = tracer.NowUs();
+    }
+    ~Scope() {
+      if (start_us_ < 0) return;
+      Tracer& tracer = Global();
+      if (!tracer.enabled()) return;
+      const std::int64_t end_us = tracer.NowUs();
+      tracer.RecordComplete(
+          name_, start_us_, end_us > start_us_ ? end_us - start_us_ : 0,
+          arg_name_, arg_);
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    const char* name_;
+    const char* arg_name_;
+    std::int64_t arg_;
+    std::int64_t start_us_ = -1;  // -1: tracer was disabled at entry
+  };
+
+ private:
+  struct Event {
+    const char* name = nullptr;
+    const char* arg_name = nullptr;
+    std::int64_t arg = 0;
+    std::int64_t ts_us = 0;
+    std::int64_t dur_us = 0;
+    std::uint32_t tid = 0;
+  };
+  struct ThreadBuffer {
+    std::mutex mutex;  // uncontended except against snapshots
+    std::vector<Event> events;
+    std::size_t dropped = 0;
+    std::uint32_t tid = 0;
+  };
+
+  Tracer() = default;
+  [[nodiscard]] ThreadBuffer& LocalBuffer();
+
+  // Mode fields are atomics so late-arriving spans racing a Start/Stop
+  // stay TSan-clean; Start publishes them before flipping enabled_.
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> virtual_clock_{false};
+  std::atomic<std::size_t> max_events_per_thread_{1 << 20};
+  std::atomic<std::int64_t> virtual_now_us_{0};
+  std::atomic<std::int64_t> wall_epoch_ns_{0};
+
+  mutable std::mutex mutex_;  // guards buffers_ registration
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+// Span macros: `RECD_TRACE_SCOPE("stage/name")` and the one-argument
+// form `RECD_TRACE_SCOPE_ARG("exchange/sdd", "rank", rank)`.
+#define RECD_OBS_CONCAT_INNER(a, b) a##b
+#define RECD_OBS_CONCAT(a, b) RECD_OBS_CONCAT_INNER(a, b)
+#define RECD_TRACE_SCOPE(name)                                      \
+  ::recd::obs::Tracer::Scope RECD_OBS_CONCAT(recd_trace_scope_,     \
+                                             __LINE__)(name)
+#define RECD_TRACE_SCOPE_ARG(name, arg_name, arg)                   \
+  ::recd::obs::Tracer::Scope RECD_OBS_CONCAT(recd_trace_scope_,     \
+                                             __LINE__)(name, arg_name, \
+                                                       static_cast<std::int64_t>(arg))
+
+}  // namespace recd::obs

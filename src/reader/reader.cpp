@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace recd::reader {
 
@@ -14,15 +15,40 @@ Reader::Reader(storage::BlobStore& store, const storage::Table& table,
       config_(std::move(config)),
       options_(options),
       projection_(BatchPipeline::BuildProjection(table.schema, config_)),
-      pipeline_(table_->schema, config_, options_.use_ikjt) {
+      pipeline_(table_->schema, config_, options_.use_ikjt),
+      bytes_read_(metrics_.GetCounter("reader.bytes_read")),
+      bytes_sent_(metrics_.GetCounter("reader.bytes_sent")),
+      rows_read_(metrics_.GetCounter("reader.rows_read")),
+      batches_produced_(metrics_.GetCounter("reader.batches_produced")),
+      sparse_elements_processed_(
+          metrics_.GetCounter("reader.sparse_elements_processed")) {
   if (config_.batch_size == 0) {
     throw std::invalid_argument("Reader: batch_size must be positive");
   }
 }
 
+ReaderIoStats Reader::io() const {
+  const auto u = [](const obs::Counter& c) {
+    return static_cast<std::size_t>(c.Value());
+  };
+  ReaderIoStats io;
+  io.bytes_read = u(bytes_read_);
+  io.bytes_sent = u(bytes_sent_);
+  io.rows_read = u(rows_read_);
+  io.batches_produced = u(batches_produced_);
+  io.sparse_elements_processed = u(sparse_elements_processed_);
+  return io;
+}
+
+void Reader::ResetStats() {
+  times_ = {};
+  metrics_.ResetValues();
+}
+
 bool Reader::FillRaw() {
   // Fill (paper Fig 5): fetch from storage, decrypt, decompress. Decoding
   // into rows/tensors belongs to the Convert stage.
+  RECD_TRACE_SCOPE("reader/fill");
   common::Stopwatch sw;
   sw.Start();
   const std::size_t read_before = store_->stats().bytes_read;
@@ -47,11 +73,12 @@ bool Reader::FillRaw() {
     }
     auto raw = current_file_->FetchStripe(stripe_++, projection_);
     raw_rows_ += raw.num_rows;
-    io_.rows_read += raw.num_rows;
+    rows_read_.Add(static_cast<std::int64_t>(raw.num_rows));
     raw_queue_.push_back(std::move(raw));
     progressed = true;
   }
-  io_.bytes_read += store_->stats().bytes_read - read_before;
+  bytes_read_.Add(
+      static_cast<std::int64_t>(store_->stats().bytes_read - read_before));
   sw.Stop();
   times_.fill_s += sw.seconds();
   return progressed || buffer_.size() + raw_rows_ > 0;
@@ -61,6 +88,7 @@ void Reader::DecodePending() {
   // Still the Fill stage (paper §6.3: fill = "fetching data from
   // Tectonic and decrypting, decompressing, and decoding bytes to form
   // rows"); Convert starts when rows become tensors.
+  RECD_TRACE_SCOPE("reader/fill");
   common::Stopwatch sw;
   sw.Start();
   while (!raw_queue_.empty()) {
@@ -89,18 +117,25 @@ std::optional<PreprocessedBatch> Reader::NextBatch() {
   }
   common::Stopwatch convert_sw;
   convert_sw.Start();
-  PreprocessedBatch batch = pipeline_.Convert(std::move(rows));
+  PreprocessedBatch batch = [&] {
+    RECD_TRACE_SCOPE("reader/convert");
+    return pipeline_.Convert(std::move(rows));
+  }();
   convert_sw.Stop();
   times_.convert_s += convert_sw.seconds();
 
   common::Stopwatch process_sw;
   process_sw.Start();
-  io_.sparse_elements_processed += pipeline_.Process(batch);
+  {
+    RECD_TRACE_SCOPE("reader/process");
+    sparse_elements_processed_.Add(
+        static_cast<std::int64_t>(pipeline_.Process(batch)));
+  }
   process_sw.Stop();
   times_.process_s += process_sw.seconds();
 
-  io_.bytes_sent += batch.WireBytes();
-  io_.batches_produced += 1;
+  bytes_sent_.Add(static_cast<std::int64_t>(batch.WireBytes()));
+  batches_produced_.Increment();
   return batch;
 }
 

@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "datagen/sample.h"
+#include "obs/metrics.h"
 #include "reader/batch.h"
 #include "reader/batch_pipeline.h"
 #include "reader/dataloader.h"
@@ -72,11 +73,14 @@ class Reader {
   [[nodiscard]] std::optional<PreprocessedBatch> NextBatch();
 
   [[nodiscard]] const StageTimes& times() const { return times_; }
-  [[nodiscard]] const ReaderIoStats& io() const { return io_; }
-  void ResetStats() {
-    times_ = {};
-    io_ = {};
-  }
+  /// Io counters, assembled from the reader's metrics() registry (§14:
+  /// the registry is the single source of truth; this struct is a
+  /// projection of its `reader.*` series).
+  [[nodiscard]] ReaderIoStats io() const;
+  void ResetStats();
+
+  /// The reader's metric registry (`reader.*` series).
+  [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
 
  private:
   [[nodiscard]] bool FillRaw();
@@ -99,7 +103,14 @@ class Reader {
   std::deque<datagen::Sample> buffer_;        // decoded rows
 
   mutable StageTimes times_;
-  mutable ReaderIoStats io_;
+
+  // Io counters: registry-backed, handles cached at construction.
+  obs::Registry metrics_;
+  obs::Counter& bytes_read_;
+  obs::Counter& bytes_sent_;
+  obs::Counter& rows_read_;
+  obs::Counter& batches_produced_;
+  obs::Counter& sparse_elements_processed_;
 };
 
 }  // namespace recd::reader

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
 #include "storage/column_file.h"
 
 namespace recd::reader {
@@ -34,7 +35,7 @@ ReaderPool::ReaderPool(storage::BlobStore& store,
     for (const auto& name : partition.files) {
       files_.emplace_back(*store_, name);
       const std::size_t f = files_.size() - 1;
-      io_.bytes_read += files_[f].open_bytes();
+      bytes_read_.Add(static_cast<std::int64_t>(files_[f].open_bytes()));
       for (std::size_t s = 0; s < files_[f].num_stripes(); ++s) {
         plan_.push_back({f, s});
       }
@@ -91,6 +92,7 @@ void ReaderPool::FillWorker() {
       // Fill (paper Fig 5): fetch + decrypt + decompress + decode. The
       // stopwatch brackets the work, not the channel wait, so fill_s
       // counts CPU seconds the way the single-threaded Reader does.
+      RECD_TRACE_SCOPE("reader/fill");
       sw.Start();
       const auto& file = files_[ref.file];
       local.bytes_read += file.StripeBytes(ref.stripe, projection_);
@@ -110,9 +112,9 @@ void ReaderPool::FillWorker() {
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     times_.fill_s += sw.seconds();
-    io_.bytes_read += local.bytes_read;
-    io_.rows_read += local.rows_read;
   }
+  bytes_read_.Add(static_cast<std::int64_t>(local.bytes_read));
+  rows_read_.Add(static_cast<std::int64_t>(local.rows_read));
   if (fill_live_.fetch_sub(1) == 1) stripe_channel_->Close();
 }
 
@@ -166,10 +168,16 @@ void ReaderPool::ConvertWorker() {
       auto task = task_channel_->Pop();
       if (!task.has_value()) break;
       convert_sw.Start();
-      PreprocessedBatch batch = pipeline_->Convert(std::move(task->rows));
+      PreprocessedBatch batch = [&] {
+        RECD_TRACE_SCOPE("reader/convert");
+        return pipeline_->Convert(std::move(task->rows));
+      }();
       convert_sw.Stop();
       process_sw.Start();
-      local.sparse_elements_processed += pipeline_->Process(batch);
+      {
+        RECD_TRACE_SCOPE("reader/process");
+        local.sparse_elements_processed += pipeline_->Process(batch);
+      }
       process_sw.Stop();
       local.bytes_sent += batch.WireBytes();
       local.batches_produced += 1;
@@ -185,10 +193,11 @@ void ReaderPool::ConvertWorker() {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     times_.convert_s += convert_sw.seconds();
     times_.process_s += process_sw.seconds();
-    io_.sparse_elements_processed += local.sparse_elements_processed;
-    io_.bytes_sent += local.bytes_sent;
-    io_.batches_produced += local.batches_produced;
   }
+  sparse_elements_processed_.Add(
+      static_cast<std::int64_t>(local.sparse_elements_processed));
+  bytes_sent_.Add(static_cast<std::int64_t>(local.bytes_sent));
+  batches_produced_.Add(static_cast<std::int64_t>(local.batches_produced));
   if (convert_live_.fetch_sub(1) == 1) batch_channel_->Close();
 }
 
@@ -230,8 +239,22 @@ const StageTimes& ReaderPool::times() const {
   return single_.has_value() ? single_->times() : times_;
 }
 
-const ReaderIoStats& ReaderPool::io() const {
-  return single_.has_value() ? single_->io() : io_;
+ReaderIoStats ReaderPool::io() const {
+  if (single_.has_value()) return single_->io();
+  const auto u = [](const obs::Counter& c) {
+    return static_cast<std::size_t>(c.Value());
+  };
+  ReaderIoStats io;
+  io.bytes_read = u(bytes_read_);
+  io.bytes_sent = u(bytes_sent_);
+  io.rows_read = u(rows_read_);
+  io.batches_produced = u(batches_produced_);
+  io.sparse_elements_processed = u(sparse_elements_processed_);
+  return io;
+}
+
+const obs::Registry& ReaderPool::metrics() const {
+  return single_.has_value() ? single_->metrics() : metrics_;
 }
 
 }  // namespace recd::reader

@@ -35,6 +35,7 @@
 #include "common/channel.h"
 #include "common/stopwatch.h"
 #include "datagen/sample.h"
+#include "obs/metrics.h"
 #include "reader/batch.h"
 #include "reader/batch_pipeline.h"
 #include "reader/dataloader.h"
@@ -69,7 +70,13 @@ class ReaderPool {
   /// summed across workers; wall_s is real elapsed time of the scan.
   /// Stable once NextBatch has returned nullopt.
   [[nodiscard]] const StageTimes& times() const;
-  [[nodiscard]] const ReaderIoStats& io() const;
+  /// Io counters, a projection of the pool's metrics() registry.
+  /// Identical to the single-threaded Reader's for any worker count.
+  [[nodiscard]] ReaderIoStats io() const;
+
+  /// The pool's metric registry (`reader.*` series; the wrapped
+  /// Reader's registry when num_workers <= 1).
+  [[nodiscard]] const obs::Registry& metrics() const;
 
  private:
   struct StripeRef {
@@ -125,10 +132,20 @@ class ReaderPool {
   std::size_t next_batch_seq_ = 0;
   bool exhausted_ = false;
 
-  std::mutex stats_mutex_;  // guards times_/io_ merges from workers
+  std::mutex stats_mutex_;  // guards times_ merges from workers
   StageTimes times_;
-  ReaderIoStats io_;
   common::Stopwatch wall_;
+
+  // Io counters: registry-backed; workers add their batched locals
+  // (atomic counters, no stats_mutex_ needed).
+  obs::Registry metrics_;
+  obs::Counter& bytes_read_ = metrics_.GetCounter("reader.bytes_read");
+  obs::Counter& bytes_sent_ = metrics_.GetCounter("reader.bytes_sent");
+  obs::Counter& rows_read_ = metrics_.GetCounter("reader.rows_read");
+  obs::Counter& batches_produced_ =
+      metrics_.GetCounter("reader.batches_produced");
+  obs::Counter& sparse_elements_processed_ =
+      metrics_.GetCounter("reader.sparse_elements_processed");
 
   std::mutex error_mutex_;
   std::exception_ptr error_;

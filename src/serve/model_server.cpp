@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
 #include "reader/batch_pipeline.h"
 #include "train/reference.h"
 
@@ -47,7 +48,21 @@ void ModelServer::Start() {
 }
 
 bool ModelServer::Submit(Batch batch) {
+  // The span covers the (possibly blocking) push into the bounded
+  // queue — backpressure from the workers shows up as its duration.
+  RECD_TRACE_SCOPE("serve/enqueue");
   return queue_.Push(std::move(batch));
+}
+
+ServeWorkStats ModelServer::work_stats() const {
+  const auto u = [](const obs::Counter& c) {
+    return static_cast<std::size_t>(c.Value());
+  };
+  ServeWorkStats stats = work_;
+  stats.batches = u(batches_counter_);
+  stats.requests = u(requests_counter_);
+  stats.rows = u(rows_counter_);
+  return stats;
 }
 
 void ModelServer::Shutdown() {
@@ -117,6 +132,8 @@ void ModelServer::WorkerLoop() {
         for (auto& row : r.rows) rows.push_back(std::move(row));
       }
 
+      obs::Tracer::Scope score_span(
+          "serve/score", "rows", static_cast<std::int64_t>(batch.rows()));
       auto pre = pipeline->Convert(std::move(rows));
       (void)pipeline->Process(pre);
       const auto logits = dlrm->Forward(pre, options_.recd);
@@ -159,14 +176,14 @@ void ModelServer::WorkerLoop() {
 
   local.ops = dlrm->Stats();
   local.tier = dlrm->TierStats();
+  batches_counter_.Add(static_cast<std::int64_t>(local.batches));
+  requests_counter_.Add(static_cast<std::int64_t>(local.requests));
+  rows_counter_.Add(static_cast<std::int64_t>(local.rows));
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& sr : local_scored) {
-    latency_us_.Add(sr.latency_us);
+    latency_hist_.Observe(sr.latency_us);
     scored_.push_back(std::move(sr));
   }
-  work_.batches += local.batches;
-  work_.requests += local.requests;
-  work_.rows += local.rows;
   work_.values_before += local.values_before;
   work_.values_after += local.values_after;
   work_.ops += local.ops;

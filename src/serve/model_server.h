@@ -27,6 +27,7 @@
 #include "common/channel.h"
 #include "common/histogram.h"
 #include "embstore/tier_config.h"
+#include "obs/metrics.h"
 #include "kernels/backend.h"
 #include "nn/op_stats.h"
 #include "reader/dataloader.h"
@@ -100,11 +101,18 @@ class ModelServer {
   /// Scored requests sorted by request_id. Valid after Shutdown().
   [[nodiscard]] std::vector<ScoredRequest> TakeScored();
 
-  /// Valid after Shutdown().
-  [[nodiscard]] const ServeWorkStats& work_stats() const { return work_; }
-  [[nodiscard]] const common::Histogram& latency_us() const {
-    return latency_us_;
+  /// Valid after Shutdown(). Assembled from the server's metrics()
+  /// registry (`serve.*` counters) plus the struct-valued op/tier
+  /// merges (§14: the registry is the single source of truth for the
+  /// scalar counters; this struct is a projection).
+  [[nodiscard]] ServeWorkStats work_stats() const;
+  /// Request latency histogram (`serve.latency_us` in the registry).
+  [[nodiscard]] common::Histogram latency_us() const {
+    return latency_hist_.snapshot();
   }
+
+  /// The server's metric registry (`serve.*` series).
+  [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
 
  private:
   void WorkerLoop();
@@ -122,9 +130,18 @@ class ModelServer {
   std::condition_variable ready_cv_;
   std::size_t ready_workers_ = 0;
   std::vector<ScoredRequest> scored_;
+  // Struct-valued merges (op counters, tier stats, dedupe value sums);
+  // the scalar work counters live in metrics_ below.
   ServeWorkStats work_;
-  common::Histogram latency_us_;
   std::exception_ptr first_error_;
+
+  // Work counters: registry-backed, workers add their batched locals.
+  obs::Registry metrics_;
+  obs::Counter& batches_counter_ = metrics_.GetCounter("serve.batches");
+  obs::Counter& requests_counter_ = metrics_.GetCounter("serve.requests");
+  obs::Counter& rows_counter_ = metrics_.GetCounter("serve.rows");
+  obs::HistogramMetric& latency_hist_ =
+      metrics_.GetHistogram("serve.latency_us");
 };
 
 }  // namespace recd::serve

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/pipeline.h"
+#include "obs/trace.h"
 
 namespace recd::serve {
 
@@ -91,6 +92,11 @@ ServeResult ServerRunner::Run(const ServeConfig& config) {
       }
     } else {
       now = r.arrival_us;
+      // Drive the tracer's virtual clock from the replay arrival clock:
+      // replayed-trace timestamps then come from the query trace, never
+      // the host's wall clock (see obs/trace.h on what that does and
+      // does not pin down).
+      obs::Tracer::Global().SetVirtualTimeUs(now);
       // Stamp deadline flushes at the deadline itself — when a paced
       // server would emit them — not at the next arrival, so replay
       // latency is the exact batching delay (<= max_delay_us).
@@ -119,6 +125,7 @@ ServeResult ServerRunner::Run(const ServeConfig& config) {
 
   ServeResult result;
   result.requests = server.TakeScored();
+  result.obs_metrics = server.metrics().Snapshot();
 
   auto& s = result.stats;
   const auto& work = server.work_stats();

@@ -104,6 +104,9 @@ struct ServeResult {
   ServeStats stats;
   /// Every request scored, sorted by request_id.
   std::vector<ScoredRequest> requests;
+  /// Snapshot of the server's metrics() registry (`serve.*` series),
+  /// taken after Shutdown — the server itself dies with Run().
+  obs::MetricsSnapshot obs_metrics;
 };
 
 class ServerRunner {

@@ -6,6 +6,7 @@
 
 #include "common/hash.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace recd::stream {
 
@@ -54,10 +55,11 @@ bool WindowedEtl::Offer(const StreamMessage& message) {
     const auto& feature = message.feature;
     const std::int64_t w = WindowOf(feature.timestamp);
     if (w < next_unclosed_) {
-      ++late_features_;
+      late_features_.Increment();
       return true;
     }
     auto& window = open_[w];
+    open_windows_gauge_.Set(static_cast<std::int64_t>(open_.size()));
     const auto event_it = pending_events_.find(feature.request_id);
     if (event_it != pending_events_.end()) {
       Join(window, feature, event_it->second);
@@ -92,12 +94,13 @@ bool WindowedEtl::Finish(std::int64_t final_tick) {
     if (!CloseWindow(k, final_tick)) return false;
     next_unclosed_ = std::max(next_unclosed_, k + 1);
   }
-  late_events_ += pending_events_.size();
+  late_events_.Add(static_cast<std::int64_t>(pending_events_.size()));
   pending_events_.clear();
   return true;
 }
 
 bool WindowedEtl::CloseWindow(std::int64_t index, std::int64_t land_tick) {
+  RECD_TRACE_SCOPE_ARG("stream/close_window", "window", index);
   const std::int64_t end = (index + 1) * options_.window_ticks;
 
   // GC outcome events that can no longer join: their feature (whose
@@ -105,7 +108,7 @@ bool WindowedEtl::CloseWindow(std::int64_t index, std::int64_t land_tick) {
   // window, all closed once this one is.
   for (auto it = pending_events_.begin(); it != pending_events_.end();) {
     if (it->second.timestamp < end) {
-      ++late_events_;
+      late_events_.Increment();
       it = pending_events_.erase(it);
     } else {
       ++it;
@@ -116,11 +119,12 @@ bool WindowedEtl::CloseWindow(std::int64_t index, std::int64_t land_tick) {
   if (open_it == open_.end()) return true;
   OpenWindow window = std::move(open_it->second);
   open_.erase(open_it);
+  open_windows_gauge_.Set(static_cast<std::int64_t>(open_.size()));
 
   // Open joins carry over only until the close: on-time events have
   // arrived by now, so whatever is still pending lost its outcome
   // (mirrors batch JoinLogs dropping unmatched logs).
-  unjoined_features_ += window.pending.size();
+  unjoined_features_.Add(static_cast<std::int64_t>(window.pending.size()));
   for (const auto& [rid, feature] : window.pending) {
     pending_feature_window_.erase(rid);
   }
@@ -159,7 +163,8 @@ bool WindowedEtl::CloseWindow(std::int64_t index, std::int64_t land_tick) {
     }
     stats.sessions = sessions.size();
   }
-  total_samples_ += samples.size();
+  total_samples_.Add(static_cast<std::int64_t>(samples.size()));
+  window_samples_hist_.Observe(static_cast<std::int64_t>(samples.size()));
   AccumulateDedupStats(samples, stats);
 
   if (options_.cluster_by_session) etl::ClusterBySession(samples, pool_);
@@ -169,8 +174,9 @@ bool WindowedEtl::CloseWindow(std::int64_t index, std::int64_t land_tick) {
   const auto appended = storage::AppendPartitions(
       *store_, table_, partitions, writer_options_, pool_);
   stats.stored_bytes = appended.stored_bytes;
-  stored_bytes_ += appended.stored_bytes;
-  logical_bytes_ += appended.logical_bytes;
+  stored_bytes_.Add(static_cast<std::int64_t>(appended.stored_bytes));
+  logical_bytes_.Add(static_cast<std::int64_t>(appended.logical_bytes));
+  windows_landed_.Increment();
 
   LandedWindow landed;
   landed.window_index = index;

@@ -51,6 +51,7 @@
 
 #include "datagen/generator.h"
 #include "etl/etl.h"
+#include "obs/metrics.h"
 #include "storage/blob_store.h"
 #include "storage/table.h"
 #include "stream/message.h"
@@ -144,22 +145,38 @@ class WindowedEtl {
   [[nodiscard]] const std::vector<WindowStats>& windows() const {
     return windows_;
   }
-  [[nodiscard]] std::size_t late_features() const { return late_features_; }
-  [[nodiscard]] std::size_t late_events() const { return late_events_; }
-  [[nodiscard]] std::size_t unjoined_features() const {
-    return unjoined_features_;
+  // The scalar counters below are projections of the stage's metrics()
+  // registry (`stream.*` series) — §14 single source of truth.
+  [[nodiscard]] std::size_t late_features() const {
+    return static_cast<std::size_t>(late_features_.Value());
   }
-  [[nodiscard]] std::size_t total_samples() const { return total_samples_; }
+  [[nodiscard]] std::size_t late_events() const {
+    return static_cast<std::size_t>(late_events_.Value());
+  }
+  [[nodiscard]] std::size_t unjoined_features() const {
+    return static_cast<std::size_t>(unjoined_features_.Value());
+  }
+  [[nodiscard]] std::size_t total_samples() const {
+    return static_cast<std::size_t>(total_samples_.Value());
+  }
   [[nodiscard]] std::size_t distinct_sessions() const {
     return global_sessions_.size();
   }
-  [[nodiscard]] std::size_t stored_bytes() const { return stored_bytes_; }
-  [[nodiscard]] std::size_t logical_bytes() const { return logical_bytes_; }
+  [[nodiscard]] std::size_t stored_bytes() const {
+    return static_cast<std::size_t>(stored_bytes_.Value());
+  }
+  [[nodiscard]] std::size_t logical_bytes() const {
+    return static_cast<std::size_t>(logical_bytes_.Value());
+  }
   /// Sum over landed samples of (land_tick - event time): the freshness
   /// lag numerator (mean = / total_samples()).
   [[nodiscard]] double freshness_lag_sum() const {
     return freshness_lag_sum_;
   }
+
+  /// The stage's metric registry: `stream.*` counters plus the
+  /// per-window landed-sample histogram and open-window gauge.
+  [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
 
  private:
   struct OpenWindow {
@@ -198,13 +215,26 @@ class WindowedEtl {
 
   std::vector<WindowStats> windows_;
   std::unordered_set<std::int64_t> global_sessions_;
-  std::size_t total_samples_ = 0;
-  std::size_t stored_bytes_ = 0;
-  std::size_t logical_bytes_ = 0;
-  std::size_t late_features_ = 0;
-  std::size_t late_events_ = 0;
-  std::size_t unjoined_features_ = 0;
   double freshness_lag_sum_ = 0;
+
+  // Lifecycle counters: registry-backed (single writer — Offer/Finish
+  // run on one thread; the pool only parallelizes per-window encode).
+  obs::Registry metrics_;
+  obs::Counter& total_samples_ = metrics_.GetCounter("stream.total_samples");
+  obs::Counter& stored_bytes_ = metrics_.GetCounter("stream.stored_bytes");
+  obs::Counter& logical_bytes_ =
+      metrics_.GetCounter("stream.logical_bytes");
+  obs::Counter& late_features_ =
+      metrics_.GetCounter("stream.late_features");
+  obs::Counter& late_events_ = metrics_.GetCounter("stream.late_events");
+  obs::Counter& unjoined_features_ =
+      metrics_.GetCounter("stream.unjoined_features");
+  obs::Counter& windows_landed_ =
+      metrics_.GetCounter("stream.windows_landed");
+  obs::HistogramMetric& window_samples_hist_ =
+      metrics_.GetHistogram("stream.window_samples");
+  obs::Gauge& open_windows_gauge_ =
+      metrics_.GetGauge("stream.open_windows");
 };
 
 }  // namespace recd::stream

@@ -8,6 +8,8 @@
 
 #include "common/bytes.h"
 #include "common/checksum_file.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "train/reference.h"
 
 namespace recd::train {
@@ -199,18 +201,30 @@ TrainerCheckpoint DeserializeCheckpoint(std::span<const std::byte> payload) {
 }
 
 void SaveCheckpoint(const TrainerCheckpoint& ck, const std::string& path) {
+  RECD_TRACE_SCOPE("checkpoint/save");
+  auto payload = SerializeCheckpoint(ck);
+  auto& reg = obs::Registry::Global();
+  reg.GetCounter("checkpoint.saves").Increment();
+  reg.GetCounter("checkpoint.bytes_written")
+      .Add(static_cast<std::int64_t>(payload.size()));
   common::WriteChecksummedFile(path, kCheckpointMagic, kCheckpointVersion,
-                               SerializeCheckpoint(ck));
+                               payload);
 }
 
 TrainerCheckpoint LoadCheckpoint(const std::string& path) {
+  RECD_TRACE_SCOPE("checkpoint/restore");
+  auto& reg = obs::Registry::Global();
   std::vector<std::byte> payload;
   try {
     payload =
         common::ReadChecksummedFile(path, kCheckpointMagic, kCheckpointVersion);
   } catch (const common::ChecksumError& e) {
+    reg.GetCounter("checkpoint.load_failures").Increment();
     throw CheckpointError(std::string("checkpoint rejected: ") + e.what());
   }
+  reg.GetCounter("checkpoint.restores").Increment();
+  reg.GetCounter("checkpoint.bytes_read")
+      .Add(static_cast<std::int64_t>(payload.size()));
   return DeserializeCheckpoint(payload);
 }
 

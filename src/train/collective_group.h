@@ -45,9 +45,16 @@
 
 #include "common/barrier.h"
 #include "common/channel.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "train/fault.h"
 
 namespace recd::train {
+
+/// Span name of a tagged exchange ("exchange/sdd", ...), a static
+/// literal as the tracer requires.
+[[nodiscard]] const char* ExchangeSpanName(Exchange exchange);
 
 struct CollectiveOptions {
   /// Upper bound on any single wait for a peer inside a collective;
@@ -95,13 +102,21 @@ class CollectiveGroup {
       throw std::invalid_argument("CollectiveGroup::AllToAll: need one "
                                   "payload per rank");
     }
+    // One span per exchange per rank per call (the Fig 7-10 style
+    // breakdown surface); zero-cost when tracing is off.
+    obs::Tracer::Scope span(ExchangeSpanName(tag), "rank",
+                            static_cast<std::int64_t>(rank));
+    ExchangeTimer timer(*this, rank, tag);
     // The injection point: peers may already be mid-exchange, so a
     // kill here strands them exactly like a real rank death would.
     if (options_.injector != nullptr) {
       options_.injector->MaybeInject(rank, tag);
     }
     for (std::size_t p = 0; p < num_ranks_; ++p) {
-      if (p != rank) bytes_sent_[rank] += send[p].size() * sizeof(T);
+      if (p != rank) {
+        ByteCounter(rank, tag).Add(
+            static_cast<std::int64_t>(send[p].size() * sizeof(T)));
+      }
       // Byte payloads move straight through; other element types get
       // one serialization copy.
       bool pushed = false;
@@ -114,10 +129,10 @@ class CollectiveGroup {
         throw std::runtime_error("CollectiveGroup::AllToAll: closed");
       }
     }
-    TimedArrive();  // all sends posted before any receive
+    TimedArrive(rank, tag);  // all sends posted before any receive
     std::vector<std::vector<T>> recv(num_ranks_);
     for (std::size_t p = 0; p < num_ranks_; ++p) {
-      auto msg = TimedPop(Mailbox(p, rank));
+      auto msg = TimedPop(Mailbox(p, rank), rank, tag);
       if (!msg.has_value()) {
         throw std::runtime_error("CollectiveGroup::AllToAll: closed");
       }
@@ -193,26 +208,74 @@ class CollectiveGroup {
     return acc;
   }
 
-  /// Bytes this rank has sent to peers (self-sends excluded). Only
-  /// meaningful once the rank threads have joined.
-  [[nodiscard]] std::size_t bytes_sent(std::size_t rank) const {
-    return bytes_sent_.at(rank);
-  }
-  void ResetBytes() {
-    std::fill(bytes_sent_.begin(), bytes_sent_.end(), 0);
-  }
+  /// Bytes this rank has sent to peers (self-sends excluded), summed
+  /// over all exchange tags. Backed by the metrics() registry — the
+  /// counters are relaxed atomics, so totals are exact once the rank
+  /// threads have joined (the contract the plain slots already had).
+  [[nodiscard]] std::size_t bytes_sent(std::size_t rank) const;
+  /// Bytes rank `rank` sent under one exchange tag.
+  [[nodiscard]] std::size_t exchange_bytes(std::size_t rank,
+                                           Exchange tag) const;
+  /// Microseconds rank `rank` spent *waiting* for peers (barrier +
+  /// mailbox pops) under one tag, vs `exchange_us`, the tag's whole
+  /// exchange time — the wait-vs-transfer split of ROADMAP item 5's
+  /// maskable-cost analysis. Recorded only while obs::Enabled().
+  [[nodiscard]] std::int64_t exchange_wait_us(std::size_t rank,
+                                              Exchange tag) const;
+  [[nodiscard]] std::int64_t exchange_us(std::size_t rank,
+                                         Exchange tag) const;
+  void ResetBytes();
+
+  /// The group's metric registry: `comm.bytes_sent`, `comm.wait_us`,
+  /// and `comm.exchange_us` series labeled {rank, exchange}.
+  [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
 
  private:
   using Mail = common::Channel<std::vector<std::byte>>;
+  static constexpr std::size_t kNumTags = 5;  // kNone..kAllReduce
 
   [[nodiscard]] Mail& Mailbox(std::size_t src, std::size_t dst) {
     return *mail_[src * num_ranks_ + dst];
   }
 
+  [[nodiscard]] static std::size_t TagIndex(Exchange tag) {
+    return static_cast<std::size_t>(tag);
+  }
+  [[nodiscard]] obs::Counter& ByteCounter(std::size_t rank, Exchange tag) {
+    return *bytes_sent_[rank * kNumTags + TagIndex(tag)];
+  }
+
+  /// Accumulates a tag's whole-exchange time while obs::Enabled() —
+  /// wait time is recorded separately inside TimedArrive/TimedPop, so
+  /// transfer time falls out as the difference.
+  class ExchangeTimer {
+   public:
+    ExchangeTimer(CollectiveGroup& group, std::size_t rank, Exchange tag)
+        : group_(group), rank_(rank), tag_(tag) {
+      if (obs::Enabled()) start_ = std::chrono::steady_clock::now();
+    }
+    ~ExchangeTimer() {
+      if (start_.time_since_epoch().count() == 0) return;
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_);
+      group_.exchange_us_[rank_ * kNumTags + TagIndex(tag_)]->Add(
+          us.count());
+    }
+    ExchangeTimer(const ExchangeTimer&) = delete;
+    ExchangeTimer& operator=(const ExchangeTimer&) = delete;
+
+   private:
+    CollectiveGroup& group_;
+    std::size_t rank_;
+    Exchange tag_;
+    std::chrono::steady_clock::time_point start_{};
+  };
+
   /// Barrier arrival bounded by the peer deadline: a missing peer
   /// poisons the group and surfaces RankFailure here instead of a
-  /// silent hang.
-  void TimedArrive() {
+  /// silent hang. Wait time lands in the rank's comm.wait_us series.
+  void TimedArrive(std::size_t rank, Exchange tag) {
+    WaitTimer wait(*this, rank, tag);
     if (options_.peer_timeout.count() <= 0) {
       barrier_.Arrive();
       return;
@@ -227,7 +290,9 @@ class CollectiveGroup {
 
   /// Mailbox pop bounded by the peer deadline. nullopt still means
   /// "closed" to the caller; a timeout aborts and throws instead.
-  [[nodiscard]] std::optional<std::vector<std::byte>> TimedPop(Mail& mail) {
+  [[nodiscard]] std::optional<std::vector<std::byte>> TimedPop(
+      Mail& mail, std::size_t rank, Exchange tag) {
+    WaitTimer wait(*this, rank, tag);
     if (options_.peer_timeout.count() <= 0) return mail.Pop();
     bool timed_out = false;
     auto msg = mail.PopFor(options_.peer_timeout, &timed_out);
@@ -239,6 +304,28 @@ class CollectiveGroup {
     }
     return msg;
   }
+
+  class WaitTimer {
+   public:
+    WaitTimer(CollectiveGroup& group, std::size_t rank, Exchange tag)
+        : group_(group), rank_(rank), tag_(tag) {
+      if (obs::Enabled()) start_ = std::chrono::steady_clock::now();
+    }
+    ~WaitTimer() {
+      if (start_.time_since_epoch().count() == 0) return;
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_);
+      group_.wait_us_[rank_ * kNumTags + TagIndex(tag_)]->Add(us.count());
+    }
+    WaitTimer(const WaitTimer&) = delete;
+    WaitTimer& operator=(const WaitTimer&) = delete;
+
+   private:
+    CollectiveGroup& group_;
+    std::size_t rank_;
+    Exchange tag_;
+    std::chrono::steady_clock::time_point start_{};
+  };
 
   template <typename T>
   [[nodiscard]] static std::vector<std::byte> ToBytes(
@@ -281,7 +368,13 @@ class CollectiveGroup {
   CollectiveOptions options_;
   common::Barrier barrier_;
   std::vector<std::unique_ptr<Mail>> mail_;
-  std::vector<std::size_t> bytes_sent_;  // each slot written by its rank only
+
+  // Registry-backed per-(rank, exchange) counters; handles cached at
+  // construction so exchanges never take the registry lock.
+  obs::Registry metrics_;
+  std::vector<obs::Counter*> bytes_sent_;    // [rank * kNumTags + tag]
+  std::vector<obs::Counter*> wait_us_;       // same layout
+  std::vector<obs::Counter*> exchange_us_;   // same layout
 };
 
 }  // namespace recd::train

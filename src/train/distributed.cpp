@@ -131,7 +131,10 @@ struct DistributedTrainer::RankState {
   nn::Mlp top;
   nn::FeatureInteraction interaction;
   nn::EmbeddingShardView shard;
-  ExchangeCounters counters;
+  // Dedupe-accounting series, registered in the trainer's registry and
+  // cached here (one writer: this rank's thread).
+  obs::Counter* values_logical = nullptr;
+  obs::Counter* values_shipped = nullptr;
 
   RankState(const ModelConfig& model, std::uint64_t seed,
             kernels::KernelBackend backend)
@@ -165,6 +168,11 @@ DistributedTrainer::DistributedTrainer(ModelConfig model,
   for (std::size_t r = 0; r < config_.num_ranks; ++r) {
     ranks_.push_back(std::make_unique<RankState>(model_, config_.seed,
                                                  config_.backend));
+    const obs::Labels labels = {{"rank", std::to_string(r)}};
+    ranks_.back()->values_logical =
+        &metrics_.GetCounter("train.values_logical", labels);
+    ranks_.back()->values_shipped =
+        &metrics_.GetCounter("train.values_shipped", labels);
   }
   // Shard the tables: one construction pass in canonical table order
   // from the shared stream (matching ReferenceDlrm), each table handed
@@ -189,14 +197,24 @@ DistributedTrainer::DistributedTrainer(ModelConfig model,
 
 DistributedTrainer::~DistributedTrainer() = default;
 
-const ExchangeCounters& DistributedTrainer::rank_counters(
-    std::size_t rank) const {
-  return ranks_.at(rank)->counters;
+ExchangeCounters DistributedTrainer::rank_counters(std::size_t rank) const {
+  ExchangeCounters c;
+  c.sdd_bytes = group_.exchange_bytes(rank, Exchange::kSdd);
+  c.emb_bytes = group_.exchange_bytes(rank, Exchange::kEmb);
+  c.grad_bytes = group_.exchange_bytes(rank, Exchange::kGrad);
+  c.allreduce_bytes = group_.exchange_bytes(rank, Exchange::kAllReduce);
+  c.values_logical = static_cast<std::size_t>(
+      ranks_.at(rank)->values_logical->Value());
+  c.values_shipped = static_cast<std::size_t>(
+      ranks_.at(rank)->values_shipped->Value());
+  return c;
 }
 
 ExchangeCounters DistributedTrainer::TotalCounters() const {
   ExchangeCounters total;
-  for (const auto& r : ranks_) total.Add(r->counters);
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    total.Add(rank_counters(r));
+  }
   return total;
 }
 
@@ -367,19 +385,20 @@ void DistributedTrainer::RunRank(
     const std::vector<std::vector<tensor::JaggedTensor>>& expanded,
     const std::vector<std::size_t>& rank_bounds, float* loss_out) {
   RankState& st = *ranks_[rank];
+  // One span per rank per step; the four exchange spans nest inside.
+  obs::Tracer::Scope step_span("train/step", "rank",
+                               static_cast<std::int64_t>(rank));
   const std::size_t num_ranks = config_.num_ranks;
   const std::size_t batch_size = batch.batch_size;
   const std::size_t lo = rank_bounds[rank];
   const std::size_t hi = rank_bounds[rank + 1];
   const std::size_t local_rows = hi - lo;
   const std::size_t d = model_.emb_dim;
-  std::size_t bytes_mark = group_.bytes_sent(rank);
-  const auto take_bytes = [&] {
-    const std::size_t now = group_.bytes_sent(rank);
-    const std::size_t delta = now - bytes_mark;
-    bytes_mark = now;
-    return delta;
-  };
+  // Per-exchange byte accounting happens inside the group (tagged
+  // counters keyed {rank, exchange}); RunRank only tracks the dedupe
+  // value accounting it alone can see.
+  std::size_t values_logical = 0;
+  std::size_t values_shipped = 0;
 
   // --- Phase 0: local input prep (this rank's reader shard). In RecD
   // mode dedup units carry the slice-rebased IKJT; everything else is
@@ -418,25 +437,26 @@ void DistributedTrainer::RunRank(
       // Dedupe accounting: logical (expanded) vs shipped values.
       for (const auto inv : ik.inverse_lookup()) {
         for (std::size_t k = 0; k < ik.num_keys(); ++k) {
-          st.counters.values_logical += static_cast<std::size_t>(
+          values_logical += static_cast<std::size_t>(
               ik.unique(k).length(static_cast<std::size_t>(inv)));
         }
       }
-      st.counters.values_shipped += ik.total_unique_values();
+      values_shipped += ik.total_unique_values();
     } else {
       for (const auto& jt : local[u].expanded) {
         out.push_back(static_cast<std::int64_t>(local_rows));
         AppendJagged(out, jt);
         if (units_[u].deduplicated()) {
-          st.counters.values_logical += jt.total_values();
-          st.counters.values_shipped += jt.total_values();
+          values_logical += jt.total_values();
+          values_shipped += jt.total_values();
         }
       }
     }
   }
+  st.values_logical->Add(static_cast<std::int64_t>(values_logical));
+  st.values_shipped->Add(static_cast<std::int64_t>(values_shipped));
   auto sdd_recv =
       group_.AllToAll<std::int64_t>(rank, std::move(sdd_send), Exchange::kSdd);
-  st.counters.sdd_bytes += take_bytes();
 
   // Parse what each source rank sent for the units this rank owns.
   struct OwnedInput {
@@ -515,7 +535,6 @@ void DistributedTrainer::RunRank(
   }
   auto emb_recv =
       group_.AllToAll<float>(rank, std::move(emb_send), Exchange::kEmb);
-  st.counters.emb_bytes += take_bytes();
 
   // Reassemble this rank's pooled inputs (one batch-rows x d matrix per
   // unit, in unit order — the interaction input order).
@@ -611,7 +630,6 @@ void DistributedTrainer::RunRank(
   }
   auto grad_recv =
       group_.AllToAll<float>(rank, std::move(grad_send), Exchange::kGrad);
-  st.counters.grad_bytes += take_bytes();
 
   std::vector<std::size_t> grad_pos(num_ranks, 0);
   for (std::size_t i = 0; i < owned_units.size(); ++i) {
@@ -656,7 +674,6 @@ void DistributedTrainer::RunRank(
                                            Exchange::kAllReduce);
   auto loss_reduced = group_.AllReduceSum<double>(rank, loss_chunks, 1,
                                                  Exchange::kAllReduce);
-  st.counters.allreduce_bytes += take_bytes();
 
   nn::MlpGradients bottom_total = st.bottom.ZeroGradients();
   nn::MlpGradients top_total = st.top.ZeroGradients();

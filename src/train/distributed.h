@@ -38,6 +38,7 @@
 
 #include "kernels/backend.h"
 #include "nn/embedding_shard.h"
+#include "obs/metrics.h"
 #include "nn/interaction.h"
 #include "nn/mlp.h"
 #include "reader/batch.h"
@@ -125,9 +126,21 @@ class DistributedTrainer {
   [[nodiscard]] const ModelConfig& model() const { return model_; }
   [[nodiscard]] const DistributedConfig& config() const { return config_; }
 
-  /// Exchange counters accumulated across Steps.
-  [[nodiscard]] const ExchangeCounters& rank_counters(std::size_t rank) const;
+  /// Exchange counters accumulated across Steps — a by-value view
+  /// assembled from the group's per-(rank, exchange) byte series and
+  /// the trainer's dedupe-accounting counters (§14: the registry is
+  /// the single source of truth, this struct is a projection of it).
+  [[nodiscard]] ExchangeCounters rank_counters(std::size_t rank) const;
   [[nodiscard]] ExchangeCounters TotalCounters() const;
+
+  /// Trainer-level registry (`train.values_logical` / `_shipped`
+  /// labeled {rank}); comm series live in comm_metrics().
+  [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
+  /// The collective group's registry: `comm.bytes_sent`,
+  /// `comm.wait_us`, `comm.exchange_us` labeled {rank, exchange}.
+  [[nodiscard]] const obs::Registry& comm_metrics() const {
+    return group_.metrics();
+  }
 
   /// Embedding-tier counters summed over every rank's shard — all-zero
   /// unless model.tiering.enabled (docs/ARCHITECTURE.md §13).
@@ -168,6 +181,7 @@ class DistributedTrainer {
   std::vector<PlacementUnit> units_;
   std::vector<std::size_t> unit_owner_;   // unit index -> rank
   std::vector<std::size_t> table_owner_;  // table id -> rank
+  obs::Registry metrics_;  // before ranks_: RankStates cache handles
   std::vector<std::unique_ptr<RankState>> ranks_;
   CollectiveGroup group_;
 };

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include "common/bytes.h"
@@ -266,13 +267,12 @@ TEST(HistogramTest, PercentileEmptyHistogramIsZero) {
 TEST(HistogramTest, PercentileSingleObservation) {
   Histogram h;
   h.Add(5);  // bucket [4, 7]
-  // q=0 reports the bucket's lower bound (the exact min is not
-  // tracked); q=1 clamps to the exact max, not the bucket bound 7.
-  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 4.0);
+  // Both extremes clamp to the exactly-tracked min/max, never the
+  // bucket bounds 4 and 7.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 5.0);
   EXPECT_DOUBLE_EQ(h.Percentile(1.0), 5.0);
-  // Any quantile stays within the observation's bucket.
-  EXPECT_GE(h.Percentile(0.5), 4.0);
-  EXPECT_LE(h.Percentile(0.5), 5.0);
+  // Any quantile collapses to the single observation.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 5.0);
 }
 
 TEST(HistogramTest, PercentileQueriesAreClampedToUnitRange) {
@@ -303,6 +303,89 @@ TEST(HistogramTest, PercentileNeverExceedsObservedMax) {
   for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
     EXPECT_LE(h.Percentile(q), static_cast<double>(h.max()));
   }
+}
+
+TEST(HistogramTest, MinIsExactAcrossBucketBoundaries) {
+  Histogram h;
+  EXPECT_EQ(h.min(), 0);  // empty sentinel
+  h.Add(100);
+  EXPECT_EQ(h.min(), 100);
+  h.Add(5);  // lower bucket
+  EXPECT_EQ(h.min(), 5);
+  h.Add(7);  // same bucket [4,7], larger value: min unchanged
+  EXPECT_EQ(h.min(), 5);
+  h.Add(1000);
+  EXPECT_EQ(h.min(), 5);
+  // q=0 resolves to the exact min, not the bucket floor 4.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 5.0);
+}
+
+TEST(HistogramTest, MergeEqualsObservingEverythingInOne) {
+  Histogram a;
+  a.Add(3, 4);
+  a.Add(900);
+  Histogram b;
+  b.Add(17, 2);
+  b.Add(2);
+
+  Histogram merged = a;
+  merged.Merge(b);
+
+  Histogram oracle;
+  oracle.Add(3, 4);
+  oracle.Add(900);
+  oracle.Add(17, 2);
+  oracle.Add(2);
+
+  EXPECT_EQ(merged.total_count(), oracle.total_count());
+  EXPECT_DOUBLE_EQ(merged.mean(), oracle.mean());
+  EXPECT_EQ(merged.min(), oracle.min());
+  EXPECT_EQ(merged.max(), oracle.max());
+  const auto mb = merged.buckets();
+  const auto ob = oracle.buckets();
+  ASSERT_EQ(mb.size(), ob.size());
+  for (std::size_t i = 0; i < mb.size(); ++i) {
+    EXPECT_EQ(mb[i].lo, ob[i].lo);
+    EXPECT_EQ(mb[i].count, ob[i].count);
+  }
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndCommutativeAndEmptySafe) {
+  Histogram a, b, c;
+  a.Add(1, 3);
+  b.Add(64, 2);
+  c.Add(7);
+
+  const auto summary = [](const Histogram& h) {
+    return std::tuple(h.total_count(), h.mean(), h.min(), h.max(),
+                      h.Percentile(0.5), h.Percentile(0.99));
+  };
+
+  Histogram ab_c = a;  // (a + b) + c
+  ab_c.Merge(b);
+  ab_c.Merge(c);
+  Histogram bc = b;  // a + (b + c)
+  bc.Merge(c);
+  Histogram a_bc = a;
+  a_bc.Merge(bc);
+  EXPECT_EQ(summary(ab_c), summary(a_bc));
+
+  Histogram ba = b;  // commutes
+  ba.Merge(a);
+  Histogram ab = a;
+  ab.Merge(b);
+  EXPECT_EQ(summary(ab), summary(ba));
+
+  // Merging an empty histogram in either direction is the identity —
+  // in particular it must not drag min to the empty sentinel 0.
+  Histogram empty;
+  Histogram a_plus_empty = a;
+  a_plus_empty.Merge(empty);
+  EXPECT_EQ(summary(a_plus_empty), summary(a));
+  Histogram empty_plus_a = empty;
+  empty_plus_a.Merge(a);
+  EXPECT_EQ(summary(empty_plus_a), summary(a));
+  EXPECT_EQ(empty_plus_a.min(), 1);
 }
 
 TEST(HistogramTest, AsciiRendersNonEmpty) {

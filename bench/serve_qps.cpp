@@ -41,10 +41,17 @@ ServeBench MakeServeBench() {
   return b;
 }
 
+serve::FleetSpec MakeFleet(const train::ModelConfig& model,
+                           std::size_t workers) {
+  serve::ModelSpec spec;
+  spec.config = model;
+  return serve::FleetSpec::Single(std::move(spec), workers);
+}
+
 void PrintRow(const std::string& label, const serve::ServeStats& s) {
   std::printf("%-26s %7.0f %8.1f %9.0f %9.0f %9.0f %8.2fx %12.0f\n",
               label.c_str(), s.achieved_qps, s.mean_batch_rows,
-              s.latency_p50_us, s.latency_p95_us, s.latency_p99_us,
+              s.latency_p50_us(), s.latency_p95_us(), s.latency_p99_us(),
               s.request_dedupe_factor, s.embedding_lookups);
 }
 
@@ -54,11 +61,11 @@ void AddMetrics(JsonReport& report, const std::string& prefix,
              "req/s");
   report.Add(prefix + "_mean_batch_rows", s.mean_batch_rows, std::nullopt,
              "rows");
-  report.Add(prefix + "_latency_p50_us", s.latency_p50_us, std::nullopt,
+  report.Add(prefix + "_latency_p50_us", s.latency_p50_us(), std::nullopt,
              "us");
-  report.Add(prefix + "_latency_p95_us", s.latency_p95_us, std::nullopt,
+  report.Add(prefix + "_latency_p95_us", s.latency_p95_us(), std::nullopt,
              "us");
-  report.Add(prefix + "_latency_p99_us", s.latency_p99_us, std::nullopt,
+  report.Add(prefix + "_latency_p99_us", s.latency_p99_us(), std::nullopt,
              "us");
   report.Add(prefix + "_request_dedupe_factor", s.request_dedupe_factor,
              std::nullopt, "x");
@@ -107,20 +114,20 @@ int main(int argc, char** argv) {
               "b.rows", "p50us", "p95us", "p99us", "dedupe", "lookups");
   PrintRule();
   {
-    serve::ServeOptions options;
-    options.query.num_requests = num_requests;
-    options.query.candidates = 8;
-    options.query.qps = qps;
-    serve::ServerRunner runner(b.spec, b.model, options);
+    serve::TraceSpec trace;
+    trace.dataset = b.spec;
+    trace.query.num_requests = num_requests;
+    trace.query.candidates = 8;
+    trace.query.qps = qps;
+    serve::ServerRunner runner(trace, MakeFleet(b.model, workers));
     for (const long window_us : {0L, 5'000L, 20'000L}) {
       for (const bool recd : {false, true}) {
-        auto cfg = recd ? serve::ServeConfig::Recd()
-                        : serve::ServeConfig::Baseline();
-        cfg.num_workers = workers;
-        cfg.pace_arrivals = true;
-        cfg.batcher.max_batch_requests = 16;
-        cfg.batcher.max_delay_us = window_us;
-        const auto result = runner.Run(cfg);
+        auto policy = recd ? serve::RunPolicy::Recd()
+                           : serve::RunPolicy::Baseline();
+        policy.pace_arrivals = true;
+        policy.batcher = serve::BatcherOptions{
+            .max_batch_requests = 16, .max_delay_us = window_us};
+        const auto result = runner.Run(policy);
         obs_snapshot.Merge(result.obs_metrics);
         const std::string label = std::string(recd ? "recd" : "base") +
                                   "_w" + std::to_string(window_us);
@@ -136,19 +143,19 @@ int main(int argc, char** argv) {
               "b.rows", "p50us", "p95us", "p99us", "dedupe", "lookups");
   PrintRule();
   for (const std::size_t k : {4u, 16u}) {
-    serve::ServeOptions options;
-    options.query.num_requests = SmokeOr<std::size_t>(400, 32);
-    options.query.candidates = k;
-    options.query.qps = qps;
-    serve::ServerRunner runner(b.spec, b.model, options);
+    serve::TraceSpec trace;
+    trace.dataset = b.spec;
+    trace.query.num_requests = SmokeOr<std::size_t>(400, 32);
+    trace.query.candidates = k;
+    trace.query.qps = qps;
+    serve::ServerRunner runner(trace, MakeFleet(b.model, workers));
     for (const bool recd : {false, true}) {
-      auto cfg = recd ? serve::ServeConfig::Recd()
-                      : serve::ServeConfig::Baseline();
-      cfg.num_workers = workers;
-      cfg.pace_arrivals = true;
-      cfg.batcher.max_batch_requests = 16;
-      cfg.batcher.max_delay_us = 5'000;
-      const auto result = runner.Run(cfg);
+      auto policy = recd ? serve::RunPolicy::Recd()
+                         : serve::RunPolicy::Baseline();
+      policy.pace_arrivals = true;
+      policy.batcher = serve::BatcherOptions{
+          .max_batch_requests = 16, .max_delay_us = 5'000};
+      const auto result = runner.Run(policy);
       obs_snapshot.Merge(result.obs_metrics);
       const std::string label = std::string(recd ? "recd" : "base") +
                                 "_k" + std::to_string(k);
@@ -169,24 +176,24 @@ int main(int argc, char** argv) {
   PrintRule();
   bool tier_ok = true;
   {
-    serve::ServeOptions options;
-    options.query.num_requests = SmokeOr<std::size_t>(400, 32);
-    options.query.candidates = 8;
-    options.query.qps = qps;
+    serve::TraceSpec trace;
+    trace.dataset = b.spec;
+    trace.query.num_requests = SmokeOr<std::size_t>(400, 32);
+    trace.query.candidates = 8;
+    trace.query.qps = qps;
     for (const long cap : {0L, 512L}) {
       auto model = b.model;
       model.tiering.enabled = true;
       model.tiering.hot_capacity_rows = static_cast<std::size_t>(cap);
       model.tiering.rows_per_segment = 128;
-      serve::ServerRunner runner(b.spec, model, options);
+      serve::ServerRunner runner(trace, MakeFleet(model, workers));
       for (const bool recd : {false, true}) {
-        auto cfg = recd ? serve::ServeConfig::Recd()
-                        : serve::ServeConfig::Baseline();
-        cfg.num_workers = workers;
-        cfg.pace_arrivals = true;
-        cfg.batcher.max_batch_requests = 16;
-        cfg.batcher.max_delay_us = 5'000;
-        const auto result = runner.Run(cfg);
+        auto policy = recd ? serve::RunPolicy::Recd()
+                           : serve::RunPolicy::Baseline();
+        policy.pace_arrivals = true;
+        policy.batcher = serve::BatcherOptions{
+            .max_batch_requests = 16, .max_delay_us = 5'000};
+        const auto result = runner.Run(policy);
         obs_snapshot.Merge(result.obs_metrics);
         const auto& s = result.stats;
         const std::string label = std::string(recd ? "recd" : "base") +

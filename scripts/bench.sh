@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Benchmark runner: builds the release preset, runs the end-to-end,
 # iteration-breakdown, reader-breakdown, streaming window-sweep,
-# serving-QPS, executed distributed-training, and micro-kernel
+# serving-QPS, serving-at-scale, executed distributed-training, and
+# micro-kernel
 # harnesses, and records the corresponding
 # BENCH_*.json files at the repository root per the docs/BENCHMARKS.md
 # convention. Full-pipeline benches take minutes.
@@ -13,7 +14,8 @@ cmake --preset release
 cmake --build build -j --target bench_fig7_end_to_end \
   bench_fig8_iteration_breakdown bench_fig10_reader_breakdown \
   bench_stream_window_sweep bench_serve_qps bench_dist_train \
-  bench_checkpoint bench_micro_kernels bench_embstore_tiering
+  bench_checkpoint bench_micro_kernels bench_embstore_tiering \
+  bench_serve_scale
 
 # Context recorded into the JSON reports (see bench::JsonReport). The
 # -dirty suffix marks results measured from uncommitted code.
@@ -32,6 +34,7 @@ export RECD_BENCH_COMMIT RECD_BENCH_DATE RECD_BENCH_CORES \
 ./build/bench_fig10_reader_breakdown --json BENCH_fig10_reader_breakdown.json
 ./build/bench_stream_window_sweep --json BENCH_stream_window_sweep.json
 ./build/bench_serve_qps --json BENCH_serve_qps.json
+./build/bench_serve_scale --json BENCH_serve_scale.json
 ./build/bench_dist_train --json BENCH_dist_train.json
 ./build/bench_checkpoint --json BENCH_checkpoint.json
 ./build/bench_micro_kernels --json BENCH_micro_kernels.json
@@ -44,5 +47,5 @@ export RECD_BENCH_COMMIT RECD_BENCH_DATE RECD_BENCH_CORES \
 echo "bench.sh: wrote BENCH_fig7_end_to_end.json," \
   "BENCH_fig8_iteration_breakdown.json, BENCH_fig10_reader_breakdown.json," \
   "BENCH_stream_window_sweep.json, BENCH_serve_qps.json," \
-  "BENCH_dist_train.json, BENCH_checkpoint.json, BENCH_micro_kernels.json," \
-  "and BENCH_embstore_tiering.json"
+  "BENCH_serve_scale.json, BENCH_dist_train.json, BENCH_checkpoint.json," \
+  "BENCH_micro_kernels.json, and BENCH_embstore_tiering.json"

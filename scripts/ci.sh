@@ -27,6 +27,11 @@
 #               bitwise-determinism rule), plus a traced dist-train
 #               smoke run asserting the Chrome trace carries spans for
 #               all four exchanges
+#   serve_scale the multi-model serving suites under ASan (zoo routing,
+#               per-model batching, scheduler) and TSan (worker lanes
+#               racing the pump and shutdown), plus a serve-scale bench
+#               smoke run whose built-in checks assert bitwise-equal
+#               scores across every fleet/policy/load combination
 #   lint        BENCH_*.json schema lint (validate_bench_json.py)
 #
 # Honors CMAKE_CXX_COMPILER_LAUNCHER (the workflow sets it to ccache),
@@ -111,6 +116,24 @@ EOF
   rm -f "$trace"
 }
 
+stage_serve_scale() {
+  cmake --preset asan
+  cmake --build build-asan -j
+  ctest --test-dir build-asan --output-on-failure -j 2 \
+    -R 'Serve|Batcher|QueryGenerator|ModelServer|MultiModel|Scheduler'
+  cmake --preset tsan
+  cmake --build build-tsan -j
+  ctest --test-dir build-tsan --output-on-failure -j 2 \
+    -R 'Serve|Batcher|QueryGenerator|ModelServer|MultiModel|Scheduler'
+  # The serve-scale bench replays one trace through every fleet, policy,
+  # and load point and exits nonzero if any run's scores differ bitwise
+  # from the capacity probe's — a cheap end-to-end determinism gate on
+  # an optimized (non-sanitizer) build.
+  cmake -B build -S .
+  cmake --build build -j --target bench_serve_scale
+  RECD_SMOKE=1 ./build/bench_serve_scale
+}
+
 stage_lint() {
   # No arguments: lints every BENCH_*.json in the repo root and fails
   # on required reports that are missing entirely.
@@ -124,6 +147,7 @@ case "${1:-all}" in
   kernels)    stage_kernels ;;
   embstore)   stage_embstore ;;
   obs)        stage_obs ;;
+  serve_scale) stage_serve_scale ;;
   lint)       stage_lint ;;
   all)
     stage_core
@@ -132,11 +156,12 @@ case "${1:-all}" in
     stage_kernels
     stage_embstore
     stage_obs
+    stage_serve_scale
     stage_lint
     echo "ci.sh: all stages passed"
     ;;
   *)
-    echo "usage: $0 [core|sanitizers|recovery|kernels|embstore|obs|lint|all]" >&2
+    echo "usage: $0 [core|sanitizers|recovery|kernels|embstore|obs|serve_scale|lint|all]" >&2
     exit 2
     ;;
 esac

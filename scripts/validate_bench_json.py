@@ -9,8 +9,11 @@ Reports that embed an "obs_metrics" registry snapshot block
 (docs/BENCHMARKS.md) must give it the obs::MetricsSnapshot::ToJson
 shape — a "series" list of {name, labels, kind, value|histogram-stats}
 objects and a matching "series_count" — and for the reports listed in
-OBS_REQUIRED the block is mandatory. Stale or hand-edited files fail CI
-here instead of silently shipping unreproducible numbers.
+OBS_REQUIRED the block is mandatory. BENCH_serve_scale.json additionally
+must carry a complete latency-QPS frontier (every config x load cell
+with ordered percentiles) and at least three tuned-lane key groups.
+Stale or hand-edited files fail CI here instead of silently shipping
+unreproducible numbers.
 
 Usage: validate_bench_json.py [FILE...]   (default: BENCH_*.json in the
 repository root, one directory above this script)
@@ -42,6 +45,7 @@ REQUIRED_REPORTS = (
     "BENCH_fig10_reader_breakdown.json",
     "BENCH_micro_kernels.json",
     "BENCH_serve_qps.json",
+    "BENCH_serve_scale.json",
     "BENCH_stream_window_sweep.json",
 )
 
@@ -50,9 +54,65 @@ REQUIRED_REPORTS = (
 OBS_REQUIRED = (
     "BENCH_dist_train.json",
     "BENCH_serve_qps.json",
+    "BENCH_serve_scale.json",
 )
 
 OBS_KINDS = ("counter", "gauge", "histogram")
+
+# The serve-scale report's latency-QPS frontier: every (config, load)
+# cell must carry this full key group, the percentiles must be ordered,
+# and at least three tuned models must be recorded. Structural checks
+# only — the perf claims themselves are asserted by the bench binary.
+FRONTIER_CONFIGS = ("base_default", "recd_default", "base_tuned",
+                    "recd_tuned")
+FRONTIER_LOADS = ("u40", "u80", "u120", "u180")
+FRONTIER_KEYS = ("offered_qps", "achieved_qps", "latency_p50_us",
+                 "latency_p95_us", "latency_p99_us", "mean_batch_rows",
+                 "request_dedupe_factor")
+TUNED_LANE_KEYS = ("max_batch_requests", "max_delay_us", "workers",
+                   "sim_p99_us")
+
+
+def check_serve_scale(metrics):
+    """Validates the serve-scale frontier rows; returns error strings."""
+    errors = []
+
+    def measured(name):
+        row = metrics.get(name)
+        if not isinstance(row, dict):
+            return None
+        value = row.get("measured")
+        if isinstance(value, numbers.Number) and not isinstance(value, bool):
+            return value
+        return None
+
+    for config in FRONTIER_CONFIGS:
+        for load in FRONTIER_LOADS:
+            cell = f"{config}_{load}"
+            values = {k: measured(f"{cell}_{k}") for k in FRONTIER_KEYS}
+            missing = [k for k, v in values.items() if v is None]
+            if missing:
+                errors.append(
+                    f"frontier cell {cell} lacks numeric {missing}")
+                continue
+            p50, p95, p99 = (values["latency_p50_us"],
+                             values["latency_p95_us"],
+                             values["latency_p99_us"])
+            if not p50 <= p95 <= p99:
+                errors.append(
+                    f"frontier cell {cell} percentiles out of order: "
+                    f"p50={p50} p95={p95} p99={p99}")
+
+    lanes = 0
+    while all(
+        measured(f"tuned_m{lanes}_{k}") is not None for k in TUNED_LANE_KEYS
+    ):
+        lanes += 1
+    if lanes < 3:
+        errors.append(
+            f"only {lanes} fully-recorded tuned_m<N>_* lane groups; "
+            f"need >= 3 (keys {TUNED_LANE_KEYS})")
+    return errors
 
 
 def check_obs_metrics(doc, required):
@@ -152,6 +212,10 @@ def check_file(path):
 
     required = os.path.basename(path) in OBS_REQUIRED
     errors.extend(check_obs_metrics(doc, required))
+    if os.path.basename(path) == "BENCH_serve_scale.json" and isinstance(
+        metrics, dict
+    ):
+        errors.extend(check_serve_scale(metrics))
     return errors, len(metrics) if isinstance(metrics, dict) else 0
 
 

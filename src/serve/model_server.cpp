@@ -11,17 +11,32 @@
 
 namespace recd::serve {
 
-ModelServer::ModelServer(const train::ModelConfig& model,
+ModelServer::ModelServer(const FleetSpec& fleet,
                          const storage::StorageSchema& schema,
-                         const reader::DataLoaderConfig& loader,
+                         const std::vector<reader::DataLoaderConfig>& loaders,
                          Options options)
-    : model_(&model),
+    : fleet_(&fleet),
       schema_(&schema),
-      loader_(&loader),
-      options_(std::move(options)),
-      queue_(std::max<std::size_t>(1, options_.channel_capacity)) {
-  if (options_.num_workers == 0) {
-    throw std::invalid_argument("ModelServer: num_workers must be >= 1");
+      loaders_(&loaders),
+      options_(std::move(options)) {
+  fleet.Validate();
+  if (loaders.size() != fleet.models.size()) {
+    throw std::invalid_argument(
+        "ModelServer: need one loader config per zoo model");
+  }
+  lanes_.reserve(fleet.models.size());
+  for (std::size_t m = 0; m < fleet.models.size(); ++m) {
+    Lane lane;
+    lane.queue = std::make_unique<common::Channel<Batch>>(
+        std::max<std::size_t>(1, fleet.batch_channel_capacity));
+    lane.num_workers = fleet.workers_for(m);
+    const obs::Labels labels = {{"model", fleet.models[m].name}};
+    lane.batches = &metrics_.GetCounter("serve.batches", labels);
+    lane.requests = &metrics_.GetCounter("serve.requests", labels);
+    lane.rows = &metrics_.GetCounter("serve.rows", labels);
+    lane.latency = &metrics_.GetHistogram("serve.latency_us", labels);
+    total_workers_ += lane.num_workers;
+    lanes_.push_back(std::move(lane));
   }
 }
 
@@ -37,36 +52,70 @@ void ModelServer::Start() {
   if (!workers_.empty()) {
     throw std::logic_error("ModelServer: already started");
   }
-  workers_.reserve(options_.num_workers);
-  for (std::size_t i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  workers_.reserve(total_workers_);
+  for (std::size_t m = 0; m < lanes_.size(); ++m) {
+    for (std::size_t i = 0; i < lanes_[m].num_workers; ++i) {
+      workers_.emplace_back([this, m] { WorkerLoop(m); });
+    }
   }
   std::unique_lock<std::mutex> lock(mutex_);
-  ready_cv_.wait(lock, [this] {
-    return ready_workers_ == options_.num_workers;
-  });
+  ready_cv_.wait(lock, [this] { return ready_workers_ == total_workers_; });
 }
 
-bool ModelServer::Submit(Batch batch) {
-  // The span covers the (possibly blocking) push into the bounded
-  // queue — backpressure from the workers shows up as its duration.
+bool ModelServer::Submit(std::size_t model_id, Batch batch) {
+  // The span covers the (possibly blocking) push into the lane's
+  // bounded queue — backpressure from its workers shows up as duration.
   RECD_TRACE_SCOPE("serve/enqueue");
-  return queue_.Push(std::move(batch));
+  return lanes_.at(model_id).queue->Push(std::move(batch));
 }
 
-ServeWorkStats ModelServer::work_stats() const {
-  const auto u = [](const obs::Counter& c) {
-    return static_cast<std::size_t>(c.Value());
+void ModelServer::CloseAllQueues() {
+  for (auto& lane : lanes_) lane.queue->Close();
+}
+
+ServeWorkStats ModelServer::model_work_stats(std::size_t model_id) const {
+  const auto& lane = lanes_.at(model_id);
+  const auto u = [](const obs::Counter* c) {
+    return static_cast<std::size_t>(c->Value());
   };
-  ServeWorkStats stats = work_;
-  stats.batches = u(batches_counter_);
-  stats.requests = u(requests_counter_);
-  stats.rows = u(rows_counter_);
+  ServeWorkStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats = lane.work;
+  }
+  stats.batches = u(lane.batches);
+  stats.requests = u(lane.requests);
+  stats.rows = u(lane.rows);
   return stats;
 }
 
+ServeWorkStats ModelServer::work_stats() const {
+  ServeWorkStats total;
+  for (std::size_t m = 0; m < lanes_.size(); ++m) {
+    const auto lane = model_work_stats(m);
+    total.batches += lane.batches;
+    total.requests += lane.requests;
+    total.rows += lane.rows;
+    total.values_before += lane.values_before;
+    total.values_after += lane.values_after;
+    total.ops += lane.ops;
+    total.tier += lane.tier;
+  }
+  return total;
+}
+
+common::Histogram ModelServer::model_latency_us(std::size_t model_id) const {
+  return lanes_.at(model_id).latency->snapshot();
+}
+
+common::Histogram ModelServer::latency_us() const {
+  common::Histogram merged;
+  for (const auto& lane : lanes_) merged.Merge(lane.latency->snapshot());
+  return merged;
+}
+
 void ModelServer::Shutdown() {
-  queue_.Close();
+  CloseAllQueues();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -85,22 +134,24 @@ std::vector<ScoredRequest> ModelServer::TakeScored() {
   return std::move(scored_);
 }
 
-void ModelServer::WorkerLoop() {
-  // Per-worker replica: identical seed => bitwise-equal weights, so any
-  // worker scoring any batch yields the same logits. Construction is
-  // signaled to Start() so request latencies never include model-build
-  // time; a failed build surfaces through Shutdown() like any worker
-  // error.
+void ModelServer::WorkerLoop(std::size_t model_id) {
+  // Per-worker replica of the lane's model: identical seed =>
+  // bitwise-equal weights, so any worker of a lane scoring any of its
+  // batches yields the same logits. Construction is signaled to Start()
+  // so request latencies never include model-build time; a failed build
+  // surfaces through Shutdown() like any worker error.
+  Lane& lane = lanes_[model_id];
+  const ModelSpec& spec = fleet_->models[model_id];
   std::optional<reader::BatchPipeline> pipeline;
   std::optional<train::ReferenceDlrm> dlrm;
   try {
-    pipeline.emplace(*schema_, *loader_, options_.recd);
-    dlrm.emplace(*model_, options_.model_seed);
-    dlrm->SetKernelBackend(options_.backend);
+    pipeline.emplace(*schema_, (*loaders_)[model_id], options_.recd);
+    dlrm.emplace(spec.config, spec.seed);
+    dlrm->SetKernelBackend(spec.backend);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!first_error_) first_error_ = std::current_exception();
-    queue_.Close();
+    CloseAllQueues();
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -119,7 +170,7 @@ void ModelServer::WorkerLoop() {
   std::vector<ScoredRequest> local_scored;
   ServeWorkStats local;
   try {
-    while (auto item = queue_.Pop()) {
+    while (auto item = lane.queue->Pop()) {
       Batch batch = std::move(*item);
 
       std::vector<RequestMeta> metas;
@@ -133,20 +184,28 @@ void ModelServer::WorkerLoop() {
       }
 
       obs::Tracer::Scope score_span(
-          "serve/score", "rows", static_cast<std::int64_t>(batch.rows()));
-      auto pre = pipeline->Convert(std::move(rows));
-      (void)pipeline->Process(pre);
-      const auto logits = dlrm->Forward(pre, options_.recd);
+          "serve/score", "rows", static_cast<std::int64_t>(rows.size()));
+      // A batch of only zero-candidate requests has nothing to score;
+      // skip the pipeline but still complete its requests below.
+      std::optional<reader::PreprocessedBatch> pre;
+      std::optional<nn::DenseMatrix> logits;
+      if (!rows.empty()) {
+        pre = pipeline->Convert(std::move(rows));
+        (void)pipeline->Process(*pre);
+        logits = dlrm->Forward(*pre, options_.recd);
+      }
 
       const std::int64_t completion =
           options_.completion_clock ? options_.completion_clock()
                                     : batch.formed_us;
       local.batches += 1;
       local.requests += metas.size();
-      local.rows += pre.batch_size;
-      for (const auto& s : pre.group_stats) {
-        local.values_before += static_cast<double>(s.values_before);
-        local.values_after += static_cast<double>(s.values_after);
+      if (pre) {
+        local.rows += pre->batch_size;
+        for (const auto& s : pre->group_stats) {
+          local.values_before += static_cast<double>(s.values_before);
+          local.values_after += static_cast<double>(s.values_after);
+        }
       }
 
       std::size_t row = 0;
@@ -154,13 +213,14 @@ void ModelServer::WorkerLoop() {
         ScoredRequest sr;
         sr.request_id = m.request_id;
         sr.user_id = m.user_id;
+        sr.model_id = model_id;
         sr.arrival_us = m.arrival_us;
         sr.completion_us = completion;
         sr.latency_us =
             std::max<std::int64_t>(1, completion - m.arrival_us);
         sr.scores.reserve(m.rows);
         for (std::size_t i = 0; i < m.rows; ++i) {
-          sr.scores.push_back(logits.at(row++, 0));
+          sr.scores.push_back(logits->at(row++, 0));
         }
         local_scored.push_back(std::move(sr));
       }
@@ -171,23 +231,23 @@ void ModelServer::WorkerLoop() {
       if (!first_error_) first_error_ = std::current_exception();
     }
     // Stop accepting work so the pump does not block on a dead pool.
-    queue_.Close();
+    CloseAllQueues();
   }
 
   local.ops = dlrm->Stats();
   local.tier = dlrm->TierStats();
-  batches_counter_.Add(static_cast<std::int64_t>(local.batches));
-  requests_counter_.Add(static_cast<std::int64_t>(local.requests));
-  rows_counter_.Add(static_cast<std::int64_t>(local.rows));
+  lane.batches->Add(static_cast<std::int64_t>(local.batches));
+  lane.requests->Add(static_cast<std::int64_t>(local.requests));
+  lane.rows->Add(static_cast<std::int64_t>(local.rows));
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& sr : local_scored) {
-    latency_hist_.Observe(sr.latency_us);
+    lane.latency->Observe(sr.latency_us);
     scored_.push_back(std::move(sr));
   }
-  work_.values_before += local.values_before;
-  work_.values_after += local.values_after;
-  work_.ops += local.ops;
-  work_.tier += local.tier;
+  lane.work.values_before += local.values_before;
+  lane.work.values_after += local.values_after;
+  lane.work.ops += local.ops;
+  lane.work.tier += local.tier;
 }
 
 }  // namespace recd::serve

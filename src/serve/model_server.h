@@ -1,18 +1,20 @@
-// ModelServer: a DLRM inference worker pool.
+// ModelServer: a heterogeneous DLRM inference worker pool.
 //
-// Workers pop formed batches from a bounded common::Channel (backpressure
-// toward the batcher), convert them through the *training* reader's
-// reader::BatchPipeline — baseline KJT or RecD IKJT form (O3 across
-// requests) — run preprocessing (O4 over deduplicated slices), and score
-// every candidate with the real train::ReferenceDlrm forward pass (O5
-// lookups and O7 pooling on unique rows in RecD mode).
+// One lane per zoo model (docs/ARCHITECTURE.md §9): each lane owns a
+// bounded common::Channel of formed batches (backpressure toward that
+// model's batcher) and its own worker threads. A worker converts
+// batches through the *training* reader's reader::BatchPipeline —
+// baseline KJT or RecD IKJT form (O3 across requests) — runs
+// preprocessing (O4 over deduplicated slices), and scores every
+// candidate with a real train::ReferenceDlrm replica of its lane's
+// model (O5 lookups and O7 pooling on unique rows in RecD mode).
 //
-// Each worker owns a model replica seeded identically, so all replicas
-// hold bitwise-equal weights. Combined with the row-local forward math
+// All replicas of one model are seeded identically, so they hold
+// bitwise-equal weights. Combined with the row-local forward math
 // (every logit depends only on its own row's features and the weights —
 // never on batchmates), per-request scores are bitwise independent of
-// batch composition, worker count, and scheduling: the serving
-// determinism rule asserted in tests/serve_test.cpp.
+// batch composition, worker count, scheduling, and the rest of the zoo:
+// the serving determinism rule asserted in tests/serve_test.cpp.
 #pragma once
 
 #include <condition_variable>
@@ -28,18 +30,17 @@
 #include "common/histogram.h"
 #include "embstore/tier_config.h"
 #include "obs/metrics.h"
-#include "kernels/backend.h"
 #include "nn/op_stats.h"
 #include "reader/dataloader.h"
 #include "serve/batcher.h"
+#include "serve/model_zoo.h"
 #include "serve/request.h"
 #include "storage/column_file.h"
-#include "train/model.h"
 
 namespace recd::serve {
 
-/// Aggregate work counters across all workers (stable across worker
-/// counts for a fixed batch stream).
+/// Aggregate work counters for one model lane — or, summed, the fleet
+/// (stable across worker counts for a fixed batch stream).
 struct ServeWorkStats {
   std::size_t batches = 0;
   std::size_t requests = 0;
@@ -51,97 +52,112 @@ struct ServeWorkStats {
   /// Model op counters (embedding lookups, flops) summed over replicas.
   nn::OpStats ops;
   /// Embedding-tier counters summed over replicas — all-zero unless the
-  /// model config enables tiering (docs/ARCHITECTURE.md §13).
+  /// model spec enables tiering (docs/ARCHITECTURE.md §13).
   embstore::TierStats tier;
 };
 
 class ModelServer {
  public:
   struct Options {
-    std::size_t num_workers = 1;
     /// RecD serving path: convert batches to IKJTs and run the
     /// deduplicated forward. false = baseline KJT path.
     bool recd = true;
-    /// Seed for every worker's model replica (identical weights).
-    std::uint64_t model_seed = 0x5eedf00d;
-    /// Kernel backend for every worker replica's forward math.
-    /// Bitwise-neutral; pinned so serve parity tests can cross
-    /// backends against each other.
-    kernels::KernelBackend backend = kernels::DefaultBackend();
-    /// Bounded batch queue ahead of the workers.
-    std::size_t channel_capacity = 4;
     /// Completion timestamps for latency accounting. Unset (replay
     /// mode): completion_us = Batch::formed_us, so latency is the
     /// deterministic batching delay.
     std::function<std::int64_t()> completion_clock;
   };
 
-  /// `model`, `schema`, and `loader` must outlive the server (the
-  /// runner owns all three). `loader` must match `options.recd` (IKJT
-  /// groups present iff recd). Call Start() before Submit().
-  ModelServer(const train::ModelConfig& model,
-              const storage::StorageSchema& schema,
-              const reader::DataLoaderConfig& loader, Options options);
+  /// `fleet`, `schema`, and `loaders` must outlive the server (the
+  /// runner owns all three). `loaders` carries one DataLoaderConfig per
+  /// zoo model, matching `options.recd` (IKJT groups present iff recd).
+  /// Worker counts and queue capacity come from `fleet`. Call Start()
+  /// before Submit(). Throws std::invalid_argument on a bad fleet or a
+  /// loaders/models size mismatch.
+  ModelServer(const FleetSpec& fleet, const storage::StorageSchema& schema,
+              const std::vector<reader::DataLoaderConfig>& loaders,
+              Options options);
   ~ModelServer();
 
   ModelServer(const ModelServer&) = delete;
   ModelServer& operator=(const ModelServer&) = delete;
 
-  /// Spawns the workers and blocks until every replica is constructed,
-  /// so the first requests are not charged model-build time.
+  /// Spawns every lane's workers and blocks until every replica is
+  /// constructed, so the first requests are not charged model-build
+  /// time.
   void Start();
 
-  /// Blocks while the batch queue is full. False once Shutdown began.
-  bool Submit(Batch batch);
+  /// Submits a formed batch to `model_id`'s lane. Blocks while that
+  /// lane's queue is full. False once Shutdown began (any lane's
+  /// worker failure closes every queue).
+  bool Submit(std::size_t model_id, Batch batch);
 
-  /// Closes the queue, drains every accepted batch, joins the workers,
-  /// and rethrows the first worker exception, if any. Idempotent.
+  /// Closes every queue, drains every accepted batch (a lane whose
+  /// queue still holds work finishes it before its workers exit), joins
+  /// the workers, and rethrows the first worker exception, if any.
+  /// Idempotent.
   void Shutdown();
 
-  /// Scored requests sorted by request_id. Valid after Shutdown().
+  /// Scored requests across all lanes, sorted by request_id. Valid
+  /// after Shutdown().
   [[nodiscard]] std::vector<ScoredRequest> TakeScored();
 
-  /// Valid after Shutdown(). Assembled from the server's metrics()
-  /// registry (`serve.*` counters) plus the struct-valued op/tier
-  /// merges (§14: the registry is the single source of truth for the
-  /// scalar counters; this struct is a projection).
+  /// Fleet-wide work counters: sum of every lane. Valid after
+  /// Shutdown(). Assembled from the server's metrics() registry
+  /// (`serve.*` counters labeled per model) plus the struct-valued
+  /// op/tier merges (§14: the registry is the single source of truth
+  /// for the scalar counters; this struct is a projection).
   [[nodiscard]] ServeWorkStats work_stats() const;
-  /// Request latency histogram (`serve.latency_us` in the registry).
-  [[nodiscard]] common::Histogram latency_us() const {
-    return latency_hist_.snapshot();
-  }
+  /// One lane's work counters.
+  [[nodiscard]] ServeWorkStats model_work_stats(std::size_t model_id) const;
 
-  /// The server's metric registry (`serve.*` series).
+  /// Fleet-wide request latency (merge of every lane's
+  /// `serve.latency_us{model=...}` series).
+  [[nodiscard]] common::Histogram latency_us() const;
+  /// One lane's request latency histogram.
+  [[nodiscard]] common::Histogram model_latency_us(
+      std::size_t model_id) const;
+
+  /// The server's metric registry (`serve.*` series, one per lane,
+  /// labeled {model: spec.name}).
   [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
 
- private:
-  void WorkerLoop();
+  [[nodiscard]] std::size_t num_models() const { return lanes_.size(); }
 
-  const train::ModelConfig* model_;
+ private:
+  struct Lane {
+    std::unique_ptr<common::Channel<Batch>> queue;
+    std::size_t num_workers = 1;
+    // Registry-backed work counters (workers add batched locals).
+    obs::Counter* batches = nullptr;
+    obs::Counter* requests = nullptr;
+    obs::Counter* rows = nullptr;
+    obs::HistogramMetric* latency = nullptr;
+    // Struct-valued merges (op counters, tier stats, dedupe value
+    // sums); guarded by mutex_.
+    ServeWorkStats work;
+  };
+
+  void WorkerLoop(std::size_t model_id);
+  void CloseAllQueues();
+
+  const FleetSpec* fleet_;
   const storage::StorageSchema* schema_;
-  const reader::DataLoaderConfig* loader_;
+  const std::vector<reader::DataLoaderConfig>* loaders_;
   Options options_;
 
-  common::Channel<Batch> queue_;
+  std::vector<Lane> lanes_;
   std::vector<std::thread> workers_;
+  std::size_t total_workers_ = 0;
   bool shutdown_done_ = false;
 
-  std::mutex mutex_;  // guards everything below
+  mutable std::mutex mutex_;  // guards everything below
   std::condition_variable ready_cv_;
   std::size_t ready_workers_ = 0;
   std::vector<ScoredRequest> scored_;
-  // Struct-valued merges (op counters, tier stats, dedupe value sums);
-  // the scalar work counters live in metrics_ below.
-  ServeWorkStats work_;
   std::exception_ptr first_error_;
 
-  // Work counters: registry-backed, workers add their batched locals.
   obs::Registry metrics_;
-  obs::Counter& batches_counter_ = metrics_.GetCounter("serve.batches");
-  obs::Counter& requests_counter_ = metrics_.GetCounter("serve.requests");
-  obs::Counter& rows_counter_ = metrics_.GetCounter("serve.rows");
-  obs::HistogramMetric& latency_hist_ =
-      metrics_.GetHistogram("serve.latency_us");
 };
 
 }  // namespace recd::serve

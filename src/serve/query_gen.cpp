@@ -1,5 +1,6 @@
 #include "serve/query_gen.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -9,44 +10,124 @@
 
 namespace recd::serve {
 
-QueryGenerator::QueryGenerator(datagen::DatasetSpec spec,
-                               QueryGenOptions options)
-    : spec_(std::move(spec)), options_(options) {
-  if (options_.num_requests == 0) {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Tracks the bursty shape's on/off dwell state along the virtual clock.
+struct BurstState {
+  bool on = true;
+  double dwell_end_us = 0;
+};
+
+double BurstyRate(const QueryGenOptions& o, common::Rng& rng,
+                  double clock_us, BurstState& state) {
+  while (clock_us >= state.dwell_end_us) {
+    state.on = !state.on;
+    const double mean =
+        state.on ? o.burst_on_mean_us : o.burst_off_mean_us;
+    state.dwell_end_us += rng.Exponential(mean);
+  }
+  return o.qps * (state.on ? o.burst_high_x : o.burst_low_x);
+}
+
+double DiurnalRate(const QueryGenOptions& o, double clock_us) {
+  const double phase = 2.0 * kPi * clock_us / o.diurnal_period_us;
+  const double swing = (1.0 + std::sin(phase)) / 2.0;
+  return o.qps * (o.diurnal_trough + (1.0 - o.diurnal_trough) * swing);
+}
+
+std::size_t DrawCandidates(const QueryGenOptions& o, common::Rng& rng) {
+  if (o.size == SizeShape::kFixed) return o.candidates;
+  // Bounded Pareto: K = candidates * U^(-1/alpha), capped. U in [0, 1)
+  // is flipped to (0, 1] so the tail draw is finite.
+  const double u = 1.0 - rng.UniformReal();
+  const double k = static_cast<double>(o.candidates) *
+                   std::pow(u, -1.0 / o.size_tail_alpha);
+  const double capped =
+      std::min(k, static_cast<double>(o.max_candidates));
+  return std::max<std::size_t>(
+      o.candidates, static_cast<std::size_t>(std::llround(capped)));
+}
+
+}  // namespace
+
+QueryGenerator::QueryGenerator(TraceSpec spec) : spec_(std::move(spec)) {
+  const auto& o = spec_.query;
+  if (o.num_requests == 0) {
     throw std::invalid_argument("QueryGenerator: num_requests must be >= 1");
   }
-  if (options_.candidates == 0) {
+  if (o.candidates == 0) {
     throw std::invalid_argument("QueryGenerator: candidates must be >= 1");
   }
-  if (!(options_.qps > 0)) {
+  if (!(o.qps > 0)) {
     throw std::invalid_argument("QueryGenerator: qps must be positive");
   }
-  if (spec_.concurrent_sessions == 0) {
+  if (o.num_models == 0) {
+    throw std::invalid_argument("QueryGenerator: num_models must be >= 1");
+  }
+  if (o.size == SizeShape::kHeavyTailed) {
+    if (o.max_candidates < o.candidates) {
+      throw std::invalid_argument(
+          "QueryGenerator: max_candidates must be >= candidates");
+    }
+    if (!(o.size_tail_alpha > 0)) {
+      throw std::invalid_argument(
+          "QueryGenerator: size_tail_alpha must be positive");
+    }
+  }
+  if (o.arrival == ArrivalShape::kBursty &&
+      (!(o.burst_high_x > 0) || !(o.burst_low_x > 0) ||
+       !(o.burst_on_mean_us > 0) || !(o.burst_off_mean_us > 0))) {
+    throw std::invalid_argument(
+        "QueryGenerator: bursty knobs must be positive");
+  }
+  if (o.arrival == ArrivalShape::kDiurnal &&
+      (!(o.diurnal_period_us > 0) || o.diurnal_trough <= 0 ||
+       o.diurnal_trough > 1)) {
+    throw std::invalid_argument(
+        "QueryGenerator: diurnal knobs out of range");
+  }
+  if (spec_.dataset.concurrent_sessions == 0) {
     throw std::invalid_argument(
         "QueryGenerator: concurrent_sessions must be positive");
   }
 }
 
 std::vector<Request> QueryGenerator::Generate() {
-  common::Rng rng(spec_.seed);
+  const auto& o = spec_.query;
+  common::Rng rng(spec_.dataset.seed);
   std::vector<datagen::SessionState> active;
   std::int64_t next_session_id = 1;
   auto refill = [&] {
-    while (active.size() < spec_.concurrent_sessions) {
-      const std::int64_t size =
-          common::SampleSessionSize(rng, spec_.mean_session_size);
-      active.emplace_back(spec_, rng, next_session_id++, size);
+    while (active.size() < spec_.dataset.concurrent_sessions) {
+      const std::int64_t size = common::SampleSessionSize(
+          rng, spec_.dataset.mean_session_size);
+      active.emplace_back(spec_.dataset, rng, next_session_id++, size);
     }
   };
 
-  const double mean_gap_us = 1e6 / options_.qps;
+  BurstState burst;
   std::vector<Request> out;
-  out.reserve(options_.num_requests);
+  out.reserve(o.num_requests);
   double clock_us = 0;
-  for (std::size_t i = 0; i < options_.num_requests; ++i) {
+  for (std::size_t i = 0; i < o.num_requests; ++i) {
     refill();
-    clock_us += options_.poisson_arrivals ? rng.Exponential(mean_gap_us)
-                                          : mean_gap_us;
+    switch (o.arrival) {
+      case ArrivalShape::kSteady: {
+        const double mean_gap_us = 1e6 / o.qps;
+        clock_us += o.poisson_arrivals ? rng.Exponential(mean_gap_us)
+                                       : mean_gap_us;
+        break;
+      }
+      case ArrivalShape::kBursty:
+        clock_us += rng.Exponential(1e6 / BurstyRate(o, rng, clock_us,
+                                                     burst));
+        break;
+      case ArrivalShape::kDiurnal:
+        clock_us += rng.Exponential(1e6 / DiurnalRate(o, clock_us));
+        break;
+    }
     const std::size_t pick = static_cast<std::size_t>(
         rng.Uniform(0, static_cast<std::int64_t>(active.size()) - 1));
     auto& session = active[pick];
@@ -54,9 +135,16 @@ std::vector<Request> QueryGenerator::Generate() {
     Request r;
     r.request_id = static_cast<std::int64_t>(i) + 1;
     r.user_id = session.session_id();
+    // Routing consumes a draw only for real zoos, so single-model
+    // traces are byte-identical to pre-zoo ones (same RNG stream).
+    r.model_id = o.num_models > 1
+                     ? static_cast<std::size_t>(rng.Uniform(
+                           0, static_cast<std::int64_t>(o.num_models) - 1))
+                     : 0;
     r.arrival_us = static_cast<std::int64_t>(std::llround(clock_us));
+    const std::size_t candidates = DrawCandidates(o, rng);
     auto logs = session.NextRequest(rng, r.request_id, r.arrival_us,
-                                    options_.candidates);
+                                    candidates);
     r.rows.reserve(logs.size());
     for (auto& log : logs) {
       datagen::Sample row;
@@ -74,6 +162,17 @@ std::vector<Request> QueryGenerator::Generate() {
       std::swap(active[pick], active.back());
       active.pop_back();
     }
+  }
+  return out;
+}
+
+std::vector<Request> SubTraceForModel(const std::vector<Request>& trace,
+                                      std::size_t model_id) {
+  std::vector<Request> out;
+  for (const auto& r : trace) {
+    if (r.model_id != model_id) continue;
+    out.push_back(r);
+    out.back().model_id = 0;
   }
   return out;
 }

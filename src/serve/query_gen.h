@@ -4,11 +4,13 @@
 // training traffic (datagen::SessionState): a pool of concurrent user
 // sessions, each request picking one user, advancing their user-class
 // features under the stay probabilities d(f), and drawing K fresh
-// candidate items. Arrivals are a seeded Poisson process at the
-// configured QPS, so a trace is fully deterministic: the same
-// (DatasetSpec, QueryGenOptions) always yields byte-identical requests
-// and arrival times — the precondition for the serving determinism and
-// parity tests.
+// candidate items. DeepRecSys observes that at-scale inference traffic
+// is *diverse* — arrival processes burst and swing diurnally, and
+// candidate-set sizes are heavy-tailed — so both the arrival process
+// and the per-request size are named, seeded shapes. A trace is fully
+// deterministic: the same TraceSpec always yields byte-identical
+// requests, model routing, and arrival times — the precondition for the
+// serving determinism and parity tests.
 #pragma once
 
 #include <cstdint>
@@ -19,33 +21,102 @@
 
 namespace recd::serve {
 
+/// Named arrival processes (all seeded, all replayable).
+enum class ArrivalShape : std::uint8_t {
+  /// Stationary arrivals at `qps`: Poisson inter-arrivals when
+  /// `poisson_arrivals`, fixed 1/qps spacing otherwise.
+  kSteady,
+  /// On/off rate modulation: the rate alternates between
+  /// `qps * burst_high_x` (on-dwells) and `qps * burst_low_x`
+  /// (off-dwells), dwell lengths drawn exponentially with the
+  /// configured means. Each gap is exponential at the dwell's rate —
+  /// a seeded rate-modulated Poisson approximation of bursty traffic.
+  kBursty,
+  /// Sinusoidal rate curve: rate(t) = qps * (trough + (1 - trough) *
+  /// (1 + sin(2*pi*t/period)) / 2), one seeded exponential gap at the
+  /// instantaneous rate — a compressed diurnal cycle.
+  kDiurnal,
+};
+
+/// Named candidate-count distributions.
+enum class SizeShape : std::uint8_t {
+  /// Every request scores exactly `candidates` items.
+  kFixed,
+  /// Bounded-Pareto candidate counts in [candidates, max_candidates]:
+  /// K = min(max, candidates * U^(-1/alpha)) — most requests near the
+  /// floor, a heavy tail of large ranking requests.
+  kHeavyTailed,
+};
+
 struct QueryGenOptions {
   std::size_t num_requests = 1024;
-  /// Candidate items scored per request (K).
+  /// Candidate items scored per request (K): exact under
+  /// SizeShape::kFixed, the distribution floor under kHeavyTailed.
   std::size_t candidates = 8;
-  /// Offered load (requests/second) shaping the arrival timestamps.
+  /// Offered load (requests/second): the rate under kSteady, the base
+  /// rate the bursty/diurnal modulations multiply.
   double qps = 2000.0;
-  /// true: exponential inter-arrivals (Poisson process); false: fixed
-  /// 1/qps spacing (useful for batching edge-case tests).
+  /// kSteady only — true: exponential inter-arrivals (Poisson);
+  /// false: fixed 1/qps spacing (for batching edge-case tests).
   bool poisson_arrivals = true;
+
+  ArrivalShape arrival = ArrivalShape::kSteady;
+  SizeShape size = SizeShape::kFixed;
+
+  // --- kBursty knobs -------------------------------------------------
+  double burst_high_x = 4.0;         // on-dwell rate multiplier
+  double burst_low_x = 0.25;         // off-dwell rate multiplier
+  double burst_on_mean_us = 20'000;  // mean on-dwell length
+  double burst_off_mean_us = 60'000; // mean off-dwell length
+
+  // --- kDiurnal knobs ------------------------------------------------
+  double diurnal_period_us = 1e6;  // one compressed "day"
+  double diurnal_trough = 0.1;     // trough rate as a fraction of qps
+
+  // --- kHeavyTailed knobs --------------------------------------------
+  double size_tail_alpha = 1.1;      // Pareto tail index (smaller = fatter)
+  std::size_t max_candidates = 64;   // hard cap on K
+
+  /// Requests are routed uniformly (seeded) across this many models:
+  /// each request's `model_id` is drawn in [0, num_models). 1 = the
+  /// single-model case (every request routes to model 0).
+  std::size_t num_models = 1;
+};
+
+/// Layer 1 of the serving spec (docs/ARCHITECTURE.md §9): everything
+/// that determines the query trace and nothing that doesn't. The seed
+/// is `dataset.seed`; two TraceSpecs with equal fields replay to
+/// byte-identical traces no matter what fleet serves them.
+struct TraceSpec {
+  /// Feature schema, stay probabilities, seed, and
+  /// `concurrent_sessions` (users with requests in flight).
+  datagen::DatasetSpec dataset;
+  /// Arrival/size shapes, request count, offered load, model routing.
+  QueryGenOptions query;
 };
 
 class QueryGenerator {
  public:
-  /// The dataset spec supplies the feature schema, stay probabilities,
-  /// seed, and `concurrent_sessions` (the number of users with requests
-  /// in flight). Throws std::invalid_argument on a zero option.
-  QueryGenerator(datagen::DatasetSpec spec, QueryGenOptions options);
+  /// Throws std::invalid_argument on a zero/invalid option.
+  explicit QueryGenerator(TraceSpec spec);
 
   /// Generates the full deterministic request trace, arrival-ordered.
   [[nodiscard]] std::vector<Request> Generate();
 
-  [[nodiscard]] const datagen::DatasetSpec& spec() const { return spec_; }
-  [[nodiscard]] const QueryGenOptions& options() const { return options_; }
+  [[nodiscard]] const TraceSpec& spec() const { return spec_; }
+  [[nodiscard]] const QueryGenOptions& options() const {
+    return spec_.query;
+  }
 
  private:
-  datagen::DatasetSpec spec_;
-  QueryGenOptions options_;
+  TraceSpec spec_;
 };
+
+/// The requests of `trace` routed to `model_id`, with `model_id`
+/// rebased to 0 — the sub-trace a single-model fleet would serve. The
+/// multi-model determinism rule: serving the full trace through a zoo
+/// scores each sub-trace bitwise identically to serving it alone.
+[[nodiscard]] std::vector<Request> SubTraceForModel(
+    const std::vector<Request>& trace, std::size_t model_id);
 
 }  // namespace recd::serve

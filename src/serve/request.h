@@ -20,10 +20,16 @@ namespace recd::serve {
 struct Request {
   std::int64_t request_id = 0;
   std::int64_t user_id = 0;  // session id in datagen terms
+  /// Which model of the fleet's zoo serves this request (index into
+  /// `FleetSpec::models`); the runner routes it to that model's batcher
+  /// and queue. Scores never depend on it — it is routing, not input.
+  std::size_t model_id = 0;
   /// Arrival offset from trace start (µs); deterministic from the
   /// generator seed. Doubles as the batching clock in replay mode.
   std::int64_t arrival_us = 0;
-  /// K candidate rows, user features identical across rows, labels unused.
+  /// K candidate rows, user features identical across rows, labels
+  /// unused. May be empty (a zero-candidate request scores nothing but
+  /// still flows through batching and completion accounting).
   std::vector<datagen::Sample> rows;
 };
 
@@ -31,6 +37,7 @@ struct Request {
 struct ScoredRequest {
   std::int64_t request_id = 0;
   std::int64_t user_id = 0;
+  std::size_t model_id = 0;
   std::int64_t arrival_us = 0;
   std::int64_t completion_us = 0;
   /// End-to-end latency (µs, clamped to >= 1): completion - arrival in

@@ -1,7 +1,9 @@
 #include "serve/server_runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -18,29 +20,76 @@ std::int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-}  // namespace
-
-ServerRunner::ServerRunner(datagen::DatasetSpec dataset,
-                           train::ModelConfig model, ServeOptions options)
-    : dataset_(std::move(dataset)),
-      model_(std::move(model)),
-      options_(options),
-      schema_(core::MakePipelineSchema(dataset_)) {
-  QueryGenerator gen(dataset_, options_.query);
-  trace_ = gen.Generate();
+void ValidateTraceRouting(const std::vector<Request>& trace,
+                          const FleetSpec& fleet) {
+  for (const auto& r : trace) {
+    if (r.model_id >= fleet.num_models()) {
+      throw std::invalid_argument(
+          "ServerRunner: trace routes to model id " +
+          std::to_string(r.model_id) + " but the fleet has only " +
+          std::to_string(fleet.num_models()) + " model(s)");
+    }
+  }
 }
 
-ServeResult ServerRunner::Run(const ServeConfig& config) {
+}  // namespace
+
+BatcherOptions RunPolicy::batcher_for(const FleetSpec& fleet,
+                                      std::size_t model_id) const {
+  if (const auto it = batcher_overrides.find(model_id);
+      it != batcher_overrides.end()) {
+    return it->second;
+  }
+  if (batcher.has_value()) return *batcher;
+  return fleet.models.at(model_id).batcher;
+}
+
+ServerRunner::ServerRunner(TraceSpec trace, FleetSpec fleet)
+    : spec_(std::move(trace)),
+      fleet_(std::move(fleet)),
+      schema_(core::MakePipelineSchema(spec_.dataset)) {
+  fleet_.Validate();
+  QueryGenerator gen(spec_);
+  trace_ = gen.Generate();
+  ValidateTraceRouting(trace_, fleet_);
+}
+
+ServerRunner::ServerRunner(TraceSpec spec, FleetSpec fleet,
+                           std::vector<Request> trace)
+    : spec_(std::move(spec)),
+      fleet_(std::move(fleet)),
+      schema_(core::MakePipelineSchema(spec_.dataset)),
+      trace_(std::move(trace)) {
+  fleet_.Validate();
+  ValidateTraceRouting(trace_, fleet_);
+}
+
+ServeResult ServerRunner::Run(const RunPolicy& policy) {
+  const std::size_t num_models = fleet_.num_models();
+
+  std::vector<BatcherOptions> bopts;
+  bopts.reserve(num_models);
+  for (std::size_t m = 0; m < num_models; ++m) {
+    bopts.push_back(policy.batcher_for(fleet_, m));
+  }
+
   // The serving path reuses the training loader wholesale: same feature
   // groups, same preprocessing transforms (O4), same conversion code.
-  auto recd_cfg = config.recd
-                      ? core::RecdConfig::Full(
-                            options_.query.candidates *
-                            config.batcher.max_batch_requests)
-                      : core::RecdConfig::Baseline(
-                            options_.query.candidates *
-                            config.batcher.max_batch_requests);
-  const auto loader = core::MakePipelineLoader(model_, recd_cfg);
+  // The batch-size hint is the lane's worst case: the widest request
+  // the trace can draw times its batcher's size cap.
+  const std::size_t worst_candidates =
+      spec_.query.size == SizeShape::kHeavyTailed ? spec_.query.max_candidates
+                                                  : spec_.query.candidates;
+  std::vector<reader::DataLoaderConfig> loaders;
+  loaders.reserve(num_models);
+  for (std::size_t m = 0; m < num_models; ++m) {
+    const std::size_t hint = std::max<std::size_t>(
+        1, worst_candidates * bopts[m].max_batch_requests);
+    const auto recd_cfg = policy.recd ? core::RecdConfig::Full(hint)
+                                      : core::RecdConfig::Baseline(hint);
+    loaders.push_back(
+        core::MakePipelineLoader(fleet_.models[m].config, recd_cfg));
+  }
 
   // Clock zero is reset *after* Start() returns (replicas built), so no
   // request is ever charged model-build time. The shared_ptr keeps the
@@ -49,116 +98,154 @@ ServeResult ServerRunner::Run(const ServeConfig& config) {
       std::chrono::steady_clock::now());
 
   ModelServer::Options server_options;
-  server_options.num_workers = config.num_workers;
-  server_options.recd = config.recd;
-  server_options.model_seed = options_.model_seed;
-  server_options.backend = options_.backend;
-  server_options.channel_capacity = options_.batch_channel_capacity;
-  if (config.pace_arrivals) {
-    server_options.completion_clock = [start] {
-      return MicrosSince(*start);
-    };
+  server_options.recd = policy.recd;
+  if (policy.pace_arrivals) {
+    server_options.completion_clock = [start] { return MicrosSince(*start); };
   }
-  ModelServer server(model_, schema_, loader, server_options);
+  ModelServer server(fleet_, schema_, loaders, server_options);
   server.Start();
   *start = std::chrono::steady_clock::now();
 
-  Batcher batcher(config.batcher);
-  std::int64_t now = 0;
+  std::vector<Batcher> batchers;
+  batchers.reserve(num_models);
+  for (std::size_t m = 0; m < num_models; ++m) batchers.emplace_back(bopts[m]);
+
   bool accepting = true;
-  auto submit = [&](Batch batch) {
-    if (accepting && !server.Submit(std::move(batch))) accepting = false;
+  auto submit = [&](std::size_t m, Batch batch) {
+    if (accepting && !server.Submit(m, std::move(batch))) accepting = false;
+  };
+  // Earliest pending deadline across lanes; ties break toward the lower
+  // model id, giving replay mode one global (deadline, model) order.
+  auto earliest = [&]() -> std::optional<std::pair<std::int64_t, std::size_t>> {
+    std::optional<std::pair<std::int64_t, std::size_t>> best;
+    for (std::size_t m = 0; m < num_models; ++m) {
+      const auto d = batchers[m].deadline_us();
+      if (d && (!best || *d < best->first)) best.emplace(*d, m);
+    }
+    return best;
   };
 
+  std::int64_t now = 0;
   for (const auto& r : trace_) {
-    if (!accepting) break;  // worker failure closed the queue
-    if (config.pace_arrivals) {
-      // Release the request at its arrival time, honoring any batching
-      // deadline that expires while we wait.
+    if (!accepting) break;  // worker failure closed the queues
+    if (policy.pace_arrivals) {
+      // Release the request at its arrival time, honoring any lane's
+      // batching deadline that expires while we wait.
       for (;;) {
         now = MicrosSince(*start);
-        const auto deadline = batcher.deadline_us();
-        if (deadline && now >= *deadline) {
-          if (auto batch = batcher.PollExpired(now)) {
-            submit(std::move(*batch));
+        const auto due = earliest();
+        if (due && now >= due->first) {
+          if (auto batch = batchers[due->second].PollExpired(now)) {
+            submit(due->second, std::move(*batch));
           }
           continue;
         }
         if (now >= r.arrival_us) break;
         std::int64_t wake = r.arrival_us;
-        if (deadline && *deadline < wake) wake = *deadline;
-        std::this_thread::sleep_until(
-            *start + std::chrono::microseconds(wake));
+        if (due && due->first < wake) wake = due->first;
+        std::this_thread::sleep_until(*start +
+                                      std::chrono::microseconds(wake));
       }
     } else {
       now = r.arrival_us;
-      // Drive the tracer's virtual clock from the replay arrival clock:
-      // replayed-trace timestamps then come from the query trace, never
-      // the host's wall clock (see obs/trace.h on what that does and
-      // does not pin down).
-      obs::Tracer::Global().SetVirtualTimeUs(now);
-      // Stamp deadline flushes at the deadline itself — when a paced
-      // server would emit them — not at the next arrival, so replay
-      // latency is the exact batching delay (<= max_delay_us).
-      const auto deadline = batcher.deadline_us();
-      if (deadline && *deadline <= now) {
-        if (auto batch = batcher.PollExpired(*deadline)) {
-          submit(std::move(*batch));
+      // Fire every window that expires at or before this arrival, in
+      // global deadline order, each stamped at its own deadline — when
+      // a paced server would emit it, not at the next arrival — so
+      // replay latency is the exact batching delay (<= max_delay_us)
+      // regardless of which lane the next arrival feeds.
+      while (const auto due = earliest()) {
+        if (due->first > now) break;
+        // Drive the tracer's virtual clock from the replay deadline /
+        // arrival clock: replayed-trace timestamps then come from the
+        // query trace, never the host's wall clock (see obs/trace.h).
+        obs::Tracer::Global().SetVirtualTimeUs(due->first);
+        if (auto batch = batchers[due->second].PollExpired(due->first)) {
+          submit(due->second, std::move(*batch));
         }
       }
+      obs::Tracer::Global().SetVirtualTimeUs(now);
     }
-    for (auto& batch : batcher.Add(r, now)) submit(std::move(batch));
+    for (auto& batch : batchers[r.model_id].Add(r, now)) {
+      submit(r.model_id, std::move(batch));
+    }
   }
 
-  if (config.pace_arrivals) {
+  // End of trace: flush every lane's pending batch.
+  if (policy.pace_arrivals) {
     now = MicrosSince(*start);
-  } else if (const auto deadline = batcher.deadline_us()) {
-    // End of trace: the pending batch would have flushed at its
-    // deadline, so that is its virtual flush time.
-    now = std::max(now, *deadline);
+    for (std::size_t m = 0; m < num_models; ++m) {
+      if (auto batch = batchers[m].Flush(now)) submit(m, std::move(*batch));
+    }
+  } else {
+    // Replay: each pending batch would have flushed at its own deadline
+    // (always past that lane's last arrival — Add pre-flushes expired
+    // windows), so that is its virtual flush time; fire in global
+    // deadline order like the in-trace pump.
+    while (const auto due = earliest()) {
+      obs::Tracer::Global().SetVirtualTimeUs(due->first);
+      if (auto batch = batchers[due->second].Flush(due->first)) {
+        submit(due->second, std::move(*batch));
+      }
+    }
   }
-  if (auto batch = batcher.Flush(now)) submit(std::move(*batch));
   server.Shutdown();  // drains accepted batches; rethrows worker errors
 
-  const double wall_s =
-      static_cast<double>(MicrosSince(*start)) / 1e6;
+  const double wall_s = static_cast<double>(MicrosSince(*start)) / 1e6;
 
   ServeResult result;
   result.requests = server.TakeScored();
   result.obs_metrics = server.metrics().Snapshot();
 
-  auto& s = result.stats;
-  const auto& work = server.work_stats();
-  const auto& bstats = batcher.stats();
-  s.requests = work.requests;
-  s.rows = work.rows;
-  s.batches = work.batches;
-  s.size_flushes = bstats.size_flushes;
-  s.deadline_flushes = bstats.deadline_flushes;
-  s.final_flushes = bstats.final_flushes;
-  if (work.batches > 0) {
-    s.mean_batch_requests =
-        static_cast<double>(work.requests) / static_cast<double>(work.batches);
-    s.mean_batch_rows =
-        static_cast<double>(work.rows) / static_cast<double>(work.batches);
+  const auto fill = [&](ServeStats& s, const ServeWorkStats& work,
+                        const BatcherStats& bstats, common::Histogram latency,
+                        double offered_qps) {
+    s.requests = work.requests;
+    s.rows = work.rows;
+    s.batches = work.batches;
+    s.size_flushes = bstats.size_flushes;
+    s.deadline_flushes = bstats.deadline_flushes;
+    s.final_flushes = bstats.final_flushes;
+    if (work.batches > 0) {
+      s.mean_batch_requests = static_cast<double>(work.requests) /
+                              static_cast<double>(work.batches);
+      s.mean_batch_rows =
+          static_cast<double>(work.rows) / static_cast<double>(work.batches);
+    }
+    s.offered_qps = offered_qps;
+    s.wall_s = wall_s;
+    if (wall_s > 0) {
+      s.achieved_qps = static_cast<double>(work.requests) / wall_s;
+      s.rows_per_second = static_cast<double>(work.rows) / wall_s;
+    }
+    s.request_dedupe_factor =
+        work.values_after > 0 ? work.values_before / work.values_after : 1.0;
+    s.embedding_lookups = static_cast<double>(work.ops.lookups);
+    s.flops = static_cast<double>(work.ops.flops);
+    s.tier = work.tier;
+    s.latency_us = std::move(latency);
+  };
+
+  // Per-model offered load: the model's share of the trace at the
+  // trace's offered QPS (routing is part of the trace, not the run).
+  std::vector<std::size_t> routed(num_models, 0);
+  for (const auto& r : trace_) routed[r.model_id] += 1;
+
+  BatcherStats fleet_bstats;
+  result.model_stats.resize(num_models);
+  for (std::size_t m = 0; m < num_models; ++m) {
+    const auto& bstats = batchers[m].stats();
+    fleet_bstats.size_flushes += bstats.size_flushes;
+    fleet_bstats.deadline_flushes += bstats.deadline_flushes;
+    fleet_bstats.final_flushes += bstats.final_flushes;
+    const double offered =
+        trace_.empty() ? 0.0
+                       : spec_.query.qps * static_cast<double>(routed[m]) /
+                             static_cast<double>(trace_.size());
+    fill(result.model_stats[m], server.model_work_stats(m), bstats,
+         server.model_latency_us(m), offered);
   }
-  s.offered_qps = options_.query.qps;
-  s.wall_s = wall_s;
-  if (wall_s > 0) {
-    s.achieved_qps = static_cast<double>(work.requests) / wall_s;
-    s.rows_per_second = static_cast<double>(work.rows) / wall_s;
-  }
-  s.request_dedupe_factor =
-      work.values_after > 0 ? work.values_before / work.values_after : 1.0;
-  s.embedding_lookups = static_cast<double>(work.ops.lookups);
-  s.flops = static_cast<double>(work.ops.flops);
-  s.tier = work.tier;
-  s.latency_us = server.latency_us();
-  s.latency_mean_us = s.latency_us.mean();
-  s.latency_p50_us = s.latency_us.Percentile(0.5);
-  s.latency_p95_us = s.latency_us.Percentile(0.95);
-  s.latency_p99_us = s.latency_us.Percentile(0.99);
-  s.latency_max_us = s.latency_us.max();
+  fill(result.stats, server.work_stats(), fleet_bstats, server.latency_us(),
+       spec_.query.qps);
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "train/model.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace recd::train {
@@ -117,6 +118,61 @@ ModelConfig RmModel(datagen::RmKind kind,
       if (name == f.name) used = true;
     }
     if (!used) model.plain_features.push_back(f.name);
+  }
+  return model;
+}
+
+ModelConfig RmServeVariant(datagen::RmKind kind,
+                           const datagen::DatasetSpec& dataset) {
+  ModelConfig model;
+  model.dense_dim = dataset.num_dense;
+  // Sequence groups from the dataset's own sync groups (not the kind's
+  // canonical count): every variant consumes the identical feature set,
+  // so one request trace feeds the whole zoo.
+  int max_group = -1;
+  for (const auto& f : dataset.sparse) {
+    max_group = std::max(max_group, f.sync_group);
+  }
+  for (int g = 0; g <= max_group; ++g) {
+    SequenceGroup group;
+    for (const auto& f : dataset.sparse) {
+      if (f.sync_group == g) group.features.push_back(f.name);
+    }
+    if (group.features.empty()) continue;
+    group.attention = kind == datagen::RmKind::kRm1;
+    model.sequence_groups.push_back(std::move(group));
+  }
+  model.elementwise_features =
+      datagen::RmElementwiseDedupFeatures(kind, dataset);
+  for (const auto& f : dataset.sparse) {
+    bool used = f.sync_group >= 0;
+    for (const auto& name : model.elementwise_features) {
+      if (name == f.name) used = true;
+    }
+    if (!used) model.plain_features.push_back(f.name);
+  }
+  switch (kind) {
+    case datagen::RmKind::kRm1:
+      model.name = "RM1-variant";
+      model.emb_dim = 128;
+      model.emb_hash_size = 400'000;
+      model.bottom_mlp_hidden = {128};
+      model.top_mlp_hidden = {256, 128};
+      break;
+    case datagen::RmKind::kRm2:
+      model.name = "RM2-variant";
+      model.emb_dim = 64;
+      model.emb_hash_size = 200'000;
+      model.bottom_mlp_hidden = {512, 256};
+      model.top_mlp_hidden = {2048, 1024};
+      break;
+    case datagen::RmKind::kRm3:
+      model.name = "RM3-variant";
+      model.emb_dim = 96;
+      model.emb_hash_size = 200'000;
+      model.bottom_mlp_hidden = {256};
+      model.top_mlp_hidden = {512, 256};
+      break;
   }
   return model;
 }

@@ -96,6 +96,20 @@ struct PlacementUnit {
 [[nodiscard]] ModelConfig RmModel(datagen::RmKind kind,
                                   const datagen::DatasetSpec& dataset);
 
+/// Builds an RM-*style* variant over an **arbitrary** dataset spec, for
+/// serving-time model zoos that score one shared query trace
+/// (DeepRecSys: a zoo of models with different sparse-vs-dense
+/// balance). Unlike RmModel — which assumes the matching
+/// RmDataset(kind) — the sequence groups here come from whatever sync
+/// groups the shared dataset actually defines; `kind` only varies the
+/// compute balance:
+///   kRm1: attention sequence pooling, wide embeddings, small MLPs
+///         (sparse-dominated);
+///   kRm2: sum pooling, deep/wide MLPs (dense-dominated);
+///   kRm3: sum pooling, balanced dims.
+[[nodiscard]] ModelConfig RmServeVariant(datagen::RmKind kind,
+                                         const datagen::DatasetSpec& dataset);
+
 /// Derives the reader DataLoader config for a model. With `recd_enabled`,
 /// sequence groups and element-wise features become dedup groups (O3);
 /// otherwise everything converts to plain KJT.

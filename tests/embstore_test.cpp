@@ -576,22 +576,29 @@ TEST(EmbstoreServeDeterminismTest, TieredReplicasScoreBitwiseIdentically) {
   model.bottom_mlp_hidden = {16};
   model.top_mlp_hidden = {32, 16};
 
-  serve::ServeOptions options;
-  options.query.num_requests = 32;
-  options.query.candidates = 4;
-  options.query.qps = 50'000;
+  serve::TraceSpec trace_spec;
+  trace_spec.dataset = spec;
+  trace_spec.query.num_requests = 32;
+  trace_spec.query.candidates = 4;
+  trace_spec.query.qps = 50'000;
 
-  serve::ServerRunner dense_runner(spec, model, options);
-  auto tiered_model = model;
-  tiered_model.tiering = Tier(64, 64);
-  serve::ServerRunner tiered_runner(spec, tiered_model, options);
+  // Tiering is a ModelSpec concern: same trace, same architecture, one
+  // zoo member dense and one serving from the tiered store.
+  serve::ModelSpec dense_model;
+  dense_model.config = model;
+  serve::ServerRunner dense_runner(
+      trace_spec, serve::FleetSpec::Single(dense_model, /*num_workers=*/2));
+  serve::ModelSpec tiered_spec;
+  tiered_spec.config = model;
+  tiered_spec.config.tiering = Tier(64, 64);
+  serve::ServerRunner tiered_runner(
+      trace_spec, serve::FleetSpec::Single(tiered_spec, /*num_workers=*/2));
 
   for (const bool recd : {false, true}) {
-    serve::ServeConfig config =
-        recd ? serve::ServeConfig::Recd() : serve::ServeConfig::Baseline();
-    config.num_workers = 2;
-    const auto dense = dense_runner.Run(config);
-    const auto tiered = tiered_runner.Run(config);
+    const serve::RunPolicy policy =
+        recd ? serve::RunPolicy::Recd() : serve::RunPolicy::Baseline();
+    const auto dense = dense_runner.Run(policy);
+    const auto tiered = tiered_runner.Run(policy);
     ASSERT_EQ(dense.requests.size(), tiered.requests.size());
     for (std::size_t i = 0; i < dense.requests.size(); ++i) {
       ASSERT_EQ(dense.requests[i].request_id,

@@ -398,18 +398,25 @@ TEST(ObsDeterminismTest, ServingScoresIdenticalWithObsOnAcrossWorkers) {
   model.emb_dim = 16;
   model.bottom_mlp_hidden = {32};
   model.top_mlp_hidden = {64, 32};
-  serve::ServeOptions options;
-  options.query.num_requests = 48;
-  options.query.candidates = 4;
-  options.query.qps = 50'000;
-  serve::ServerRunner runner(spec, model, options);
+  serve::TraceSpec trace_spec;
+  trace_spec.dataset = spec;
+  trace_spec.query.num_requests = 48;
+  trace_spec.query.candidates = 4;
+  trace_spec.query.qps = 50'000;
+  serve::ModelSpec model_spec;
+  model_spec.config = model;
 
   const auto run = [&](std::size_t workers) {
-    auto cfg = serve::ServeConfig::Recd();
-    cfg.num_workers = workers;
-    cfg.pace_arrivals = false;
-    cfg.batcher.max_batch_requests = 8;
-    return runner.Run(cfg);
+    // Worker counts are a FleetSpec concern; the trace spec is fixed,
+    // so every runner replays the identical trace.
+    serve::ServerRunner runner(
+        trace_spec, serve::FleetSpec::Single(model_spec, workers));
+    auto policy = serve::RunPolicy::Recd();
+    policy.pace_arrivals = false;
+    serve::BatcherOptions batcher;
+    batcher.max_batch_requests = 8;
+    policy.batcher = batcher;
+    return runner.Run(policy);
   };
 
   Configure(ObsOptions{});

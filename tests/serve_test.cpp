@@ -1,7 +1,8 @@
 // Tests for the online serving subsystem (src/serve): deterministic
-// query generation, batcher flush/SLA edge cases, baseline-vs-RecD score
-// parity, worker-count determinism of per-request outputs, and clean
-// shutdown under load (ISSUE acceptance criteria).
+// query generation across load shapes, batcher flush/SLA edge cases,
+// baseline-vs-RecD score parity, multi-model determinism across worker
+// counts and zoo compositions, the offline tail-latency scheduler, and
+// clean shutdown under load (ISSUE acceptance criteria).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -12,7 +13,9 @@
 #include "datagen/presets.h"
 #include "serve/batcher.h"
 #include "serve/model_server.h"
+#include "serve/model_zoo.h"
 #include "serve/query_gen.h"
+#include "serve/scheduler.h"
 #include "serve/server_runner.h"
 #include "train/model.h"
 
@@ -46,6 +49,53 @@ QueryGenOptions SmallQuery(std::size_t requests = 48,
   return q;
 }
 
+TraceSpec MakeTrace(QueryGenOptions query,
+                    datagen::RmKind kind = datagen::RmKind::kRm2,
+                    double scale = 0.08) {
+  TraceSpec t;
+  t.dataset = MakeSpec(kind, scale);
+  t.query = query;
+  return t;
+}
+
+/// A test-sized zoo member: real RM-variant architecture over the
+/// shared dataset, shrunk so per-worker replicas stay cheap; each model
+/// gets its own seed and its own batching defaults (heterogeneity is
+/// the point of the zoo).
+ModelSpec SmallVariant(const datagen::DatasetSpec& dataset,
+                       datagen::RmKind kind, std::uint64_t seed) {
+  ModelSpec m;
+  m.config = train::RmServeVariant(kind, dataset);
+  m.config.emb_hash_size = 2'000;
+  m.config.emb_dim = 16;
+  m.config.bottom_mlp_hidden = {32};
+  m.config.top_mlp_hidden = {64, 32};
+  m.name = m.config.name;
+  m.seed = seed;
+  return m;
+}
+
+std::vector<ModelSpec> SmallZoo(const datagen::DatasetSpec& dataset,
+                                std::size_t size) {
+  constexpr datagen::RmKind kKinds[] = {
+      datagen::RmKind::kRm1, datagen::RmKind::kRm2, datagen::RmKind::kRm3};
+  std::vector<ModelSpec> zoo;
+  for (std::size_t m = 0; m < size; ++m) {
+    auto spec = SmallVariant(dataset, kKinds[m % 3], 0x100 + m);
+    spec.batcher.max_batch_requests = 2 + m;  // per-model batching
+    spec.batcher.max_delay_us = 100 * static_cast<std::int64_t>(m + 1);
+    zoo.push_back(std::move(spec));
+  }
+  return zoo;
+}
+
+FleetSpec SingleFleet(const datagen::DatasetSpec& dataset,
+                      std::size_t workers = 1) {
+  ModelSpec m;
+  m.config = MakeModel(dataset);
+  return FleetSpec::Single(std::move(m), workers);
+}
+
 Request MakeRequest(std::int64_t id, std::size_t rows = 1) {
   Request r;
   r.request_id = id;
@@ -54,19 +104,29 @@ Request MakeRequest(std::int64_t id, std::size_t rows = 1) {
   return r;
 }
 
+RunPolicy ReplayPolicy(bool recd) {
+  RunPolicy p = recd ? RunPolicy::Recd() : RunPolicy::Baseline();
+  BatcherOptions b;
+  b.max_batch_requests = 4;
+  b.max_delay_us = 100;
+  p.batcher = b;
+  p.pace_arrivals = false;
+  return p;
+}
+
 // ---------------------------------------------------------- query gen --
 
 TEST(QueryGeneratorTest, TraceIsDeterministicAndShaped) {
-  const auto spec = MakeSpec();
-  const auto opts = SmallQuery(32, 5);
-  auto a = QueryGenerator(spec, opts).Generate();
-  auto b = QueryGenerator(spec, opts).Generate();
+  const auto trace_spec = MakeTrace(SmallQuery(32, 5));
+  auto a = QueryGenerator(trace_spec).Generate();
+  auto b = QueryGenerator(trace_spec).Generate();
   ASSERT_EQ(a.size(), 32u);
   ASSERT_EQ(b.size(), 32u);
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].request_id, b[i].request_id);
     EXPECT_EQ(a[i].user_id, b[i].user_id);
     EXPECT_EQ(a[i].arrival_us, b[i].arrival_us);
+    EXPECT_EQ(a[i].model_id, 0u);  // num_models = 1: all route to 0
     ASSERT_EQ(a[i].rows.size(), 5u);
     for (std::size_t c = 0; c < a[i].rows.size(); ++c) {
       EXPECT_EQ(a[i].rows[c], b[i].rows[c]);
@@ -78,8 +138,9 @@ TEST(QueryGeneratorTest, TraceIsDeterministicAndShaped) {
 }
 
 TEST(QueryGeneratorTest, CandidatesShareUserFeaturesExactly) {
-  const auto spec = MakeSpec();
-  const auto trace = QueryGenerator(spec, SmallQuery(16, 6)).Generate();
+  const auto trace_spec = MakeTrace(SmallQuery(16, 6));
+  const auto& spec = trace_spec.dataset;
+  const auto trace = QueryGenerator(trace_spec).Generate();
   for (const auto& r : trace) {
     const auto& first = r.rows.front();
     for (const auto& row : r.rows) {
@@ -96,17 +157,90 @@ TEST(QueryGeneratorTest, CandidatesShareUserFeaturesExactly) {
   }
 }
 
+TEST(QueryGeneratorTest, ShapedTracesAreDeterministicAndOrdered) {
+  // Every (arrival, size) shape pair replays byte-identically and keeps
+  // arrivals non-decreasing; heavy-tailed sizes stay within bounds and
+  // actually produce a tail.
+  for (const auto arrival : {ArrivalShape::kSteady, ArrivalShape::kBursty,
+                             ArrivalShape::kDiurnal}) {
+    for (const auto size : {SizeShape::kFixed, SizeShape::kHeavyTailed}) {
+      auto q = SmallQuery(64, 3);
+      q.arrival = arrival;
+      q.size = size;
+      q.max_candidates = 12;
+      q.num_models = 3;
+      const auto trace_spec = MakeTrace(q);
+      const auto a = QueryGenerator(trace_spec).Generate();
+      const auto b = QueryGenerator(trace_spec).Generate();
+      ASSERT_EQ(a.size(), 64u);
+      std::size_t max_rows = 0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival_us, b[i].arrival_us);
+        EXPECT_EQ(a[i].model_id, b[i].model_id);
+        EXPECT_EQ(a[i].rows.size(), b[i].rows.size());
+        EXPECT_LT(a[i].model_id, 3u);
+        if (i > 0) {
+          EXPECT_GE(a[i].arrival_us, a[i - 1].arrival_us);
+        }
+        if (size == SizeShape::kFixed) {
+          EXPECT_EQ(a[i].rows.size(), 3u);
+        } else {
+          EXPECT_GE(a[i].rows.size(), 3u);
+          EXPECT_LE(a[i].rows.size(), 12u);
+        }
+        max_rows = std::max(max_rows, a[i].rows.size());
+      }
+      if (size == SizeShape::kHeavyTailed) {
+        EXPECT_GT(max_rows, 3u) << "no tail drawn in 64 requests";
+      }
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, SubTraceForModelPartitionsTheTrace) {
+  auto q = SmallQuery(60, 2);
+  q.num_models = 3;
+  const auto trace = QueryGenerator(MakeTrace(q)).Generate();
+  std::size_t total = 0;
+  for (std::size_t m = 0; m < 3; ++m) {
+    const auto sub = SubTraceForModel(trace, m);
+    total += sub.size();
+    for (const auto& r : sub) {
+      EXPECT_EQ(r.model_id, 0u);  // rebased for single-model serving
+    }
+  }
+  EXPECT_EQ(total, trace.size());
+}
+
 TEST(QueryGeneratorTest, RejectsBadOptions) {
-  const auto spec = MakeSpec();
+  auto make = [](QueryGenOptions q) {
+    return QueryGenerator(MakeTrace(q));
+  };
   QueryGenOptions q;
   q.num_requests = 0;
-  EXPECT_THROW(QueryGenerator(spec, q), std::invalid_argument);
+  EXPECT_THROW(make(q), std::invalid_argument);
   q = {};
   q.candidates = 0;
-  EXPECT_THROW(QueryGenerator(spec, q), std::invalid_argument);
+  EXPECT_THROW(make(q), std::invalid_argument);
   q = {};
   q.qps = 0;
-  EXPECT_THROW(QueryGenerator(spec, q), std::invalid_argument);
+  EXPECT_THROW(make(q), std::invalid_argument);
+  q = {};
+  q.num_models = 0;
+  EXPECT_THROW(make(q), std::invalid_argument);
+  q = {};
+  q.size = SizeShape::kHeavyTailed;
+  q.candidates = 8;
+  q.max_candidates = 4;  // cap below floor
+  EXPECT_THROW(make(q), std::invalid_argument);
+  q = {};
+  q.arrival = ArrivalShape::kBursty;
+  q.burst_low_x = 0;
+  EXPECT_THROW(make(q), std::invalid_argument);
+  q = {};
+  q.arrival = ArrivalShape::kDiurnal;
+  q.diurnal_trough = 0;
+  EXPECT_THROW(make(q), std::invalid_argument);
 }
 
 // ------------------------------------------------------------- batcher --
@@ -190,20 +324,12 @@ TEST(BatcherTest, RejectsBackwardsClockAndBadOptions) {
 
 // -------------------------------------------------- end-to-end serving --
 
-ServeConfig ReplayConfig(bool recd, std::size_t workers = 1) {
-  ServeConfig c = recd ? ServeConfig::Recd() : ServeConfig::Baseline();
-  c.num_workers = workers;
-  c.batcher.max_batch_requests = 4;
-  c.batcher.max_delay_us = 100;
-  c.pace_arrivals = false;
-  return c;
-}
-
-void ExpectSameScores(const ServeResult& a, const ServeResult& b) {
-  ASSERT_EQ(a.requests.size(), b.requests.size());
-  for (std::size_t i = 0; i < a.requests.size(); ++i) {
-    const auto& ra = a.requests[i];
-    const auto& rb = b.requests[i];
+void ExpectSameScores(const std::vector<ScoredRequest>& a,
+                      const std::vector<ScoredRequest>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& ra = a[i];
+    const auto& rb = b[i];
     ASSERT_EQ(ra.request_id, rb.request_id);
     ASSERT_EQ(ra.scores.size(), rb.scores.size());
     for (std::size_t k = 0; k < ra.scores.size(); ++k) {
@@ -213,13 +339,15 @@ void ExpectSameScores(const ServeResult& a, const ServeResult& b) {
   }
 }
 
+void ExpectSameScores(const ServeResult& a, const ServeResult& b) {
+  ExpectSameScores(a.requests, b.requests);
+}
+
 TEST(ServerRunnerTest, BaselineAndRecdScoresAreBitwiseIdentical) {
-  const auto spec = MakeSpec();
-  ServeOptions options;
-  options.query = SmallQuery(48, 4);
-  ServerRunner runner(spec, MakeModel(spec), options);
-  const auto base = runner.Run(ReplayConfig(/*recd=*/false));
-  const auto recd = runner.Run(ReplayConfig(/*recd=*/true));
+  const auto trace_spec = MakeTrace(SmallQuery(48, 4));
+  ServerRunner runner(trace_spec, SingleFleet(trace_spec.dataset));
+  const auto base = runner.Run(ReplayPolicy(/*recd=*/false));
+  const auto recd = runner.Run(ReplayPolicy(/*recd=*/true));
   ASSERT_EQ(base.requests.size(), 48u);
   ExpectSameScores(base, recd);
   // RecD must have deduplicated across candidates/requests and saved
@@ -233,43 +361,41 @@ TEST(ServerRunnerTest, BaselineAndRecdScoresAreBitwiseIdentical) {
 TEST(ServerRunnerTest, ScoresBitwiseIdenticalAcrossKernelBackends) {
   // Scalar and vectorized kernel backends must replay to identical
   // scores, on both serving paths (the kernel layer's bitwise
-  // contract, observed end to end through the worker pool).
-  const auto spec = MakeSpec();
-  const auto model = MakeModel(spec);
-  ServeOptions scalar_options;
-  scalar_options.query = SmallQuery(48, 4);
-  scalar_options.backend = kernels::KernelBackend::kScalar;
-  ServeOptions vec_options = scalar_options;
-  vec_options.backend = kernels::KernelBackend::kVectorized;
-  ServerRunner scalar_runner(spec, model, scalar_options);
-  ServerRunner vec_runner(spec, model, vec_options);
+  // contract, observed end to end through the worker pool). The
+  // backend is a ModelSpec knob now — the trace spec is shared.
+  const auto trace_spec = MakeTrace(SmallQuery(48, 4));
+  auto scalar_fleet = SingleFleet(trace_spec.dataset);
+  scalar_fleet.models[0].backend = kernels::KernelBackend::kScalar;
+  auto vec_fleet = SingleFleet(trace_spec.dataset);
+  vec_fleet.models[0].backend = kernels::KernelBackend::kVectorized;
+  ServerRunner scalar_runner(trace_spec, scalar_fleet);
+  ServerRunner vec_runner(trace_spec, vec_fleet);
   for (const bool recd : {false, true}) {
-    const auto a = scalar_runner.Run(ReplayConfig(recd));
-    const auto b = vec_runner.Run(ReplayConfig(recd));
+    const auto a = scalar_runner.Run(ReplayPolicy(recd));
+    const auto b = vec_runner.Run(ReplayPolicy(recd));
     ExpectSameScores(a, b);
   }
 }
 
 TEST(ServerRunnerTest, ParityHoldsWithAttentionPooling) {
   // RM1 pools sequence groups with self-attention: O7 at inference.
-  const auto spec = MakeSpec(datagen::RmKind::kRm1, 0.05);
-  ServeOptions options;
-  options.query = SmallQuery(24, 4);
-  ServerRunner runner(spec, MakeModel(spec, datagen::RmKind::kRm1),
-                      options);
-  const auto base = runner.Run(ReplayConfig(false));
-  const auto recd = runner.Run(ReplayConfig(true));
+  const auto trace_spec =
+      MakeTrace(SmallQuery(24, 4), datagen::RmKind::kRm1, 0.05);
+  ModelSpec m;
+  m.config = MakeModel(trace_spec.dataset, datagen::RmKind::kRm1);
+  ServerRunner runner(trace_spec, FleetSpec::Single(std::move(m)));
+  const auto base = runner.Run(ReplayPolicy(false));
+  const auto recd = runner.Run(ReplayPolicy(true));
   ExpectSameScores(base, recd);
   EXPECT_GT(recd.stats.request_dedupe_factor, 1.0);
 }
 
 TEST(ServerRunnerTest, PerRequestOutputsIdenticalForAnyWorkerCount) {
-  const auto spec = MakeSpec();
-  ServeOptions options;
-  options.query = SmallQuery(64, 4);
-  ServerRunner runner(spec, MakeModel(spec), options);
-  const auto one = runner.Run(ReplayConfig(true, 1));
-  const auto four = runner.Run(ReplayConfig(true, 4));
+  const auto trace_spec = MakeTrace(SmallQuery(64, 4));
+  ServerRunner one_runner(trace_spec, SingleFleet(trace_spec.dataset, 1));
+  ServerRunner four_runner(trace_spec, SingleFleet(trace_spec.dataset, 4));
+  const auto one = one_runner.Run(ReplayPolicy(true));
+  const auto four = four_runner.Run(ReplayPolicy(true));
   ExpectSameScores(one, four);
   // Replay mode fixes batch composition, so latency (batching delay),
   // dedupe, and op counters are worker-count invariant too.
@@ -278,8 +404,7 @@ TEST(ServerRunnerTest, PerRequestOutputsIdenticalForAnyWorkerCount) {
     EXPECT_EQ(one.requests[i].latency_us, four.requests[i].latency_us);
     // Replay latency is the exact batching delay, which the SLA bounds
     // (deadline flushes are stamped at the deadline itself).
-    EXPECT_LE(one.requests[i].latency_us,
-              std::max<std::int64_t>(1, ReplayConfig(true).batcher.max_delay_us));
+    EXPECT_LE(one.requests[i].latency_us, 100);
   }
   EXPECT_EQ(one.stats.batches, four.stats.batches);
   EXPECT_DOUBLE_EQ(one.stats.request_dedupe_factor,
@@ -297,12 +422,10 @@ TEST(ServerRunnerTest, PerRequestOutputsIdenticalForAnyWorkerCount) {
 }
 
 TEST(ServerRunnerTest, ReplayRunsAreReproducible) {
-  const auto spec = MakeSpec();
-  ServeOptions options;
-  options.query = SmallQuery(32, 3);
-  ServerRunner runner(spec, MakeModel(spec), options);
-  const auto a = runner.Run(ReplayConfig(true, 2));
-  const auto b = runner.Run(ReplayConfig(true, 2));
+  const auto trace_spec = MakeTrace(SmallQuery(32, 3));
+  ServerRunner runner(trace_spec, SingleFleet(trace_spec.dataset, 2));
+  const auto a = runner.Run(ReplayPolicy(true));
+  const auto b = runner.Run(ReplayPolicy(true));
   ExpectSameScores(a, b);
   for (std::size_t i = 0; i < a.requests.size(); ++i) {
     EXPECT_EQ(a.requests[i].latency_us, b.requests[i].latency_us);
@@ -311,56 +434,322 @@ TEST(ServerRunnerTest, ReplayRunsAreReproducible) {
 }
 
 TEST(ServerRunnerTest, PacedModeServesEveryRequestWithSameScores) {
-  const auto spec = MakeSpec();
-  ServeOptions options;
-  options.query = SmallQuery(24, 3);
-  options.query.qps = 20'000;  // finishes in ~a millisecond of pacing
-  ServerRunner runner(spec, MakeModel(spec), options);
-  const auto replay = runner.Run(ReplayConfig(true, 2));
-  auto paced_cfg = ReplayConfig(true, 2);
-  paced_cfg.pace_arrivals = true;
-  const auto paced = runner.Run(paced_cfg);
+  auto q = SmallQuery(24, 3);
+  q.qps = 20'000;  // finishes in ~a millisecond of pacing
+  const auto trace_spec = MakeTrace(q);
+  ServerRunner runner(trace_spec, SingleFleet(trace_spec.dataset, 2));
+  const auto replay = runner.Run(ReplayPolicy(true));
+  auto paced = ReplayPolicy(true);
+  paced.pace_arrivals = true;
+  const auto paced_result = runner.Run(paced);
   // Batch composition differs (wall clock), but scores are row-local:
   // the batcher determinism rule.
-  ExpectSameScores(replay, paced);
-  EXPECT_EQ(paced.stats.requests, 24u);
-  for (const auto& r : paced.requests) {
+  ExpectSameScores(replay, paced_result);
+  EXPECT_EQ(paced_result.stats.requests, 24u);
+  for (const auto& r : paced_result.requests) {
     EXPECT_GE(r.latency_us, 1);
     EXPECT_GE(r.completion_us, r.arrival_us);
   }
-  EXPECT_GT(paced.stats.achieved_qps, 0.0);
+  EXPECT_GT(paced_result.stats.achieved_qps, 0.0);
 }
 
 TEST(ServerRunnerTest, BatchSizeSweepNeverLosesRequests) {
-  const auto spec = MakeSpec();
-  ServeOptions options;
-  options.query = SmallQuery(40, 2);
-  ServerRunner runner(spec, MakeModel(spec), options);
+  const auto trace_spec = MakeTrace(SmallQuery(40, 2));
+  ServerRunner runner(trace_spec, SingleFleet(trace_spec.dataset, 2));
   for (const std::size_t max_requests : {1u, 3u, 40u, 64u}) {
-    auto cfg = ReplayConfig(true, 2);
-    cfg.batcher.max_batch_requests = max_requests;
-    const auto r = runner.Run(cfg);
+    auto policy = ReplayPolicy(true);
+    policy.batcher->max_batch_requests = max_requests;
+    const auto r = runner.Run(policy);
     EXPECT_EQ(r.stats.requests, 40u) << "max_requests=" << max_requests;
     EXPECT_EQ(r.requests.size(), 40u);
     EXPECT_EQ(r.stats.rows, 80u);
+    if (max_requests == 1) {
+      // No coalescing: one scored batch per request.
+      EXPECT_EQ(r.stats.batches, 40u);
+      EXPECT_DOUBLE_EQ(r.stats.mean_batch_requests, 1.0);
+    }
   }
+}
+
+TEST(ServerRunnerTest, ZeroCandidateRequestsCompleteWithEmptyScores) {
+  // A retrieval stage can emit an empty candidate set; the request must
+  // still flow through batching and complete with zero scores, without
+  // perturbing its batchmates.
+  const auto trace_spec = MakeTrace(SmallQuery(12, 2));
+  auto trace = QueryGenerator(trace_spec).Generate();
+  trace[3].rows.clear();
+  trace[7].rows.clear();
+  ServerRunner runner(trace_spec, SingleFleet(trace_spec.dataset, 2), trace);
+  for (const bool recd : {false, true}) {
+    const auto r = runner.Run(ReplayPolicy(recd));
+    ASSERT_EQ(r.requests.size(), 12u);
+    EXPECT_EQ(r.stats.requests, 12u);
+    EXPECT_EQ(r.stats.rows, 20u);  // two requests contributed nothing
+    for (const auto& sr : r.requests) {
+      const bool emptied = sr.request_id == 4 || sr.request_id == 8;
+      EXPECT_EQ(sr.scores.size(), emptied ? 0u : 2u)
+          << "request " << sr.request_id;
+      EXPECT_GE(sr.latency_us, 1);
+    }
+  }
+}
+
+TEST(ServerRunnerTest, RejectsTraceRoutedOutsideTheFleet) {
+  auto q = SmallQuery(16, 2);
+  q.num_models = 3;  // trace routes across 3 models...
+  const auto trace_spec = MakeTrace(q);
+  // ...but the fleet has one. Both constructors must reject it.
+  EXPECT_THROW(ServerRunner(trace_spec, SingleFleet(trace_spec.dataset)),
+               std::invalid_argument);
+  const auto trace = QueryGenerator(trace_spec).Generate();
+  EXPECT_THROW(
+      ServerRunner(trace_spec, SingleFleet(trace_spec.dataset), trace),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------- multi-model serving --
+
+TEST(MultiModelServingTest, ScoresIdenticalAcrossWorkerCounts) {
+  // The determinism rule at fleet scale: scores and replay latencies
+  // are bitwise invariant to per-lane worker counts, for zoo sizes 1
+  // and 3, on both serving paths.
+  for (const std::size_t zoo_size : {1u, 3u}) {
+    auto q = SmallQuery(72, 3);
+    q.num_models = zoo_size;
+    const auto trace_spec = MakeTrace(q);
+    FleetSpec narrow;
+    narrow.models = SmallZoo(trace_spec.dataset, zoo_size);
+    narrow.default_workers = 1;
+    FleetSpec wide = narrow;
+    wide.default_workers = 8;
+    ServerRunner narrow_runner(trace_spec, narrow);
+    ServerRunner wide_runner(trace_spec, wide);
+    for (const bool recd : {false, true}) {
+      RunPolicy policy = recd ? RunPolicy::Recd() : RunPolicy::Baseline();
+      const auto a = narrow_runner.Run(policy);
+      const auto b = wide_runner.Run(policy);
+      ExpectSameScores(a, b);
+      ASSERT_EQ(a.model_stats.size(), zoo_size);
+      for (std::size_t i = 0; i < a.requests.size(); ++i) {
+        EXPECT_EQ(a.requests[i].latency_us, b.requests[i].latency_us);
+        EXPECT_EQ(a.requests[i].model_id, b.requests[i].model_id);
+      }
+      for (std::size_t m = 0; m < zoo_size; ++m) {
+        EXPECT_EQ(a.model_stats[m].batches, b.model_stats[m].batches);
+        EXPECT_DOUBLE_EQ(a.model_stats[m].embedding_lookups,
+                         b.model_stats[m].embedding_lookups);
+      }
+    }
+  }
+}
+
+TEST(MultiModelServingTest, ZooServingMatchesSingleModelSubTraces) {
+  // Serving the full trace through a 3-model zoo must score each
+  // model's sub-trace bitwise identically — scores AND replay
+  // latencies — to serving that sub-trace alone through a single-model
+  // fleet (zoo composition cannot leak into results).
+  auto q = SmallQuery(72, 3);
+  q.num_models = 3;
+  const auto trace_spec = MakeTrace(q);
+  const auto zoo = SmallZoo(trace_spec.dataset, 3);
+  FleetSpec fleet;
+  fleet.models = zoo;
+  fleet.default_workers = 2;
+  ServerRunner zoo_runner(trace_spec, fleet);
+  const auto full = zoo_runner.Run(RunPolicy::Recd());
+
+  for (std::size_t m = 0; m < 3; ++m) {
+    const auto sub = SubTraceForModel(zoo_runner.trace(), m);
+    ASSERT_FALSE(sub.empty());
+    ServerRunner solo(trace_spec, FleetSpec::Single(zoo[m]), sub);
+    const auto alone = solo.Run(RunPolicy::Recd());
+
+    std::vector<ScoredRequest> from_zoo;
+    for (const auto& sr : full.requests) {
+      if (sr.model_id == m) from_zoo.push_back(sr);
+    }
+    ExpectSameScores(from_zoo, alone.requests);
+    ASSERT_EQ(from_zoo.size(), alone.requests.size());
+    for (std::size_t i = 0; i < from_zoo.size(); ++i) {
+      EXPECT_EQ(from_zoo[i].latency_us, alone.requests[i].latency_us)
+          << "request " << from_zoo[i].request_id;
+    }
+    EXPECT_EQ(full.model_stats[m].batches, alone.stats.batches);
+    EXPECT_DOUBLE_EQ(full.model_stats[m].embedding_lookups,
+                     alone.stats.embedding_lookups);
+    EXPECT_DOUBLE_EQ(full.model_stats[m].flops, alone.stats.flops);
+  }
+}
+
+TEST(MultiModelServingTest, PerModelBatcherOverridesApply) {
+  auto q = SmallQuery(48, 2);
+  q.num_models = 2;
+  const auto trace_spec = MakeTrace(q);
+  FleetSpec fleet;
+  fleet.models = SmallZoo(trace_spec.dataset, 2);
+  ServerRunner runner(trace_spec, fleet);
+  RunPolicy policy = RunPolicy::Recd();
+  BatcherOptions solo;
+  solo.max_batch_requests = 1;  // model 1: no coalescing at all
+  solo.max_delay_us = 0;
+  policy.batcher_overrides[1] = solo;
+  const auto r = runner.Run(policy);
+  ASSERT_EQ(r.model_stats.size(), 2u);
+  // Model 1 scored one batch per request; model 0 kept its defaults.
+  EXPECT_EQ(r.model_stats[1].batches, r.model_stats[1].requests);
+  EXPECT_LT(r.model_stats[0].batches, r.model_stats[0].requests);
+  EXPECT_EQ(r.stats.requests, 48u);
+}
+
+// --------------------------------------------- tail-latency scheduler --
+
+std::vector<Request> SchedulerTrace(std::size_t requests = 96) {
+  auto q = SmallQuery(requests, 3);
+  q.qps = 5'000;
+  return QueryGenerator(MakeTrace(q)).Generate();
+}
+
+TEST(SchedulerTest, SimulatedLaneIsDeterministic) {
+  const auto trace = SchedulerTrace();
+  BatcherOptions b;
+  b.max_batch_requests = 4;
+  b.max_delay_us = 500;
+  const ServiceModel service{.batch_overhead_us = 150, .us_per_row = 40};
+  const auto a = SimulateLane(trace, b, 2, service);
+  const auto c = SimulateLane(trace, b, 2, service);
+  EXPECT_EQ(a.requests, trace.size());
+  EXPECT_EQ(a.batches, c.batches);
+  EXPECT_EQ(a.makespan_us, c.makespan_us);
+  EXPECT_DOUBLE_EQ(a.p99_us(), c.p99_us());
+  const auto ba = a.latency_us.buckets();
+  const auto bc = c.latency_us.buckets();
+  ASSERT_EQ(ba.size(), bc.size());
+  for (std::size_t i = 0; i < ba.size(); ++i) {
+    EXPECT_EQ(ba[i].count, bc[i].count);
+  }
+  // Latency can never undercut the service floor of a lone request.
+  EXPECT_GE(a.latency_us.min(),
+            static_cast<std::int64_t>(service.ServiceUs(0)));
+}
+
+TEST(SchedulerTest, MoreWorkersNeverHurtSimulatedTail) {
+  const auto trace = SchedulerTrace();
+  BatcherOptions b;
+  b.max_batch_requests = 8;
+  b.max_delay_us = 200;
+  const ServiceModel service{.batch_overhead_us = 300, .us_per_row = 120};
+  const auto one = SimulateLane(trace, b, 1, service);
+  const auto four = SimulateLane(trace, b, 4, service);
+  EXPECT_LE(four.p99_us(), one.p99_us());
+  EXPECT_LE(four.makespan_us, one.makespan_us);
+}
+
+TEST(SchedulerTest, TuningIsDeterministicAndImprovesTheObjective) {
+  const auto trace = SchedulerTrace();
+  // Deliberately slow service so the seed config (1 worker, wide
+  // window) violates the SLA and the climber has real work to do.
+  const ServiceModel service{.batch_overhead_us = 400, .us_per_row = 150};
+  TuneOptions opts;
+  opts.sla_p99_us = 15'000;
+  opts.max_workers = 6;
+  BatcherOptions seed;
+  seed.max_batch_requests = 32;
+  seed.max_delay_us = 10'000;
+  const auto a = TuneLane(trace, service, opts, seed, 1);
+  const auto b = TuneLane(trace, service, opts, seed, 1);
+  EXPECT_EQ(a.batcher.max_batch_requests, b.batcher.max_batch_requests);
+  EXPECT_EQ(a.batcher.max_delay_us, b.batcher.max_delay_us);
+  EXPECT_EQ(a.workers, b.workers);
+  EXPECT_DOUBLE_EQ(a.p99_us, b.p99_us);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  const double seed_p99 = SimulateLane(trace, seed, 1, service).p99_us();
+  EXPECT_LT(a.p99_us, seed_p99);
+  EXPECT_TRUE(a.meets_sla);
+  EXPECT_LE(a.p99_us, opts.sla_p99_us);
+  EXPECT_GT(a.evaluations, 1u);
+}
+
+TEST(SchedulerTest, WindowFloorBoundsTheClimb) {
+  const auto trace = SchedulerTrace();
+  // Fast service + tight SLA: unbounded, the climber collapses the
+  // window toward zero; the floor must hold it up instead.
+  const ServiceModel service{.batch_overhead_us = 50, .us_per_row = 5};
+  TuneOptions opts;
+  opts.sla_p99_us = 2'000;
+  opts.min_delay_us = 750;
+  BatcherOptions seed;
+  seed.max_batch_requests = 16;
+  seed.max_delay_us = 12'000;
+  const auto tuned = TuneLane(trace, service, opts, seed, 1);
+  EXPECT_GE(tuned.batcher.max_delay_us, 750);
+  TuneOptions bad = opts;
+  bad.min_delay_us = bad.max_delay_us + 1;
+  EXPECT_THROW((void)TuneLane(trace, service, bad, seed, 1),
+               std::invalid_argument);
+}
+
+TEST(SchedulerTest, TuneFleetEmitsPluggableOverrides) {
+  auto q = SmallQuery(90, 2);
+  q.num_models = 3;
+  const auto trace_spec = MakeTrace(q);
+  const auto trace = QueryGenerator(trace_spec).Generate();
+  FleetSpec fleet;
+  fleet.models = SmallZoo(trace_spec.dataset, 3);
+  const ServiceModel service{.batch_overhead_us = 200, .us_per_row = 50};
+  TuneOptions opts;
+  opts.sla_p99_us = 10'000;
+  const auto tuning = TuneFleet(trace, fleet, service, opts);
+  ASSERT_EQ(tuning.lanes.size(), 3u);
+  const auto overrides = tuning.batcher_overrides();
+  const auto workers = tuning.workers();
+  EXPECT_EQ(overrides.size(), 3u);
+  ASSERT_EQ(workers.size(), 3u);
+  for (const auto w : workers) EXPECT_GE(w, 1u);
+  // The outputs plug directly back into the serving spec.
+  FleetSpec tuned = fleet;
+  tuned.workers = workers;
+  RunPolicy policy = RunPolicy::Recd();
+  policy.batcher_overrides = overrides;
+  ServerRunner runner(trace_spec, tuned, trace);
+  const auto result = runner.Run(policy);
+  EXPECT_EQ(result.stats.requests, 90u);
+}
+
+TEST(SchedulerTest, ScaleTraceCompressesArrivalsOnly) {
+  const auto trace = SchedulerTrace(32);
+  const auto hot = ScaleTrace(trace, 2.0);
+  ASSERT_EQ(hot.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(hot[i].request_id, trace[i].request_id);
+    EXPECT_EQ(hot[i].rows.size(), trace[i].rows.size());
+    EXPECT_LE(hot[i].arrival_us, trace[i].arrival_us);
+    if (i > 0) {
+      EXPECT_GE(hot[i].arrival_us, hot[i - 1].arrival_us);
+    }
+  }
+  EXPECT_THROW(ScaleTrace(trace, 0.0), std::invalid_argument);
 }
 
 // ----------------------------------------------------- model server --
 
 TEST(ModelServerTest, CleanShutdownUnderConcurrentLoad) {
   const auto spec = MakeSpec();
-  const auto model = MakeModel(spec);
   const auto schema = core::MakePipelineSchema(spec);
-  const auto loader =
-      core::MakePipelineLoader(model, core::RecdConfig::Full(16));
-  const auto trace = QueryGenerator(spec, SmallQuery(96, 2)).Generate();
+  ModelSpec model;
+  model.config = MakeModel(spec);
+  auto fleet = FleetSpec::Single(std::move(model), /*num_workers=*/3);
+  fleet.batch_channel_capacity = 2;  // force producer backpressure
+  const std::vector<reader::DataLoaderConfig> loaders = {
+      core::MakePipelineLoader(fleet.models[0].config,
+                               core::RecdConfig::Full(16))};
+  TraceSpec trace_spec;
+  trace_spec.dataset = spec;
+  trace_spec.query = SmallQuery(96, 2);
+  const auto trace = QueryGenerator(trace_spec).Generate();
 
   ModelServer::Options mopts;
-  mopts.num_workers = 3;
   mopts.recd = true;
-  mopts.channel_capacity = 2;  // force producer backpressure
-  ModelServer server(model, schema, loader, mopts);
+  ModelServer server(fleet, schema, loaders, mopts);
   server.Start();
 
   // Two producers race batches in; Shutdown lands while work is queued.
@@ -370,7 +759,7 @@ TEST(ModelServerTest, CleanShutdownUnderConcurrentLoad) {
       Batch b;
       b.requests.push_back(trace[i]);
       b.formed_us = trace[i].arrival_us;
-      if (server.Submit(std::move(b))) {
+      if (server.Submit(0, std::move(b))) {
         accepted.fetch_add(1, std::memory_order_relaxed);
       }
     }
@@ -393,16 +782,29 @@ TEST(ModelServerTest, CleanShutdownUnderConcurrentLoad) {
 
 TEST(ModelServerTest, SubmitAfterShutdownIsRejected) {
   const auto spec = MakeSpec();
-  const auto model = MakeModel(spec);
   const auto schema = core::MakePipelineSchema(spec);
-  const auto loader =
-      core::MakePipelineLoader(model, core::RecdConfig::Full(16));
-  ModelServer server(model, schema, loader, {});
+  ModelSpec model;
+  model.config = MakeModel(spec);
+  const auto fleet = FleetSpec::Single(std::move(model));
+  const std::vector<reader::DataLoaderConfig> loaders = {
+      core::MakePipelineLoader(fleet.models[0].config,
+                               core::RecdConfig::Full(16))};
+  ModelServer server(fleet, schema, loaders, {});
   server.Start();
   server.Shutdown();
   Batch b;
   b.requests.push_back(MakeRequest(1));
-  EXPECT_FALSE(server.Submit(std::move(b)));
+  EXPECT_FALSE(server.Submit(0, std::move(b)));
+}
+
+TEST(ModelServerTest, RejectsMismatchedLoaders) {
+  const auto spec = MakeSpec();
+  const auto schema = core::MakePipelineSchema(spec);
+  ModelSpec model;
+  model.config = MakeModel(spec);
+  const auto fleet = FleetSpec::Single(std::move(model));
+  const std::vector<reader::DataLoaderConfig> none;
+  EXPECT_THROW(ModelServer(fleet, schema, none, {}), std::invalid_argument);
 }
 
 }  // namespace
